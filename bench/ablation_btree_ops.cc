@@ -1,0 +1,83 @@
+// Ablation: per-operation cost of B+Tree probes and inserts with and
+// without page latching (the "latching overhead" component of the PLP
+// argument, independent of contention), plus the MRBTree routing cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/key_encoding.h"
+#include "src/common/rng.h"
+#include "src/index/mrbtree.h"
+#include "src/sync/cs_profiler.h"
+#include "src/workload/tatp.h"
+
+namespace plp {
+namespace {
+
+struct TreeFixture {
+  BufferPool pool;
+  std::unique_ptr<BTree> tree;
+
+  explicit TreeFixture(LatchPolicy policy, std::uint32_t n = 100000) {
+    CsProfiler::SetEnabled(false);  // measure the raw mechanism
+    tree = std::make_unique<BTree>(&pool, policy);
+    const std::string rid(6, 'r');
+    for (std::uint32_t k = 0; k < n; ++k) {
+      (void)tree->Insert(KeyU32(k), rid);
+    }
+  }
+  ~TreeFixture() { CsProfiler::SetEnabled(true); }
+};
+
+void BM_BTreeProbe(benchmark::State& state) {
+  TreeFixture f(state.range(0) == 0 ? LatchPolicy::kLatched
+                                    : LatchPolicy::kNone);
+  Rng rng(1);
+  std::string value;
+  for (auto _ : state) {
+    const auto k = static_cast<std::uint32_t>(rng.Uniform(100000));
+    benchmark::DoNotOptimize(f.tree->Probe(KeyU32(k), &value));
+  }
+  state.SetLabel(state.range(0) == 0 ? "latched" : "latch-free");
+}
+BENCHMARK(BM_BTreeProbe)->Arg(0)->Arg(1);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  TreeFixture f(state.range(0) == 0 ? LatchPolicy::kLatched
+                                    : LatchPolicy::kNone,
+                /*n=*/1000);
+  std::uint32_t next = 1000000;
+  const std::string rid(6, 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tree->Insert(KeyU32(next++), rid));
+  }
+  state.SetLabel(state.range(0) == 0 ? "latched" : "latch-free");
+}
+BENCHMARK(BM_BTreeInsert)->Arg(0)->Arg(1);
+
+void BM_MrbtRouteAndProbe(benchmark::State& state) {
+  CsProfiler::SetEnabled(false);
+  BufferPool pool;
+  std::unique_ptr<MRBTree> tree;
+  (void)MRBTree::Create(&pool, LatchPolicy::kNone,
+                        TatpWorkload::BoundariesFor(
+                            100000, static_cast<int>(state.range(0))),
+                        &tree);
+  const std::string rid(6, 'r');
+  for (std::uint32_t k = 1; k <= 100000; ++k) {
+    (void)tree->Insert(KeyU32(k), rid);
+  }
+  Rng rng(2);
+  std::string value;
+  for (auto _ : state) {
+    const auto k = static_cast<std::uint32_t>(rng.Range(1, 100000));
+    benchmark::DoNotOptimize(tree->Probe(KeyU32(k), &value));
+  }
+  CsProfiler::SetEnabled(true);
+  state.SetLabel(std::to_string(state.range(0)) + " roots");
+}
+BENCHMARK(BM_MrbtRouteAndProbe)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,65 @@
+// Ablation: the raw cost of one page-latch acquisition — the per-access
+// overhead PLP removes even in the absence of contention (Section 3.2.2
+// "latching contention and overhead").
+#include <benchmark/benchmark.h>
+
+#include "src/sync/cs_profiler.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+namespace {
+
+void BM_LatchSharedUncontended(benchmark::State& state) {
+  CsProfiler::SetEnabled(state.range(0) == 1);
+  Latch latch(PageClass::kIndex);
+  for (auto _ : state) {
+    latch.AcquireShared();
+    latch.ReleaseShared();
+  }
+  CsProfiler::SetEnabled(true);
+  state.SetLabel(state.range(0) == 1 ? "with-profiling" : "no-profiling");
+}
+BENCHMARK(BM_LatchSharedUncontended)->Arg(0)->Arg(1);
+
+void BM_LatchExclusiveUncontended(benchmark::State& state) {
+  CsProfiler::SetEnabled(false);
+  Latch latch(PageClass::kHeap);
+  for (auto _ : state) {
+    latch.AcquireExclusive();
+    latch.ReleaseExclusive();
+  }
+  CsProfiler::SetEnabled(true);
+}
+BENCHMARK(BM_LatchExclusiveUncontended);
+
+void BM_LatchSharedContended(benchmark::State& state) {
+  static Latch* latch = nullptr;
+  if (state.thread_index() == 0) {
+    CsProfiler::SetEnabled(false);
+    latch = new Latch(PageClass::kIndex);
+  }
+  for (auto _ : state) {
+    latch->AcquireShared();
+    benchmark::ClobberMemory();
+    latch->ReleaseShared();
+  }
+  if (state.thread_index() == 0) {
+    delete latch;
+    latch = nullptr;
+    CsProfiler::SetEnabled(true);
+  }
+}
+BENCHMARK(BM_LatchSharedContended)->Threads(1)->Threads(4)->Threads(8);
+
+// The latch-free alternative: what a PLP partition pays instead.
+void BM_NoLatch(benchmark::State& state) {
+  Latch latch(PageClass::kIndex);
+  for (auto _ : state) {
+    LatchGuard g(&latch, LatchMode::kShared, LatchPolicy::kNone);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_NoLatch);
+
+}  // namespace
+}  // namespace plp

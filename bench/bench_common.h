@@ -1,0 +1,66 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#ifndef PLP_BENCH_BENCH_COMMON_H_
+#define PLP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/engine/engine.h"
+#include "src/sync/cs_profiler.h"
+#include "src/workload/workload_driver.h"
+
+namespace plp::bench {
+
+/// Builds and starts an engine for one experiment.
+inline std::unique_ptr<Engine> MakeEngine(SystemDesign design,
+                                          int workers = 4,
+                                          bool use_mrbt = false,
+                                          bool enable_sli = true) {
+  EngineConfig config;
+  config.design = design;
+  config.num_workers = workers;
+  config.use_mrbt = use_mrbt;
+  config.enable_sli = enable_sli;
+  auto engine = CreateEngine(config);
+  engine->Start();
+  return engine;
+}
+
+/// Scales bench durations via PLP_BENCH_MS (default 300ms per window).
+inline std::chrono::milliseconds WindowMs() {
+  const char* env = std::getenv("PLP_BENCH_MS");
+  return std::chrono::milliseconds(env ? std::atoi(env) : 300);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n  (reproduces %s)\n", title, paper_ref);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintCsBreakdownRow(const std::string& label,
+                                const CsCounts& delta,
+                                std::uint64_t committed) {
+  if (committed == 0) return;
+  const double inv = 1.0 / static_cast<double>(committed);
+  std::printf("%-16s", label.c_str());
+  for (int c = 0; c < kNumCsCategories; ++c) {
+    std::printf(" %9.2f", static_cast<double>(delta.entries[c]) * inv);
+  }
+  std::printf(" | total %9.2f contended %7.2f\n",
+              static_cast<double>(delta.TotalEntries()) * inv,
+              static_cast<double>(delta.TotalContended()) * inv);
+}
+
+inline void PrintCsBreakdownHeader() {
+  std::printf("%-16s", "design");
+  for (int c = 0; c < kNumCsCategories; ++c) {
+    std::printf(" %9.9s", CsCategoryName(static_cast<CsCategory>(c)));
+  }
+  std::printf(" |   (CS entries per transaction)\n");
+}
+
+}  // namespace plp::bench
+
+#endif  // PLP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,93 @@
+#include "src/buffer/buffer_pool.h"
+
+namespace plp {
+
+BufferPool::BufferPool() {
+  shards_.reserve(kNumShards);
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+BufferPool::~BufferPool() = default;
+
+Page* BufferPool::NewPage(PageClass page_class) {
+  const PageId id = next_page_id_.fetch_add(1, std::memory_order_relaxed);
+  auto page = std::make_unique<Page>(id, page_class);
+  Page* raw = page.get();
+  Shard& shard = ShardFor(id);
+  shard.mu.lock();
+  shard.pages.emplace(id, std::move(page));
+  shard.mu.unlock();
+  num_pages_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
+  // Keep the allocator ahead of recovered ids.
+  PageId expected = next_page_id_.load(std::memory_order_relaxed);
+  while (expected <= id && !next_page_id_.compare_exchange_weak(
+                               expected, id + 1, std::memory_order_relaxed)) {
+  }
+  Shard& shard = ShardFor(id);
+  shard.mu.lock();
+  auto it = shard.pages.find(id);
+  if (it != shard.pages.end()) {
+    Page* existing = it->second.get();
+    shard.mu.unlock();
+    return existing;
+  }
+  auto page = std::make_unique<Page>(id, page_class);
+  Page* raw = page.get();
+  shard.pages.emplace(id, std::move(page));
+  shard.mu.unlock();
+  num_pages_.fetch_add(1, std::memory_order_relaxed);
+  return raw;
+}
+
+Page* BufferPool::Fix(PageId id) {
+  if (id == kInvalidPageId) return nullptr;
+  Shard& shard = ShardFor(id);
+  shard.mu.lock();
+  auto it = shard.pages.find(id);
+  Page* p = it == shard.pages.end() ? nullptr : it->second.get();
+  shard.mu.unlock();
+  return p;
+}
+
+Page* BufferPool::FixUnlocked(PageId id) {
+  if (id == kInvalidPageId) return nullptr;
+  Shard& shard = ShardFor(id);
+  // No CS accounting: callers own the page exclusively, and frames are
+  // stable (no eviction), so a racy map read is safe only if no concurrent
+  // insert rehashes this shard. Guard with the raw mutex but do not charge
+  // a critical section — this models direct pointer access.
+  std::lock_guard<std::mutex> g(shard.mu.raw());
+  auto it = shard.pages.find(id);
+  return it == shard.pages.end() ? nullptr : it->second.get();
+}
+
+void BufferPool::FreePage(PageId id) {
+  Shard& shard = ShardFor(id);
+  shard.mu.lock();
+  if (shard.pages.erase(id) > 0) {
+    num_pages_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  shard.mu.unlock();
+}
+
+std::vector<PageId> BufferPool::DirtyPages(std::size_t limit) {
+  std::vector<PageId> out;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard->mu.raw());
+    for (auto& [id, page] : shard->pages) {
+      if (page->dirty()) {
+        out.push_back(id);
+        if (out.size() >= limit) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace plp

@@ -1,0 +1,95 @@
+// Buffer pool: allocation and id->frame translation for database pages.
+//
+// The evaluation (like the paper's) runs memory-resident, so frames are
+// never evicted; Fix() is a sharded hash lookup whose bucket mutex is a
+// buffer-pool critical section, exactly the communication Shore-MT charges
+// to its buffer pool. Partition-owned code paths avoid that communication
+// with a thread-private PageCache (exclusive ownership makes it safe).
+#ifndef PLP_BUFFER_BUFFER_POOL_H_
+#define PLP_BUFFER_BUFFER_POOL_H_
+
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buffer/page.h"
+#include "src/common/types.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+
+class BufferPool {
+ public:
+  BufferPool();
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates a fresh zeroed page of the given class.
+  Page* NewPage(PageClass page_class);
+
+  /// Recovery path: materializes the frame for a specific page id (no-op
+  /// when it already exists). Keeps the id allocator ahead of `id`.
+  Page* NewPageWithId(PageId id, PageClass page_class);
+
+  /// Translates a page id to its frame; records a buffer-pool critical
+  /// section (the bucket lookup). Returns nullptr for freed/unknown ids.
+  Page* Fix(PageId id);
+
+  /// Lookup without critical-section accounting — only valid for callers
+  /// that own the page exclusively (thread-private caches).
+  Page* FixUnlocked(PageId id);
+
+  /// Returns the frame to the pool. The caller must guarantee no other
+  /// thread holds a reference.
+  void FreePage(PageId id);
+
+  std::size_t num_pages() const {
+    return num_pages_.load(std::memory_order_relaxed);
+  }
+
+  /// Up to `limit` currently-dirty page ids (page-cleaner scan).
+  std::vector<PageId> DirtyPages(std::size_t limit);
+
+ private:
+  static constexpr std::size_t kNumShards = 64;
+
+  struct Shard {
+    TrackedMutex mu{CsCategory::kBufferPool};
+    std::unordered_map<PageId, std::unique_ptr<Page>> pages;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % kNumShards]; }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<PageId> next_page_id_{1};
+  std::atomic<std::size_t> num_pages_{0};
+};
+
+/// Thread-private id->frame cache for partition workers (PLP): repeated
+/// accesses to owned pages skip the buffer-pool critical section.
+class PageCache {
+ public:
+  explicit PageCache(BufferPool* pool) : pool_(pool) {}
+
+  Page* Fix(PageId id) {
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
+    Page* p = pool_->Fix(id);  // one CS on first touch only
+    if (p != nullptr) cache_.emplace(id, p);
+    return p;
+  }
+
+  void Invalidate(PageId id) { cache_.erase(id); }
+  void Clear() { cache_.clear(); }
+
+ private:
+  BufferPool* pool_;
+  std::unordered_map<PageId, Page*> cache_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_BUFFER_BUFFER_POOL_H_

@@ -1,0 +1,65 @@
+// A buffer-pool page frame: 8KB of data plus an instrumented latch.
+#ifndef PLP_BUFFER_PAGE_H_
+#define PLP_BUFFER_PAGE_H_
+
+#include <atomic>
+#include <cstring>
+
+#include "src/common/types.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+
+/// A page frame. The latch is tagged with the page class so every
+/// acquisition lands in the right bucket of the latch breakdown (Figure 2).
+class Page {
+ public:
+  Page(PageId id, PageClass page_class)
+      : id_(id), page_class_(page_class), latch_(page_class) {
+    std::memset(data_, 0, kPageSize);
+  }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  PageId id() const { return id_; }
+  PageClass page_class() const { return page_class_; }
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  Latch& latch() { return latch_; }
+
+  bool dirty() const { return dirty_.load(std::memory_order_relaxed); }
+  void MarkDirty() { dirty_.store(true, std::memory_order_relaxed); }
+  void MarkClean() { dirty_.store(false, std::memory_order_relaxed); }
+
+  /// Page LSN of the last update (recovery uses it for idempotent redo).
+  Lsn page_lsn() const { return page_lsn_.load(std::memory_order_relaxed); }
+  void set_page_lsn(Lsn lsn) {
+    page_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+
+  /// Frame-level owner tag: which global partition uid owns this page
+  /// (UINT32_MAX = unowned). The page cleaner uses it to delegate cleaning
+  /// to partition workers (Appendix A.4).
+  std::uint32_t owner_tag() const {
+    return owner_tag_.load(std::memory_order_relaxed);
+  }
+  void set_owner_tag(std::uint32_t tag) {
+    owner_tag_.store(tag, std::memory_order_relaxed);
+  }
+
+ private:
+  const PageId id_;
+  const PageClass page_class_;
+  Latch latch_;
+  std::atomic<bool> dirty_{false};
+  std::atomic<Lsn> page_lsn_{0};
+  std::atomic<std::uint32_t> owner_tag_{UINT32_MAX};
+  alignas(64) char data_[kPageSize];
+};
+
+}  // namespace plp
+
+#endif  // PLP_BUFFER_PAGE_H_

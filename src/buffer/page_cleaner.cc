@@ -1,0 +1,54 @@
+#include "src/buffer/page_cleaner.h"
+
+#include <chrono>
+
+namespace plp {
+
+PageCleaner::PageCleaner(BufferPool* pool, Delegate delegate,
+                         std::size_t batch_size)
+    : pool_(pool), delegate_(std::move(delegate)), batch_size_(batch_size) {}
+
+PageCleaner::~PageCleaner() { Stop(); }
+
+void PageCleaner::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PageCleaner::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void PageCleaner::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (RunOnce() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+}
+
+std::size_t PageCleaner::RunOnce() {
+  std::size_t handled = 0;
+  for (PageId id : pool_->DirtyPages(batch_size_)) {
+    if (delegate_ && delegate_(id)) {
+      ++handled;  // the owning partition worker will clean it
+      continue;
+    }
+    Page* page = pool_->Fix(id);
+    if (page == nullptr) continue;
+    CleanPage(page, LatchPolicy::kLatched);
+    ++handled;
+  }
+  pages_cleaned_.fetch_add(handled, std::memory_order_relaxed);
+  return handled;
+}
+
+void PageCleaner::CleanPage(Page* page, LatchPolicy policy) {
+  // Cleaning is a read-only copy of the frame followed by clearing the
+  // dirty bit; with a real I/O subsystem the copy would be written back.
+  LatchGuard g(&page->latch(), LatchMode::kShared, policy);
+  page->MarkClean();
+}
+
+}  // namespace plp

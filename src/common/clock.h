@@ -1,0 +1,39 @@
+// Monotonic timing helpers used by the metrics layer.
+#ifndef PLP_COMMON_CLOCK_H_
+#define PLP_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace plp {
+
+/// Nanoseconds from the steady (monotonic) clock.
+inline std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double NanosToMillis(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+/// Accumulates elapsed nanoseconds into *sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t* sink)
+      : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() { *sink_ += NowNanos() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint64_t* sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_CLOCK_H_

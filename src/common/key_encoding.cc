@@ -1,0 +1,67 @@
+#include "src/common/key_encoding.h"
+
+#include <cassert>
+
+namespace plp {
+
+void EncodeU32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v >> 24);
+  buf[1] = static_cast<char>(v >> 16);
+  buf[2] = static_cast<char>(v >> 8);
+  buf[3] = static_cast<char>(v);
+  out->append(buf, 4);
+}
+
+void EncodeU64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>(v >> (56 - 8 * i));
+  }
+  out->append(buf, 8);
+}
+
+void EncodeI64(std::string* out, std::int64_t v) {
+  EncodeU64(out, static_cast<std::uint64_t>(v) ^ (1ULL << 63));
+}
+
+std::string KeyU32(std::uint32_t v) {
+  std::string s;
+  EncodeU32(&s, v);
+  return s;
+}
+
+std::string KeyU64(std::uint64_t v) {
+  std::string s;
+  EncodeU64(&s, v);
+  return s;
+}
+
+std::string KeyI64(std::int64_t v) {
+  std::string s;
+  EncodeI64(&s, v);
+  return s;
+}
+
+std::uint32_t DecodeU32(Slice in) {
+  assert(in.size() >= 4);
+  const auto* p = reinterpret_cast<const unsigned char*>(in.data());
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t DecodeU64(Slice in) {
+  assert(in.size() >= 8);
+  const auto* p = reinterpret_cast<const unsigned char*>(in.data());
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::int64_t DecodeI64(Slice in) {
+  return static_cast<std::int64_t>(DecodeU64(in) ^ (1ULL << 63));
+}
+
+}  // namespace plp

@@ -1,0 +1,62 @@
+// Order-preserving key encodings: encoded keys compare correctly under
+// memcmp, which is the comparison the B+Tree and MRBTree use.
+#ifndef PLP_COMMON_KEY_ENCODING_H_
+#define PLP_COMMON_KEY_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/slice.h"
+
+namespace plp {
+
+/// Appends a big-endian encoding of `v` to `out`; unsigned values already
+/// sort correctly byte-wise in this form.
+void EncodeU32(std::string* out, std::uint32_t v);
+void EncodeU64(std::string* out, std::uint64_t v);
+
+/// Signed variant: flips the sign bit so negative values sort first.
+void EncodeI64(std::string* out, std::int64_t v);
+
+/// Convenience one-shot encoders.
+std::string KeyU32(std::uint32_t v);
+std::string KeyU64(std::uint64_t v);
+std::string KeyI64(std::int64_t v);
+
+/// Decoders; `in` must hold at least the encoded width at offset 0.
+std::uint32_t DecodeU32(Slice in);
+std::uint64_t DecodeU64(Slice in);
+std::int64_t DecodeI64(Slice in);
+
+/// Composite-key builder: append fixed-width components in significance
+/// order; the concatenation remains order-preserving.
+class KeyBuilder {
+ public:
+  KeyBuilder& AddU32(std::uint32_t v) {
+    EncodeU32(&buf_, v);
+    return *this;
+  }
+  KeyBuilder& AddU64(std::uint64_t v) {
+    EncodeU64(&buf_, v);
+    return *this;
+  }
+  KeyBuilder& AddI64(std::int64_t v) {
+    EncodeI64(&buf_, v);
+    return *this;
+  }
+  /// Raw bytes; only order-preserving if fixed-width at this position.
+  KeyBuilder& AddBytes(Slice s) {
+    buf_.append(s.data(), s.size());
+    return *this;
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_KEY_ENCODING_H_

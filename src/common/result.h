@@ -1,0 +1,59 @@
+// Result<T>: a Status or a value (Arrow/abseil StatusOr idiom).
+#ifndef PLP_COMMON_RESULT_H_
+#define PLP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace plp {
+
+/// Holds either an OK status and a value, or a non-OK status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define PLP_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto PLP_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!PLP_CONCAT_(res_, __LINE__).ok())       \
+    return PLP_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(PLP_CONCAT_(res_, __LINE__)).value()
+
+#define PLP_CONCAT_INNER_(a, b) a##b
+#define PLP_CONCAT_(a, b) PLP_CONCAT_INNER_(a, b)
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_RESULT_H_

@@ -1,0 +1,59 @@
+// Deterministic random number generation and workload distributions.
+#ifndef PLP_COMMON_RNG_H_
+#define PLP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace plp {
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG. One instance per
+/// worker thread; never shared (no synchronization).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability pct/100.
+  bool Percent(unsigned pct) { return Uniform(100) < pct; }
+
+  double NextDouble();  // uniform in [0, 1)
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with parameter theta (YCSB-style).
+/// Used to model skewed access patterns (Section 4.5 of the paper).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// TPC-C NURand(A, x, y) non-uniform distribution.
+std::uint64_t NuRand(Rng& rng, std::uint64_t a, std::uint64_t x,
+                     std::uint64_t y, std::uint64_t c = 42);
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_RNG_H_

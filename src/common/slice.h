@@ -1,0 +1,65 @@
+// A non-owning view over a byte range, used for keys and record payloads.
+#ifndef PLP_COMMON_SLICE_H_
+#define PLP_COMMON_SLICE_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace plp {
+
+/// Non-owning reference to a contiguous byte range. Keys are compared as
+/// unsigned byte strings, so any order-preserving encoding (see
+/// common/key_encoding.h) sorts correctly.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* data, std::size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
+  Slice(const char* s) : data_(s), size_(std::strlen(s)) {}          // NOLINT
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way comparison as unsigned byte strings (memcmp order).
+  int compare(const Slice& other) const {
+    const std::size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return +1;
+    }
+    return r;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+  friend bool operator<(const Slice& a, const Slice& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const Slice& a, const Slice& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const Slice& a, const Slice& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const Slice& a, const Slice& b) {
+    return a.compare(b) >= 0;
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_SLICE_H_

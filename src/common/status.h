@@ -1,0 +1,87 @@
+// Status-based error handling (no exceptions on hot paths).
+#ifndef PLP_COMMON_STATUS_H_
+#define PLP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace plp {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kNoSpace = 4,
+  kAborted = 5,        // transaction aborted (e.g. deadlock victim)
+  kTimedOut = 6,       // lock wait timeout
+  kCorruption = 7,     // on-page invariant violated
+  kNotSupported = 8,
+  kInternal = 9,
+};
+
+/// Lightweight success/error result. OK carries no allocation.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NoSpace(std::string msg = "") {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define PLP_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::plp::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace plp
+
+#endif  // PLP_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+// Core identifier and size types shared by every PLP module.
+#ifndef PLP_COMMON_TYPES_H_
+#define PLP_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace plp {
+
+/// Size of every database page (heap, index, and catalog), in bytes.
+inline constexpr std::size_t kPageSize = 8192;
+
+/// Identifies a page within the (single, shared) database file.
+using PageId = std::uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Slot number within a slotted page.
+using SlotId = std::uint16_t;
+inline constexpr SlotId kInvalidSlotId = std::numeric_limits<SlotId>::max();
+
+/// Transaction identifier.
+using TxnId = std::uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Log sequence number (byte offset into the log).
+using Lsn = std::uint64_t;
+inline constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+
+/// Logical partition identifier within one partitioned index.
+using PartitionId = std::uint32_t;
+inline constexpr PartitionId kInvalidPartitionId =
+    std::numeric_limits<PartitionId>::max();
+
+/// Record identifier: the physical address of a record in a heap file.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = kInvalidSlotId;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  friend bool operator==(const Rid&, const Rid&) = default;
+  friend auto operator<=>(const Rid&, const Rid&) = default;
+};
+
+}  // namespace plp
+
+template <>
+struct std::hash<plp::Rid> {
+  std::size_t operator()(const plp::Rid& rid) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(rid.page_id) << 16) | rid.slot);
+  }
+};
+
+#endif  // PLP_COMMON_TYPES_H_

@@ -1,0 +1,82 @@
+// Transaction requests as directed graphs of actions (Section 3.1).
+//
+// The partition manager "breaks transactions into directed graphs, passing
+// each node to the appropriate thread". We model the graph as a series of
+// phases (rendezvous points); the actions inside one phase are independent
+// and may run on different partition workers in parallel. Dataflow between
+// phases goes through a state object the workload closure captures.
+#ifndef PLP_ENGINE_ACTION_H_
+#define PLP_ENGINE_ACTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/txn/transaction.h"
+
+namespace plp {
+
+/// Partition-local record operations available to an action. Every key the
+/// action touches must route to the action's own partition — that is the
+/// invariant the partition manager maintains and the reason the PLP
+/// implementations can skip latching.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  virtual Status Read(Slice key, std::string* payload) = 0;
+  virtual Status Insert(Slice key, Slice payload) = 0;
+  virtual Status Update(Slice key, Slice payload) = 0;
+  virtual Status Delete(Slice key) = 0;
+
+  /// In-order scan over [start, end); stops early when fn returns false.
+  virtual Status ScanRange(Slice start, Slice end,
+                           const std::function<bool(Slice, Slice)>& fn) = 0;
+
+  virtual Transaction* txn() = 0;
+};
+
+using ActionFn = std::function<Status(ExecContext&)>;
+
+/// One node of the transaction flow graph: runs `fn` against `table`,
+/// routed by `key`.
+struct Action {
+  std::string table;
+  std::string key;
+  ActionFn fn;
+};
+
+/// Actions within a phase are independent; phases run in order with a
+/// rendezvous between them.
+struct Phase {
+  std::vector<Action> actions;
+};
+
+class TxnRequest {
+ public:
+  TxnRequest() = default;
+
+  /// Appends an action to phase `phase` (phases are created on demand).
+  void Add(std::size_t phase, std::string table, std::string key,
+           ActionFn fn) {
+    if (phases.size() <= phase) phases.resize(phase + 1);
+    phases[phase].actions.push_back(
+        {std::move(table), std::move(key), std::move(fn)});
+  }
+
+  std::vector<Phase> phases;
+};
+
+/// Outcome of one action, including the compensation closures that must run
+/// on the same partition worker if the transaction aborts.
+struct ActionResult {
+  Status status;
+  std::vector<std::function<Status()>> undos;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_ACTION_H_

@@ -1,0 +1,46 @@
+// The conventional shared-everything design: each client thread executes
+// whole transactions against latched pages with centralized locking,
+// optionally sped up with Speculative Lock Inheritance (Section 4.1 (a)).
+#ifndef PLP_ENGINE_CONVENTIONAL_ENGINE_H_
+#define PLP_ENGINE_CONVENTIONAL_ENGINE_H_
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/buffer/page_cleaner.h"
+#include "src/engine/engine.h"
+#include "src/lock/sli.h"
+
+namespace plp {
+
+class ConventionalEngine : public Engine {
+ public:
+  explicit ConventionalEngine(EngineConfig config);
+  ~ConventionalEngine() override;
+
+  Status Execute(TxnRequest& req) override;
+
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<std::string> boundaries,
+                             bool clustered = false) override;
+
+  void Start() override;
+  void Stop() override;
+
+ private:
+  /// Per-worker-thread SLI cache, owned by the engine (so caches cannot
+  /// outlive the lock manager they reference); created lazily.
+  SliCache* ThreadSli();
+
+  std::atomic<TxnId> next_pseudo_txn_{1ull << 62};
+  std::unique_ptr<PageCleaner> cleaner_;
+
+  std::mutex sli_mu_;
+  std::unordered_map<std::thread::id, std::unique_ptr<SliCache>> sli_caches_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_CONVENTIONAL_ENGINE_H_

@@ -1,0 +1,178 @@
+#include "src/engine/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace plp {
+
+const char* RepartitionDesignName(RepartitionDesign d) {
+  switch (d) {
+    case RepartitionDesign::kPlpRegular: return "PLP-Regular";
+    case RepartitionDesign::kPlpLeaf: return "PLP-Leaf";
+    case RepartitionDesign::kPlpPartition: return "PLP-Partition";
+    case RepartitionDesign::kSharedNothing: return "Shared-Nothing";
+    case RepartitionDesign::kPlpClustered: return "PLP (Clustered)";
+    case RepartitionDesign::kSharedNothingClustered:
+      return "Shared-Nothing (Clustered)";
+  }
+  return "?";
+}
+
+namespace {
+/// M for the designs that move the whole new partition:
+/// m1 + sum_{l=0..h-2} n^{h-l-1} * (m_{h-l} - 1).
+std::uint64_t FullPartitionRecords(const CostModelParams& p) {
+  const auto h = static_cast<std::uint64_t>(p.height);
+  std::uint64_t total = p.m[0];
+  for (std::uint64_t l = 0; l + 2 <= h; ++l) {
+    const std::uint64_t level = h - l;           // h, h-1, ..., 2
+    const std::uint64_t moved = p.m[level - 1];  // m_{h-l}
+    const double subtree =
+        std::pow(static_cast<double>(p.entries_per_node),
+                 static_cast<double>(h - l - 1));
+    total += static_cast<std::uint64_t>(subtree) * (moved - 1);
+  }
+  return total;
+}
+
+std::uint64_t SumEntries(const CostModelParams& p, int from_level) {
+  std::uint64_t sum = 0;
+  for (int k = from_level; k <= p.height; ++k) {
+    sum += p.m[static_cast<std::size_t>(k - 1)];
+  }
+  return sum;
+}
+}  // namespace
+
+RepartitionCost ComputeRepartitionCost(RepartitionDesign design,
+                                       const CostModelParams& p) {
+  assert(p.m.size() == static_cast<std::size_t>(p.height));
+  RepartitionCost c;
+  const std::uint64_t h = static_cast<std::uint64_t>(p.height);
+  const std::uint64_t n = p.entries_per_node;
+  const std::uint64_t m1 = p.m[0];
+
+  switch (design) {
+    case RepartitionDesign::kPlpRegular:
+      c.entries_moved = SumEntries(p, 1);
+      c.pointer_updates = 2 * h + 1;
+      break;
+
+    case RepartitionDesign::kPlpLeaf:
+      c.records_moved = m1;
+      c.entries_moved = SumEntries(p, 1);
+      c.reads = c.records_moved;
+      c.pages_read = 1;
+      c.pointer_updates = 2 * h + 1;
+      c.primary_updates = c.records_moved;
+      c.secondary_updates = c.records_moved;
+      break;
+
+    case RepartitionDesign::kPlpPartition:
+      c.records_moved = FullPartitionRecords(p);
+      c.entries_moved = SumEntries(p, 1);
+      c.reads = c.records_moved;
+      c.pages_read = 1 + (c.records_moved - m1) / n;
+      c.pointer_updates = 2 * h + 1;
+      c.primary_updates = c.records_moved;
+      c.secondary_updates = c.records_moved;
+      break;
+
+    case RepartitionDesign::kSharedNothing:
+      c.records_moved = FullPartitionRecords(p);
+      c.reads = c.records_moved;
+      c.pages_read = 1 + (c.records_moved - m1) / n;
+      c.primary_inserts = c.records_moved;
+      c.primary_deletes = c.records_moved;
+      c.secondary_inserts = c.records_moved;
+      c.secondary_deletes = c.records_moved;
+      break;
+
+    case RepartitionDesign::kPlpClustered:
+      // Leaf entries *are* the records; only levels >= 2 move entries.
+      c.records_moved = m1;
+      c.entries_moved = SumEntries(p, 2);
+      c.pointer_updates = 2 * h + 1;
+      c.secondary_updates = c.records_moved;
+      break;
+
+    case RepartitionDesign::kSharedNothingClustered:
+      c.records_moved = FullPartitionRecords(p);
+      c.primary_inserts = c.records_moved;
+      c.primary_deletes = c.records_moved;
+      c.secondary_inserts = c.records_moved;
+      c.secondary_deletes = c.records_moved;
+      break;
+  }
+  return c;
+}
+
+namespace {
+std::string HumanBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1.0e6) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB", bytes / 1.0e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1.0e3);
+  }
+  return buf;
+}
+
+std::string HumanCount(std::uint64_t v) {
+  char buf[32];
+  if (v >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(v) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string FormatCostRow(RepartitionDesign design,
+                          const CostModelParams& params) {
+  const RepartitionCost c = ComputeRepartitionCost(design, params);
+  std::string idx_changes;
+  if (c.primary_updates > 0) {
+    idx_changes = HumanCount(c.primary_updates) + " U";
+  } else if (c.primary_inserts > 0) {
+    idx_changes = HumanCount(c.primary_inserts) + " I + " +
+                  HumanCount(c.primary_deletes) + " D";
+  } else {
+    idx_changes = "-";
+  }
+  std::string sec_changes;
+  if (c.secondary_updates > 0) {
+    sec_changes = HumanCount(c.secondary_updates) + " U";
+  } else if (c.secondary_inserts > 0) {
+    sec_changes = HumanCount(c.secondary_inserts) + " I + " +
+                  HumanCount(c.secondary_deletes) + " D";
+  } else {
+    sec_changes = "-";
+  }
+
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-28s | recs %9s | entries %8s | pages-read %6s | ptr-upd %3llu | "
+      "primary %-16s | secondary %-16s",
+      RepartitionDesignName(design),
+      c.records_moved == 0
+          ? "-"
+          : HumanBytes(static_cast<double>(c.records_moved) *
+                       static_cast<double>(params.record_size))
+                .c_str(),
+      c.entries_moved == 0
+          ? "-"
+          : HumanBytes(static_cast<double>(c.entries_moved) *
+                       static_cast<double>(params.entry_size))
+                .c_str(),
+      c.pages_read == 0 ? "-" : HumanCount(c.pages_read).c_str(),
+      static_cast<unsigned long long>(c.pointer_updates),
+      idx_changes.c_str(), sec_changes.c_str());
+  return buf;
+}
+
+}  // namespace plp

@@ -1,0 +1,70 @@
+// Repartitioning cost model (Appendix C, Table 2) and the concrete
+// instantiation used for Table 1.
+//
+// For a sub-tree of height h with n entries per node, splitting at a key
+// whose path moves m_k entries at level k (1 = leaf .. h = root):
+//   PLP-Regular     moves index entries only.
+//   PLP-Leaf        additionally moves the m_1 boundary-leaf records.
+//   PLP-Partition   moves every record of the new partition.
+//   Shared-Nothing  moves the same records but must insert/delete entries
+//                   in both indexes (per replica) instead of updating.
+// The clustered variants drop the heap file (records live in the leaves).
+#ifndef PLP_ENGINE_COST_MODEL_H_
+#define PLP_ENGINE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plp {
+
+enum class RepartitionDesign {
+  kPlpRegular,
+  kPlpLeaf,
+  kPlpPartition,
+  kSharedNothing,
+  kPlpClustered,
+  kSharedNothingClustered,
+};
+
+const char* RepartitionDesignName(RepartitionDesign d);
+
+struct CostModelParams {
+  int height = 3;                     // tree levels (h)
+  std::uint64_t entries_per_node = 170;  // n
+  /// m[k-1] = entries moved at level k (leaf-first). Typically about half
+  /// a node on the split path.
+  std::vector<std::uint64_t> m = {85, 85, 85};
+  std::uint64_t record_size = 100;    // bytes per heap record
+  std::uint64_t entry_size = 32;      // bytes per index entry
+};
+
+struct RepartitionCost {
+  std::uint64_t records_moved = 0;       // M
+  std::uint64_t entries_moved = 0;       // primary index entries
+  std::uint64_t reads = 0;               // leaf entry reads to learn RIDs
+  std::uint64_t pages_read = 0;          // heap pages fetched
+  std::uint64_t pointer_updates = 0;     // 2h+1 sibling/routing pointers
+  std::uint64_t primary_updates = 0;
+  std::uint64_t primary_inserts = 0;
+  std::uint64_t primary_deletes = 0;
+  std::uint64_t secondary_updates = 0;
+  std::uint64_t secondary_inserts = 0;
+  std::uint64_t secondary_deletes = 0;
+
+  std::uint64_t bytes_moved(const CostModelParams& p) const {
+    return records_moved * p.record_size + entries_moved * p.entry_size;
+  }
+};
+
+/// Evaluates the Table 2 formulas for one design.
+RepartitionCost ComputeRepartitionCost(RepartitionDesign design,
+                                       const CostModelParams& params);
+
+/// One formatted row of Table 1 (human-readable units).
+std::string FormatCostRow(RepartitionDesign design,
+                          const CostModelParams& params);
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_COST_MODEL_H_

@@ -1,0 +1,87 @@
+#include "src/engine/database.h"
+
+namespace plp {
+
+Table::Table(std::uint32_t id, TableConfig config, BufferPool* pool)
+    : id_(id), config_(std::move(config)), pool_(pool) {
+  heap_ = std::make_unique<HeapFile>(pool, config_.heap_mode);
+  std::unique_ptr<MRBTree> tree;
+  Status st = MRBTree::Create(pool, config_.index_policy,
+                              config_.index_boundaries, &tree);
+  // TableConfig boundaries are validated by CreateTable before we get here.
+  (void)st;
+  primary_ = std::move(tree);
+}
+
+Status Table::AddSecondary(const std::string& name, SecondaryKeyFn key_fn) {
+  if (secondary(name) != nullptr) {
+    return Status::AlreadyExists("secondary index " + name);
+  }
+  auto sec = std::make_unique<Secondary>();
+  sec->name = name;
+  sec->key_fn = std::move(key_fn);
+  // Non-partition-aligned secondary indexes are accessed as in the
+  // conventional system: latched, single-rooted (Appendix E).
+  sec->index = std::make_unique<BTree>(pool_, LatchPolicy::kLatched);
+  secondaries_.push_back(std::move(sec));
+  return Status::OK();
+}
+
+Table::Secondary* Table::secondary(const std::string& name) {
+  for (auto& sec : secondaries_) {
+    if (sec->name == name) return sec.get();
+  }
+  return nullptr;
+}
+
+std::vector<Table::Secondary*> Table::secondaries() {
+  std::vector<Secondary*> out;
+  out.reserve(secondaries_.size());
+  for (auto& sec : secondaries_) out.push_back(sec.get());
+  return out;
+}
+
+Database::Database(DatabaseConfig config)
+    : log_(config.log), txns_(&log_, &locks_, config.txn) {}
+
+Result<Table*> Database::CreateTable(TableConfig config) {
+  if (config.name.empty()) {
+    return Status::InvalidArgument("table name required");
+  }
+  if (config.index_boundaries.empty() ||
+      !config.index_boundaries.front().empty()) {
+    return Status::InvalidArgument(
+        "index_boundaries[0] must be the empty (-inf) key");
+  }
+  catalog_mu_.lock();
+  if (by_name_.count(config.name) > 0) {
+    catalog_mu_.unlock();
+    return Status::AlreadyExists("table " + config.name);
+  }
+  const auto id = static_cast<std::uint32_t>(tables_.size());
+  auto table = std::make_unique<Table>(id, std::move(config), &pool_);
+  Table* raw = table.get();
+  tables_.push_back(std::move(table));
+  by_name_.emplace(raw->name(), raw);
+  catalog_mu_.unlock();
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  catalog_mu_.lock();
+  auto it = by_name_.find(name);
+  Table* t = it == by_name_.end() ? nullptr : it->second;
+  catalog_mu_.unlock();
+  return t;
+}
+
+std::vector<Table*> Database::tables() {
+  catalog_mu_.lock();
+  std::vector<Table*> out;
+  out.reserve(tables_.size());
+  for (auto& t : tables_) out.push_back(t.get());
+  catalog_mu_.unlock();
+  return out;
+}
+
+}  // namespace plp

@@ -1,0 +1,115 @@
+// Database catalog: tables (heap file + primary MRBTree + optional
+// secondary indexes) plus the shared storage-manager services.
+#ifndef PLP_ENGINE_DATABASE_H_
+#define PLP_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/index/btree.h"
+#include "src/index/mrbtree.h"
+#include "src/lock/lock_manager.h"
+#include "src/log/log_manager.h"
+#include "src/storage/heap_file.h"
+#include "src/txn/txn_manager.h"
+
+namespace plp {
+
+struct TableConfig {
+  std::string name;
+  /// Latching discipline for the primary index pages.
+  LatchPolicy index_policy = LatchPolicy::kLatched;
+  /// Heap page ownership discipline (Section 3.3).
+  HeapMode heap_mode = HeapMode::kShared;
+  /// MRBTree partition boundaries. {""} gives a single-rooted tree (the
+  /// conventional "Normal" index); more entries give a multi-rooted one.
+  std::vector<std::string> index_boundaries = {""};
+  /// Clustered table: records live in the MRBTree leaves and no heap file
+  /// is used (Appendix C.2 — all three PLP variants coincide, and
+  /// repartitioning moves only the boundary leaf's records).
+  bool clustered = false;
+};
+
+/// Extracts a secondary key from a (primary key, payload) pair.
+using SecondaryKeyFn = std::function<std::string(Slice key, Slice payload)>;
+
+class Table {
+ public:
+  Table(std::uint32_t id, TableConfig config, BufferPool* pool);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  const TableConfig& config() const { return config_; }
+
+  HeapFile* heap() { return heap_.get(); }
+  MRBTree* primary() { return primary_.get(); }
+
+  /// Adds a (non-partition-aligned) secondary index, always accessed with
+  /// conventional latching (Appendix E). Maps secondary key -> primary key.
+  Status AddSecondary(const std::string& name, SecondaryKeyFn key_fn);
+
+  struct Secondary {
+    std::string name;
+    SecondaryKeyFn key_fn;
+    std::unique_ptr<BTree> index;
+  };
+  Secondary* secondary(const std::string& name);
+  std::vector<Secondary*> secondaries();
+
+ private:
+  const std::uint32_t id_;
+  const TableConfig config_;
+  BufferPool* pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<MRBTree> primary_;
+  std::vector<std::unique_ptr<Secondary>> secondaries_;
+};
+
+struct DatabaseConfig {
+  LogConfig log;
+  TxnManagerConfig txn;
+};
+
+/// Bundles the shared-everything storage manager services: one buffer
+/// pool, one log, one lock manager, one transaction manager — the "common
+/// underlying storage pool and log" PLP retains (Section 6).
+class Database {
+ public:
+  explicit Database(DatabaseConfig config = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Result<Table*> CreateTable(TableConfig config);
+  Table* GetTable(const std::string& name);
+  std::vector<Table*> tables();
+
+  BufferPool* pool() { return &pool_; }
+  LogManager* log() { return &log_; }
+  LockManager* locks() { return &locks_; }
+  TxnManager* txns() { return &txns_; }
+
+ private:
+  BufferPool pool_;
+  LogManager log_;
+  LockManager locks_;
+  TxnManager txns_;
+
+  TrackedMutex catalog_mu_{CsCategory::kMetadata};
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, Table*> by_name_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_DATABASE_H_

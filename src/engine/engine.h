@@ -1,0 +1,84 @@
+// Execution-engine interface: the five system designs of Section 4.1
+// behind one API, so workloads and benchmarks are design-agnostic.
+#ifndef PLP_ENGINE_ENGINE_H_
+#define PLP_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/action.h"
+#include "src/engine/database.h"
+
+namespace plp {
+
+enum class SystemDesign {
+  kConventional,   // thread-per-transaction, central locking (+ optional SLI)
+  kLogical,        // logical-only partitioning (DORA): no locking, latched pages
+  kPlpRegular,     // PLP: latch-free index, shared (latched) heap
+  kPlpPartition,   // PLP: latch-free index + partition-owned heap pages
+  kPlpLeaf,        // PLP: latch-free index + leaf-owned heap pages
+};
+
+const char* SystemDesignName(SystemDesign d);
+
+struct EngineConfig {
+  SystemDesign design = SystemDesign::kConventional;
+  /// Partition worker threads (partitioned designs).
+  int num_workers = 4;
+  /// Multi-rooted primary indexes for the conventional/logical designs
+  /// (Appendix B compares "Normal" vs "MRBT"). PLP designs always use the
+  /// MRBTree, with one sub-tree per logical partition.
+  bool use_mrbt = false;
+  /// Speculative Lock Inheritance in the conventional design.
+  bool enable_sli = true;
+  DatabaseConfig db;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config) : config_(config), db_(config.db) {}
+  virtual ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one transaction to commit or abort.
+  virtual Status Execute(TxnRequest& req) = 0;
+
+  virtual void Start() {}
+  virtual void Stop() {}
+
+  /// Creates a table partitioned at `boundaries` (first entry must be "").
+  /// The engine maps the logical partitioning onto the design-appropriate
+  /// physical layout. With `clustered`, records live in the index leaves
+  /// (no heap file; Appendix C.2).
+  virtual Result<Table*> CreateTable(const std::string& name,
+                                     std::vector<std::string> boundaries,
+                                     bool clustered = false) = 0;
+
+  /// Rebalances the table to the new boundary set. Conventional: no-op.
+  /// Logical: routing update only. PLP: MRBTree slice/meld (+ heap record
+  /// movement for the owned heap modes).
+  virtual Status Repartition(const std::string& table,
+                             const std::vector<std::string>& boundaries) {
+    (void)table;
+    (void)boundaries;
+    return Status::OK();
+  }
+
+  Database& db() { return db_; }
+  const EngineConfig& config() const { return config_; }
+  SystemDesign design() const { return config_.design; }
+
+ protected:
+  EngineConfig config_;
+  Database db_;
+};
+
+/// Builds the engine for a design.
+std::unique_ptr<Engine> CreateEngine(EngineConfig config);
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_ENGINE_H_

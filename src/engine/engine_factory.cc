@@ -1,0 +1,25 @@
+#include "src/engine/conventional_engine.h"
+#include "src/engine/engine.h"
+#include "src/engine/partitioned_engine.h"
+
+namespace plp {
+
+const char* SystemDesignName(SystemDesign d) {
+  switch (d) {
+    case SystemDesign::kConventional: return "Conv.";
+    case SystemDesign::kLogical: return "Logical";
+    case SystemDesign::kPlpRegular: return "PLP-Reg";
+    case SystemDesign::kPlpPartition: return "PLP-Part";
+    case SystemDesign::kPlpLeaf: return "PLP-Leaf";
+  }
+  return "?";
+}
+
+std::unique_ptr<Engine> CreateEngine(EngineConfig config) {
+  if (config.design == SystemDesign::kConventional) {
+    return std::make_unique<ConventionalEngine>(config);
+  }
+  return std::make_unique<PartitionedEngine>(config);
+}
+
+}  // namespace plp

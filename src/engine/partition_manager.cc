@@ -1,0 +1,291 @@
+#include "src/engine/partition_manager.h"
+
+#include <cassert>
+
+#include "src/buffer/page_cleaner.h"
+
+namespace plp {
+
+PartitionManager::PartitionManager(Database* db, int num_workers,
+                                   CtxFactory factory)
+    : db_(db), factory_(std::move(factory)) {
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+}
+
+PartitionManager::~PartitionManager() { Stop(); }
+
+void PartitionManager::Start() {
+  if (running_.exchange(true)) return;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    workers_[i]->thread =
+        std::thread([this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+void PartitionManager::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& w : workers_) w->queue.Close();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void PartitionManager::WorkerLoop(int index) {
+  Worker& self = *workers_[index];
+  for (;;) {
+    auto task = self.queue.Pop();
+    if (!task.has_value()) return;  // queue closed
+    task->fn();
+  }
+}
+
+void PartitionManager::RegisterTable(Table* table,
+                                     std::vector<std::string> boundaries) {
+  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  auto routing = std::make_unique<TableRouting>();
+  routing->table = table;
+  routing->boundaries = std::move(boundaries);
+  for (std::size_t i = 0; i < routing->boundaries.size(); ++i) {
+    const std::uint32_t uid = next_uid_++;
+    routing->uids.push_back(uid);
+    worker_by_uid_[uid] =
+        static_cast<int>(uid % workers_.size());
+    routing->load.push_back(
+        std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  routing_[table] = std::move(routing);
+}
+
+void PartitionManager::SetRouting(Table* table,
+                                  std::vector<std::string> boundaries) {
+  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  auto it = routing_.find(table);
+  assert(it != routing_.end());
+  TableRouting* old = it->second.get();
+
+  auto fresh = std::make_unique<TableRouting>();
+  fresh->table = table;
+  for (auto& b : boundaries) {
+    // Boundaries that survive keep their uid (and hence their worker).
+    std::uint32_t uid = 0;
+    for (std::size_t i = 0; i < old->boundaries.size(); ++i) {
+      if (old->boundaries[i] == b) {
+        uid = old->uids[i];
+        break;
+      }
+    }
+    if (uid == 0) {
+      uid = next_uid_++;
+      worker_by_uid_[uid] = static_cast<int>(uid % workers_.size());
+    }
+    fresh->boundaries.push_back(std::move(b));
+    fresh->uids.push_back(uid);
+    fresh->load.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  it->second = std::move(fresh);
+}
+
+PartitionManager::TableRouting* PartitionManager::RoutingFor(Table* table) {
+  auto it = routing_.find(table);
+  return it == routing_.end() ? nullptr : it->second.get();
+}
+
+PartitionId PartitionManager::RoutePartition(Table* table, Slice key) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  TableRouting* r = RoutingFor(table);
+  assert(r != nullptr && !r->boundaries.empty());
+  int lo = 0, hi = static_cast<int>(r->boundaries.size());
+  while (lo + 1 < hi) {
+    const int mid = (lo + hi) / 2;
+    if (Slice(r->boundaries[static_cast<std::size_t>(mid)]) <= key) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<PartitionId>(lo);
+}
+
+std::uint32_t PartitionManager::PartitionUid(Table* table, PartitionId p) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  TableRouting* r = RoutingFor(table);
+  assert(r != nullptr && p < r->uids.size());
+  return r->uids[p];
+}
+
+std::vector<std::string> PartitionManager::Boundaries(Table* table) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  TableRouting* r = RoutingFor(table);
+  return r == nullptr ? std::vector<std::string>{} : r->boundaries;
+}
+
+int PartitionManager::WorkerForUid(std::uint32_t uid) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  auto it = worker_by_uid_.find(uid);
+  return it == worker_by_uid_.end() ? -1 : it->second;
+}
+
+std::vector<std::uint64_t> PartitionManager::LoadSnapshot(Table* table) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  TableRouting* r = RoutingFor(table);
+  std::vector<std::uint64_t> out;
+  if (r != nullptr) {
+    out.reserve(r->load.size());
+    for (auto& c : r->load) out.push_back(c->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void PartitionManager::ResetLoad(Table* table) {
+  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  TableRouting* r = RoutingFor(table);
+  if (r != nullptr) {
+    for (auto& c : r->load) c->store(0, std::memory_order_relaxed);
+  }
+}
+
+Status PartitionManager::Execute(TxnRequest& req) {
+  Transaction* txn = db_->txns()->Begin();
+
+  // Compensations collected in execution order with their owning worker.
+  std::vector<std::pair<int, std::function<Status()>>> undo_log;
+  Status failure = Status::OK();
+
+  for (Phase& phase : req.phases) {
+    if (!failure.ok()) break;
+    const int n = static_cast<int>(phase.actions.size());
+    if (n == 0) continue;
+    std::vector<ActionResult> results(static_cast<std::size_t>(n));
+    std::vector<int> assigned_worker(static_cast<std::size_t>(n));
+    CountdownEvent done(n);
+
+    for (int i = 0; i < n; ++i) {
+      Action& action = phase.actions[static_cast<std::size_t>(i)];
+      Table* table = db_->GetTable(action.table);
+      assert(table != nullptr);
+      PartitionId p;
+      std::uint32_t uid;
+      int worker;
+      {
+        std::shared_lock<std::shared_mutex> lk(routing_mu_);
+        TableRouting* r = RoutingFor(table);
+        assert(r != nullptr && !r->boundaries.empty());
+        int lo = 0, hi = static_cast<int>(r->boundaries.size());
+        while (lo + 1 < hi) {
+          const int mid = (lo + hi) / 2;
+          if (Slice(r->boundaries[static_cast<std::size_t>(mid)]) <=
+              Slice(action.key)) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        p = static_cast<PartitionId>(lo);
+        uid = r->uids[p];
+        r->load[p]->fetch_add(1, std::memory_order_relaxed);
+        worker = worker_by_uid_[uid];
+      }
+      assigned_worker[static_cast<std::size_t>(i)] = worker;
+      ActionResult* slot = &results[static_cast<std::size_t>(i)];
+      ActionFn* fn = &action.fn;
+      workers_[static_cast<std::size_t>(worker)]->queue.Push(Task{
+          [this, table, p, uid, txn, slot, fn, &done] {
+            std::vector<std::function<Status()>> undos;
+            auto ctx = factory_(table, p, uid, txn, &undos);
+            slot->status = (*fn)(*ctx);
+            slot->undos = std::move(undos);
+            done.Signal();
+          }});
+    }
+    done.Wait();
+
+    for (int i = 0; i < n; ++i) {
+      ActionResult& res = results[static_cast<std::size_t>(i)];
+      for (auto& u : res.undos) {
+        undo_log.emplace_back(assigned_worker[static_cast<std::size_t>(i)],
+                              std::move(u));
+      }
+      if (!res.status.ok() && failure.ok()) failure = res.status;
+    }
+  }
+
+  if (failure.ok()) {
+    PLP_RETURN_IF_ERROR(db_->txns()->Commit(txn));
+    return Status::OK();
+  }
+
+  // Abort: run compensations newest-first on their owning workers.
+  if (!undo_log.empty()) {
+    CountdownEvent done(static_cast<int>(undo_log.size()));
+    for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
+      auto& fn = it->second;
+      workers_[static_cast<std::size_t>(it->first)]->queue.Push(Task{
+          [&fn, &done] {
+            (void)fn();
+            done.Signal();
+          }});
+    }
+    done.Wait();
+  }
+  (void)db_->txns()->Abort(txn);
+  return failure;
+}
+
+void PartitionManager::Quiesce() {
+  {
+    std::lock_guard<std::mutex> g(quiesce_mu_);
+    quiescing_ = true;
+    parked_ = 0;
+  }
+  for (auto& w : workers_) {
+    w->queue.Push(Task{[this] {
+      std::unique_lock<std::mutex> lk(quiesce_mu_);
+      ++parked_;
+      quiesce_cv_.notify_all();
+      quiesce_cv_.wait(lk, [this] { return !quiescing_; });
+    }});
+  }
+  std::unique_lock<std::mutex> lk(quiesce_mu_);
+  quiesce_cv_.wait(lk, [this] {
+    return parked_ == static_cast<int>(workers_.size());
+  });
+}
+
+void PartitionManager::Resume() {
+  {
+    std::lock_guard<std::mutex> g(quiesce_mu_);
+    quiescing_ = false;
+  }
+  quiesce_cv_.notify_all();
+}
+
+bool PartitionManager::DelegateClean(PageId pid) {
+  Page* page = db_->pool()->FixUnlocked(pid);
+  if (page == nullptr) return true;  // freed meanwhile: nothing to clean
+  std::uint32_t tag = page->owner_tag();
+  if (tag == UINT32_MAX) return false;  // unowned: cleaner handles it
+  if ((tag & kUidBit) == 0) {
+    // Leaf-owned heap page: the tag is the owning leaf's page id; that
+    // leaf's frame carries the partition uid.
+    Page* leaf = db_->pool()->FixUnlocked(static_cast<PageId>(tag));
+    if (leaf == nullptr) return false;
+    tag = leaf->owner_tag();
+    if (tag == UINT32_MAX || (tag & kUidBit) == 0) return false;
+  }
+  const int worker = WorkerForUid(tag);
+  if (worker < 0) return false;
+  SubmitSystemTask(worker, [page] {
+    PageCleaner::CleanPage(page, LatchPolicy::kNone);
+  });
+  return true;
+}
+
+void PartitionManager::SubmitSystemTask(int worker,
+                                        std::function<void()> task) {
+  workers_[static_cast<std::size_t>(worker)]->queue.PushHighPriority(
+      Task{std::move(task)});
+}
+
+}  // namespace plp

@@ -1,0 +1,141 @@
+// The partition manager (Section 3.1): owns the partition workers, routes
+// actions so that every piece of data is touched by exactly one thread,
+// assembles multi-partition transactions through rendezvous points, and
+// quiesces workers for repartitioning.
+#ifndef PLP_ENGINE_PARTITION_MANAGER_H_
+#define PLP_ENGINE_PARTITION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/action.h"
+#include "src/engine/database.h"
+#include "src/sync/mpsc_queue.h"
+
+namespace plp {
+
+/// Simple completion gate for one phase of a transaction (the rendezvous
+/// point between phases).
+class CountdownEvent {
+ public:
+  explicit CountdownEvent(int count) : remaining_(count) {}
+  void Signal() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+class PartitionManager {
+ public:
+  /// Builds the ExecContext a worker uses to run one action.
+  /// `owner_uid` is the stable global uid of the partition.
+  using CtxFactory = std::function<std::unique_ptr<ExecContext>(
+      Table* table, PartitionId partition, std::uint32_t owner_uid,
+      Transaction* txn, std::vector<std::function<Status()>>* undo_sink)>;
+
+  PartitionManager(Database* db, int num_workers, CtxFactory factory);
+  ~PartitionManager();
+
+  void Start();
+  void Stop();
+
+  /// Registers routing for a table. Each partition gets a stable uid and a
+  /// fixed worker assignment.
+  void RegisterTable(Table* table, std::vector<std::string> boundaries);
+
+  /// Replaces a table's routing (call between Quiesce/Resume). Boundaries
+  /// present before keep their partition uid; new ones get fresh uids.
+  void SetRouting(Table* table, std::vector<std::string> boundaries);
+
+  /// Runs a transaction: begin, dispatch phases to workers with a
+  /// rendezvous between them, then commit (or route compensations back to
+  /// the owning workers and abort).
+  Status Execute(TxnRequest& req);
+
+  /// Parks every worker (they finish in-flight actions first). Pending
+  /// queue items wait until Resume.
+  void Quiesce();
+  void Resume();
+
+  /// Page-cleaner delegate (Appendix A.4): routes a dirty page to its
+  /// owning worker's high-priority system queue. False when the page is
+  /// unowned (cleaner handles it directly).
+  bool DelegateClean(PageId pid);
+
+  /// Submits a task to a worker's high-priority system queue.
+  void SubmitSystemTask(int worker, std::function<void()> task);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Routing introspection.
+  PartitionId RoutePartition(Table* table, Slice key);
+  std::uint32_t PartitionUid(Table* table, PartitionId p);
+  std::vector<std::string> Boundaries(Table* table);
+  int WorkerForUid(std::uint32_t uid);
+
+  /// Per-partition action counts since the last ResetLoad (repartitioning
+  /// decisions, Section 4.5).
+  std::vector<std::uint64_t> LoadSnapshot(Table* table);
+  void ResetLoad(Table* table);
+
+  /// Stable uids start above this bit so they never collide with page ids
+  /// (the cleaner distinguishes "leaf page id" tags from partition uids).
+  static constexpr std::uint32_t kUidBit = 0x80000000u;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  struct Worker {
+    MpscQueue<Task> queue;
+    std::thread thread;
+  };
+
+  struct TableRouting {
+    Table* table = nullptr;
+    std::vector<std::string> boundaries;
+    std::vector<std::uint32_t> uids;
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> load;
+  };
+
+  void WorkerLoop(int index);
+  TableRouting* RoutingFor(Table* table);
+
+  Database* db_;
+  CtxFactory factory_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> running_{false};
+
+  mutable std::shared_mutex routing_mu_;
+  std::unordered_map<Table*, std::unique_ptr<TableRouting>> routing_;
+  std::unordered_map<std::uint32_t, int> worker_by_uid_;
+  std::uint32_t next_uid_ = kUidBit;
+
+  // Quiesce support.
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  bool quiescing_ = false;
+  int parked_ = 0;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_PARTITION_MANAGER_H_

@@ -1,0 +1,297 @@
+#include "src/engine/partitioned_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/engine/record_ops.h"
+#include "src/storage/slotted_page.h"
+
+namespace plp {
+
+PartitionedEngine::PartitionedEngine(EngineConfig config)
+    : Engine(config),
+      pm_(&db_, config.num_workers,
+          [this](Table* table, PartitionId partition, std::uint32_t uid,
+                 Transaction* txn,
+                 std::vector<std::function<Status()>>* undo_sink) {
+            (void)partition;
+            // Partitioned designs need no logical locks: the partition
+            // worker is the only thread touching its data.
+            return std::make_unique<BaseExecContext>(table, txn, db_.log(),
+                                                     uid, undo_sink);
+          }) {}
+
+PartitionedEngine::~PartitionedEngine() { Stop(); }
+
+void PartitionedEngine::Start() {
+  pm_.Start();
+  // PLP page cleaning delegates to the owning partition's system queue
+  // (Appendix A.4); the logical-only design cleans conventionally.
+  PageCleaner::Delegate delegate;
+  if (is_plp()) {
+    delegate = [this](PageId pid) { return pm_.DelegateClean(pid); };
+  }
+  cleaner_ = std::make_unique<PageCleaner>(db_.pool(), std::move(delegate));
+  cleaner_->Start();
+}
+
+void PartitionedEngine::Stop() {
+  if (cleaner_) cleaner_->Stop();
+  pm_.Stop();
+}
+
+Result<Table*> PartitionedEngine::CreateTable(
+    const std::string& name, std::vector<std::string> boundaries,
+    bool clustered) {
+  TableConfig config;
+  config.name = name;
+  config.clustered = clustered;
+  switch (config_.design) {
+    case SystemDesign::kLogical:
+      config.index_policy = LatchPolicy::kLatched;
+      config.heap_mode = HeapMode::kShared;
+      config.index_boundaries = config_.use_mrbt
+                                    ? boundaries
+                                    : std::vector<std::string>{""};
+      break;
+    case SystemDesign::kPlpRegular:
+      config.index_policy = LatchPolicy::kNone;
+      config.heap_mode = HeapMode::kShared;
+      config.index_boundaries = boundaries;
+      break;
+    case SystemDesign::kPlpPartition:
+      config.index_policy = LatchPolicy::kNone;
+      config.heap_mode = HeapMode::kPartitionOwned;
+      config.index_boundaries = boundaries;
+      break;
+    case SystemDesign::kPlpLeaf:
+      config.index_policy = LatchPolicy::kNone;
+      config.heap_mode = HeapMode::kLeafOwned;
+      config.index_boundaries = boundaries;
+      break;
+    case SystemDesign::kConventional:
+      return Status::Internal("conventional design in PartitionedEngine");
+  }
+  if (clustered) {
+    // Clustered tables have no heap file to partition; all three PLP
+    // variants coincide (Appendix C.2) and no leaf hook is needed.
+    config.heap_mode = HeapMode::kShared;
+  }
+  auto result = db_.CreateTable(std::move(config));
+  if (!result.ok()) return result;
+  Table* table = result.value();
+  pm_.RegisterTable(table, std::move(boundaries));
+  if (is_plp()) WirePlpTable(table);
+  return table;
+}
+
+void PartitionedEngine::WirePlpTable(Table* table) {
+  MRBTree* primary = table->primary();
+  HeapFile* heap = table->heap();
+  for (PartitionId p = 0; p < primary->num_partitions(); ++p) {
+    BTree* sub = primary->subtree(p);
+    sub->RetagPages(pm_.PartitionUid(table, p));
+    if (table->config().heap_mode == HeapMode::kLeafOwned) {
+      // Leaf splits must carry the pointed-to records along so each heap
+      // page stays owned by exactly one leaf (Section 3.3).
+      sub->set_leaf_moved_hook(
+          [heap](Slice key, Slice value, PageId new_leaf) -> std::string {
+            (void)key;
+            Rid new_rid;
+            Status st = heap->Move(RidFromBytes(value), new_leaf, &new_rid);
+            if (!st.ok()) return std::string();
+            return RidToBytes(new_rid);
+          });
+    }
+  }
+}
+
+Status PartitionedEngine::Repartition(
+    const std::string& table_name,
+    const std::vector<std::string>& boundaries) {
+  Table* table = db_.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no table " + table_name);
+  }
+  pm_.Quiesce();
+  Status st = Status::OK();
+
+  if (is_plp()) {
+    MRBTree* primary = table->primary();
+    // Add missing boundaries (slice), then drop stale ones (meld).
+    for (const std::string& b : boundaries) {
+      if (b.empty()) continue;
+      const auto current = primary->boundaries();
+      if (std::find(current.begin(), current.end(), b) == current.end()) {
+        st = primary->Split(b);
+        if (!st.ok()) break;
+      }
+    }
+    if (st.ok()) {
+      for (;;) {
+        const auto current = primary->boundaries();
+        bool changed = false;
+        for (const std::string& b : current) {
+          if (b.empty()) continue;
+          if (std::find(boundaries.begin(), boundaries.end(), b) ==
+              boundaries.end()) {
+            st = primary->Merge(primary->PartitionFor(b));
+            changed = true;
+            break;
+          }
+        }
+        if (!st.ok() || !changed) break;
+      }
+    }
+  }
+
+  if (st.ok()) {
+    pm_.SetRouting(table, boundaries);
+    if (is_plp()) {
+      WirePlpTable(table);
+      if (table->config().heap_mode == HeapMode::kPartitionOwned) {
+        std::uint64_t moved = 0;
+        st = FixHeapOwnership(table, &moved);
+      }
+    }
+  }
+
+  pm_.Resume();
+  return st;
+}
+
+Status PartitionedEngine::ParallelScan(
+    const std::string& table_name,
+    const std::function<void(Slice, Slice)>& fn) {
+  Table* table = db_.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no table " + table_name);
+  }
+  MRBTree* primary = table->primary();
+  HeapFile* heap = table->heap();
+  const auto num_parts = primary->num_partitions();
+
+  struct PartitionRows {
+    Status status;
+    std::vector<std::pair<std::string, std::string>> rows;
+  };
+  std::vector<PartitionRows> buffers(num_parts);
+  CountdownEvent done(static_cast<int>(num_parts));
+
+  const bool clustered = table->config().clustered;
+  for (PartitionId p = 0; p < num_parts; ++p) {
+    BTree* sub = primary->subtree(p);
+    PartitionRows* out = &buffers[p];
+    const std::uint32_t uid = pm_.PartitionUid(table, p);
+    const int worker = pm_.WorkerForUid(uid);
+    pm_.SubmitSystemTask(worker, [sub, heap, out, clustered, &done] {
+      Status st = sub->ScanFrom(Slice(), [&](Slice key, Slice value) {
+        if (clustered) {
+          out->rows.emplace_back(key.ToString(), value.ToString());
+          return true;
+        }
+        std::string payload;
+        Status get = heap->Get(RidFromBytes(value), &payload);
+        if (!get.ok()) {
+          out->status = get;
+          return false;
+        }
+        out->rows.emplace_back(key.ToString(), std::move(payload));
+        return true;
+      });
+      if (!st.ok() && out->status.ok()) out->status = st;
+      done.Signal();
+    });
+  }
+  done.Wait();
+
+  for (PartitionRows& buf : buffers) {
+    PLP_RETURN_IF_ERROR(buf.status);
+    for (const auto& [key, payload] : buf.rows) fn(key, payload);
+  }
+  return Status::OK();
+}
+
+Status PartitionedEngine::SecondaryLookup(
+    const std::string& table_name, const std::string& index_name,
+    Slice prefix,
+    std::vector<std::pair<std::string, std::string>>* results) {
+  Table* table = db_.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::InvalidArgument("no table " + table_name);
+  }
+  Table::Secondary* sec = table->secondary(index_name);
+  if (sec == nullptr) {
+    return Status::InvalidArgument("no secondary index " + index_name);
+  }
+
+  // Conventional (latched) probe of the non-partition-aligned index; leaf
+  // entries carry the primary key, which identifies the owning partition.
+  std::vector<std::string> primary_keys;
+  PLP_RETURN_IF_ERROR(
+      sec->index->ScanFrom(prefix, [&](Slice skey, Slice pkey) {
+        if (skey.size() < prefix.size() ||
+            Slice(skey.data(), prefix.size()) != prefix) {
+          return false;  // past the prefix range
+        }
+        primary_keys.push_back(pkey.ToString());
+        return true;
+      }));
+  if (primary_keys.empty()) {
+    results->clear();
+    return Status::OK();
+  }
+
+  // Route each record access to the partition-owning thread.
+  TxnRequest req;
+  auto rows = std::make_shared<std::vector<std::string>>(primary_keys.size());
+  for (std::size_t i = 0; i < primary_keys.size(); ++i) {
+    const std::string key = primary_keys[i];
+    std::string* slot = &(*rows)[i];
+    req.Add(0, table_name, key, [key, slot, rows](ExecContext& ctx) {
+      return ctx.Read(key, slot);
+    });
+  }
+  PLP_RETURN_IF_ERROR(Execute(req));
+  results->clear();
+  for (std::size_t i = 0; i < primary_keys.size(); ++i) {
+    results->emplace_back(std::move(primary_keys[i]), std::move((*rows)[i]));
+  }
+  return Status::OK();
+}
+
+Status PartitionedEngine::FixHeapOwnership(Table* table,
+                                           std::uint64_t* moved) {
+  MRBTree* primary = table->primary();
+  HeapFile* heap = table->heap();
+  BufferPool* pool = db_.pool();
+  std::uint64_t count = 0;
+
+  for (PartitionId p = 0; p < primary->num_partitions(); ++p) {
+    const std::uint32_t uid = pm_.PartitionUid(table, p);
+    BTree* sub = primary->subtree(p);
+
+    struct Move {
+      std::string key;
+      Rid rid;
+    };
+    std::vector<Move> moves;
+    sub->ForEachEntry([&](Slice key, Slice value) {
+      const Rid rid = RidFromBytes(value);
+      Page* page = pool->FixUnlocked(rid.page_id);
+      if (page != nullptr && SlottedPage(page->data()).owner() != uid) {
+        moves.push_back({key.ToString(), rid});
+      }
+    });
+    for (const Move& m : moves) {
+      Rid new_rid;
+      PLP_RETURN_IF_ERROR(heap->Move(m.rid, uid, &new_rid));
+      PLP_RETURN_IF_ERROR(sub->Update(m.key, RidToBytes(new_rid)));
+      ++count;
+    }
+  }
+  if (moved != nullptr) *moved = count;
+  return Status::OK();
+}
+
+}  // namespace plp

@@ -1,0 +1,68 @@
+// Partitioned execution engines: Logical-only (DORA) and the three PLP
+// variants share the partition manager and action flow-graph machinery;
+// they differ only in the physical layout of each table (index latching,
+// MRBTree roots, heap page ownership) and in what repartitioning must do.
+#ifndef PLP_ENGINE_PARTITIONED_ENGINE_H_
+#define PLP_ENGINE_PARTITIONED_ENGINE_H_
+
+#include "src/buffer/page_cleaner.h"
+#include "src/engine/engine.h"
+#include "src/engine/partition_manager.h"
+
+namespace plp {
+
+class PartitionedEngine : public Engine {
+ public:
+  explicit PartitionedEngine(EngineConfig config);
+  ~PartitionedEngine() override;
+
+  void Start() override;
+  void Stop() override;
+
+  Status Execute(TxnRequest& req) override { return pm_.Execute(req); }
+
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<std::string> boundaries,
+                             bool clustered = false) override;
+
+  /// Quiesce -> MRBTree slice/meld (PLP) -> heap ownership fix-up
+  /// (PLP-Partition) -> routing swap -> resume (Sections 3.2.1, 4.5).
+  Status Repartition(const std::string& table,
+                     const std::vector<std::string>& boundaries) override;
+
+  PartitionManager& pm() { return pm_; }
+
+  /// Parallel heap-file scan (Section 3.3): each partition worker scans
+  /// the index range it owns and fetches its own heap records latch-free;
+  /// the coordinator merges per-partition buffers and invokes `fn` for
+  /// every (key, payload), in partition order.
+  Status ParallelScan(const std::string& table,
+                      const std::function<void(Slice, Slice)>& fn);
+
+  /// Non-partition-aligned secondary index access (Appendix E): the
+  /// secondary is probed as a conventional (latched) index to collect the
+  /// matching primary keys; each match is then routed to its partition-
+  /// owning thread, which performs the record access latch-free. Returns
+  /// matched (primary key, payload) pairs for the secondary-key prefix.
+  Status SecondaryLookup(const std::string& table,
+                         const std::string& index_name, Slice prefix,
+                         std::vector<std::pair<std::string, std::string>>*
+                             results);
+
+ private:
+  bool is_plp() const { return config_.design != SystemDesign::kLogical; }
+
+  /// Stamps index frames and installs PLP-Leaf hooks for all partitions.
+  void WirePlpTable(Table* table);
+
+  /// Moves heap records whose page owner no longer matches their
+  /// partition's uid (PLP-Partition repartitioning cost).
+  Status FixHeapOwnership(Table* table, std::uint64_t* moved);
+
+  PartitionManager pm_;
+  std::unique_ptr<PageCleaner> cleaner_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_PARTITIONED_ENGINE_H_

@@ -1,0 +1,275 @@
+#include "src/engine/record_ops.h"
+
+#include <cstring>
+
+#include "src/txn/recovery.h"
+
+namespace plp {
+
+std::string RidToBytes(Rid rid) {
+  std::string out(6, '\0');
+  std::memcpy(out.data(), &rid.page_id, 4);
+  std::memcpy(out.data() + 4, &rid.slot, 2);
+  return out;
+}
+
+Rid RidFromBytes(Slice bytes) {
+  Rid rid;
+  std::memcpy(&rid.page_id, bytes.data(), 4);
+  std::memcpy(&rid.slot, bytes.data() + 4, 2);
+  return rid;
+}
+
+void BaseExecContext::LogHeapOp(LogType type, Rid rid, Slice redo,
+                                Slice undo) {
+  LogRecord rec;
+  rec.type = type;
+  rec.txn = txn_->id();
+  rec.rid = rid;
+  rec.redo.assign(redo.data(), redo.size());
+  rec.undo.assign(undo.data(), undo.size());
+  txn_->set_last_lsn(log_->Append(rec));
+}
+
+void BaseExecContext::LogIndexOp(LogType type, Slice key, Slice value) {
+  LogRecord rec;
+  rec.type = type;
+  rec.txn = txn_->id();
+  if (type == LogType::kIndexInsert) {
+    rec.redo = RecoveryManager::EncodeIndexOp(key, value);
+  } else {
+    rec.undo = RecoveryManager::EncodeIndexOp(key, value);
+  }
+  txn_->set_last_lsn(log_->Append(rec));
+}
+
+Status BaseExecContext::PlaceRecord(Slice key, Slice payload, Rid* rid) {
+  HeapFile* heap = table_->heap();
+  switch (heap->mode()) {
+    case HeapMode::kShared:
+      return heap->Insert(payload, rid);
+    case HeapMode::kPartitionOwned:
+      return heap->InsertOwned(owner_uid_, payload, rid);
+    case HeapMode::kLeafOwned: {
+      // The record lands on a page owned by the leaf that will hold its
+      // index entry; the storage layer is partition-unaware, so this is
+      // the callback into the metadata layer the paper describes (§3.3).
+      MRBTree* primary = table_->primary();
+      BTree* sub = primary->subtree(primary->PartitionFor(key));
+      return heap->InsertOwned(sub->LeafFor(key), payload, rid);
+    }
+  }
+  return Status::Internal("unknown heap mode");
+}
+
+Status BaseExecContext::Read(Slice key, std::string* payload) {
+  PLP_RETURN_IF_ERROR(LockRecord(key, LockMode::kS));
+  if (table_->config().clustered) {
+    return table_->primary()->Probe(key, payload);
+  }
+  std::string rid_bytes;
+  PLP_RETURN_IF_ERROR(table_->primary()->Probe(key, &rid_bytes));
+  return table_->heap()->Get(RidFromBytes(rid_bytes), payload);
+}
+
+Status BaseExecContext::InsertClustered(Slice key, Slice payload) {
+  PLP_RETURN_IF_ERROR(table_->primary()->Insert(key, payload));
+  LogIndexOp(LogType::kIndexInsert, key, payload);
+  for (Table::Secondary* sec : table_->secondaries()) {
+    const std::string skey = sec->key_fn(key, payload) + key.ToString();
+    PLP_RETURN_IF_ERROR(sec->index->Insert(skey, key));
+  }
+  Table* table = table_;
+  const std::string key_copy = key.ToString();
+  const std::string payload_copy = payload.ToString();
+  AddUndo([table, key_copy, payload_copy]() {
+    PLP_RETURN_IF_ERROR(table->primary()->Delete(key_copy));
+    for (Table::Secondary* sec : table->secondaries()) {
+      (void)sec->index->Delete(sec->key_fn(key_copy, payload_copy) +
+                               key_copy);
+    }
+    return Status::OK();
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::UpdateClustered(Slice key, Slice payload) {
+  std::string before;
+  PLP_RETURN_IF_ERROR(table_->primary()->Probe(key, &before));
+  PLP_RETURN_IF_ERROR(table_->primary()->Update(key, payload));
+  LogIndexOp(LogType::kIndexDelete, key, before);
+  LogIndexOp(LogType::kIndexInsert, key, payload);
+  for (Table::Secondary* sec : table_->secondaries()) {
+    const std::string old_skey = sec->key_fn(key, before) + key.ToString();
+    const std::string new_skey = sec->key_fn(key, payload) + key.ToString();
+    if (old_skey != new_skey) {
+      (void)sec->index->Delete(old_skey);
+      PLP_RETURN_IF_ERROR(sec->index->Insert(new_skey, key));
+    }
+  }
+  Table* table = table_;
+  const std::string key_copy = key.ToString();
+  const std::string before_copy = before;
+  AddUndo([table, key_copy, before_copy]() {
+    return table->primary()->Update(key_copy, before_copy);
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::DeleteClustered(Slice key) {
+  std::string before;
+  PLP_RETURN_IF_ERROR(table_->primary()->Probe(key, &before));
+  PLP_RETURN_IF_ERROR(table_->primary()->Delete(key));
+  LogIndexOp(LogType::kIndexDelete, key, before);
+  for (Table::Secondary* sec : table_->secondaries()) {
+    (void)sec->index->Delete(sec->key_fn(key, before) + key.ToString());
+  }
+  Table* table = table_;
+  const std::string key_copy = key.ToString();
+  const std::string before_copy = before;
+  AddUndo([table, key_copy, before_copy]() {
+    return table->primary()->Insert(key_copy, before_copy);
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::Insert(Slice key, Slice payload) {
+  PLP_RETURN_IF_ERROR(LockRecord(key, LockMode::kX));
+  if (table_->config().clustered) return InsertClustered(key, payload);
+  Rid rid;
+  PLP_RETURN_IF_ERROR(PlaceRecord(key, payload, &rid));
+  LogHeapOp(LogType::kHeapInsert, rid, payload, Slice());
+
+  const std::string rid_bytes = RidToBytes(rid);
+  Status st = table_->primary()->Insert(key, rid_bytes);
+  if (!st.ok()) {
+    // Roll the heap placement back immediately; the key already exists.
+    (void)table_->heap()->Delete(rid);
+    LogHeapOp(LogType::kHeapDelete, rid, Slice(), payload);
+    return st;
+  }
+  LogIndexOp(LogType::kIndexInsert, key, rid_bytes);
+
+  // Secondary index maintenance (conventional access, Appendix E).
+  for (Table::Secondary* sec : table_->secondaries()) {
+    const std::string skey = sec->key_fn(key, payload) + key.ToString();
+    PLP_RETURN_IF_ERROR(sec->index->Insert(skey, key));
+  }
+
+  Table* table = table_;
+  const std::string key_copy = key.ToString();
+  const std::string payload_copy = payload.ToString();
+  AddUndo([table, key_copy, payload_copy]() {
+    std::string rb;
+    PLP_RETURN_IF_ERROR(table->primary()->Probe(key_copy, &rb));
+    PLP_RETURN_IF_ERROR(table->heap()->Delete(RidFromBytes(rb)));
+    PLP_RETURN_IF_ERROR(table->primary()->Delete(key_copy));
+    for (Table::Secondary* sec : table->secondaries()) {
+      (void)sec->index->Delete(sec->key_fn(key_copy, payload_copy) +
+                               key_copy);
+    }
+    return Status::OK();
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::Update(Slice key, Slice payload) {
+  PLP_RETURN_IF_ERROR(LockRecord(key, LockMode::kX));
+  if (table_->config().clustered) return UpdateClustered(key, payload);
+  std::string rid_bytes;
+  PLP_RETURN_IF_ERROR(table_->primary()->Probe(key, &rid_bytes));
+  const Rid rid = RidFromBytes(rid_bytes);
+
+  std::string before;
+  PLP_RETURN_IF_ERROR(table_->heap()->Get(rid, &before));
+  PLP_RETURN_IF_ERROR(table_->heap()->Update(rid, payload));
+  LogHeapOp(LogType::kHeapUpdate, rid, payload, before);
+
+  for (Table::Secondary* sec : table_->secondaries()) {
+    const std::string old_skey = sec->key_fn(key, before) + key.ToString();
+    const std::string new_skey = sec->key_fn(key, payload) + key.ToString();
+    if (old_skey != new_skey) {
+      (void)sec->index->Delete(old_skey);
+      PLP_RETURN_IF_ERROR(sec->index->Insert(new_skey, key));
+    }
+  }
+
+  Table* table = table_;
+  const std::string before_copy = before;
+  AddUndo([table, rid, before_copy]() {
+    return table->heap()->Update(rid, before_copy);
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::Delete(Slice key) {
+  PLP_RETURN_IF_ERROR(LockRecord(key, LockMode::kX));
+  if (table_->config().clustered) return DeleteClustered(key);
+  std::string rid_bytes;
+  PLP_RETURN_IF_ERROR(table_->primary()->Probe(key, &rid_bytes));
+  const Rid rid = RidFromBytes(rid_bytes);
+
+  std::string before;
+  PLP_RETURN_IF_ERROR(table_->heap()->Get(rid, &before));
+  PLP_RETURN_IF_ERROR(table_->heap()->Delete(rid));
+  LogHeapOp(LogType::kHeapDelete, rid, Slice(), before);
+  PLP_RETURN_IF_ERROR(table_->primary()->Delete(key));
+  LogIndexOp(LogType::kIndexDelete, key, rid_bytes);
+
+  for (Table::Secondary* sec : table_->secondaries()) {
+    (void)sec->index->Delete(sec->key_fn(key, before) + key.ToString());
+  }
+
+  Table* table = table_;
+  const std::string key_copy = key.ToString();
+  const std::string before_copy = before;
+  const std::uint32_t owner = owner_uid_;
+  AddUndo([table, key_copy, before_copy, owner]() {
+    // Logical undo: re-place the record (it may land on a new RID).
+    Rid new_rid;
+    HeapFile* heap = table->heap();
+    switch (heap->mode()) {
+      case HeapMode::kShared:
+        PLP_RETURN_IF_ERROR(heap->Insert(before_copy, &new_rid));
+        break;
+      case HeapMode::kPartitionOwned:
+        PLP_RETURN_IF_ERROR(heap->InsertOwned(owner, before_copy, &new_rid));
+        break;
+      case HeapMode::kLeafOwned: {
+        MRBTree* primary = table->primary();
+        BTree* sub = primary->subtree(primary->PartitionFor(key_copy));
+        PLP_RETURN_IF_ERROR(
+            heap->InsertOwned(sub->LeafFor(key_copy), before_copy, &new_rid));
+        break;
+      }
+    }
+    PLP_RETURN_IF_ERROR(
+        table->primary()->Insert(key_copy, RidToBytes(new_rid)));
+    for (Table::Secondary* sec : table->secondaries()) {
+      (void)sec->index->Insert(
+          sec->key_fn(key_copy, before_copy) + key_copy, key_copy);
+    }
+    return Status::OK();
+  });
+  return Status::OK();
+}
+
+Status BaseExecContext::ScanRange(Slice start, Slice end,
+                                  const std::function<bool(Slice, Slice)>& fn) {
+  Status inner = Status::OK();
+  const bool clustered = table_->config().clustered;
+  PLP_RETURN_IF_ERROR(
+      table_->primary()->ScanFrom(start, [&](Slice key, Slice value) {
+        if (!end.empty() && !(key < end)) return false;
+        inner = LockRecord(key, LockMode::kS);
+        if (!inner.ok()) return false;
+        if (clustered) return fn(key, value);
+        std::string payload;
+        inner = table_->heap()->Get(RidFromBytes(value), &payload);
+        if (!inner.ok()) return false;
+        return fn(key, payload);
+      }));
+  return inner;
+}
+
+}  // namespace plp

@@ -1,0 +1,100 @@
+#include "src/engine/repartitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace plp {
+
+Repartitioner::Repartitioner(PartitionedEngine* engine,
+                             RepartitionerOptions options)
+    : engine_(engine), options_(options) {}
+
+Repartitioner::~Repartitioner() { Stop(); }
+
+void Repartitioner::Start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      RunOnce();
+      std::this_thread::sleep_for(options_.interval);
+    }
+  });
+}
+
+void Repartitioner::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<std::string> Repartitioner::Plan(Table* table) {
+  PartitionManager& pm = engine_->pm();
+  const std::vector<std::uint64_t> load = pm.LoadSnapshot(table);
+  if (load.size() < 2) {
+    // A single partition can still be split if it is the only one and
+    // carries enough traffic — but with no sibling to compare against we
+    // leave it alone (splitting is only useful to spread across workers,
+    // which RegisterTable already did).
+    return {};
+  }
+  const std::uint64_t total =
+      std::accumulate(load.begin(), load.end(), std::uint64_t{0});
+  if (total < options_.min_samples) return {};
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(load.size());
+  const auto hot_it = std::max_element(load.begin(), load.end());
+  if (static_cast<double>(*hot_it) < options_.imbalance_factor * mean) {
+    return {};
+  }
+  const auto hot =
+      static_cast<PartitionId>(std::distance(load.begin(), hot_it));
+
+  // Split the hot partition at its median key and meld the coldest
+  // adjacent pair to keep the partition count stable.
+  MRBTree* primary = table->primary();
+  std::string split_key;
+  if (!primary->subtree(hot)->ApproxMedianKey(&split_key).ok()) return {};
+
+  std::vector<std::string> boundaries = pm.Boundaries(table);
+  if (std::find(boundaries.begin(), boundaries.end(), split_key) !=
+      boundaries.end()) {
+    return {};
+  }
+  boundaries.insert(boundaries.begin() + hot + 1, split_key);
+
+  // Coldest adjacent pair (excluding the two new hot halves).
+  std::size_t meld = 0;
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t i = 1; i < load.size(); ++i) {
+    if (i == hot || i - 1 == hot) continue;
+    const std::uint64_t pair = load[i - 1] + load[i];
+    if (pair < best) {
+      best = pair;
+      meld = i;
+    }
+  }
+  if (best != UINT64_MAX) {
+    // Index into the *new* boundary vector: entries after the inserted
+    // split shift by one.
+    std::size_t idx = meld <= hot ? meld : meld + 1;
+    if (idx < boundaries.size() && !boundaries[idx].empty()) {
+      boundaries.erase(boundaries.begin() + static_cast<long>(idx));
+    }
+  }
+  return boundaries;
+}
+
+int Repartitioner::RunOnce() {
+  int rebalanced = 0;
+  for (Table* table : engine_->db().tables()) {
+    std::vector<std::string> plan = Plan(table);
+    if (plan.empty()) continue;
+    if (engine_->Repartition(table->name(), plan).ok()) {
+      engine_->pm().ResetLoad(table);
+      rebalances_.fetch_add(1, std::memory_order_relaxed);
+      ++rebalanced;
+    }
+  }
+  return rebalanced;
+}
+
+}  // namespace plp

@@ -1,0 +1,55 @@
+// Load-driven repartitioning (Section 4.5): watches per-partition action
+// counts and rebalances by splitting hot partitions and melding cold
+// neighbors — cheap under PLP because it is metadata-only (plus bounded
+// record movement in the owned heap modes).
+#ifndef PLP_ENGINE_REPARTITIONER_H_
+#define PLP_ENGINE_REPARTITIONER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/partitioned_engine.h"
+
+namespace plp {
+
+struct RepartitionerOptions {
+  /// Rebalance when max partition load exceeds `imbalance_factor` x mean.
+  double imbalance_factor = 2.0;
+  /// Background check cadence.
+  std::chrono::milliseconds interval{200};
+  /// Minimum actions observed before considering a rebalance.
+  std::uint64_t min_samples = 1000;
+};
+
+class Repartitioner {
+ public:
+  Repartitioner(PartitionedEngine* engine, RepartitionerOptions options = {});
+  ~Repartitioner();
+
+  void Start();
+  void Stop();
+
+  /// One inspection pass over all tables; returns the number of tables
+  /// rebalanced. Also callable synchronously (tests, benches).
+  int RunOnce();
+
+  std::uint64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Decides a new boundary list for `table`, or empty if balanced.
+  std::vector<std::string> Plan(Table* table);
+
+  PartitionedEngine* engine_;
+  RepartitionerOptions options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> rebalances_{0};
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_REPARTITIONER_H_

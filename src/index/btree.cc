@@ -1,0 +1,681 @@
+#include "src/index/btree.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace plp {
+
+namespace {
+std::string PidValue(PageId pid) {
+  return std::string(reinterpret_cast<const char*>(&pid), sizeof(PageId));
+}
+}  // namespace
+
+BTree::BTree(BufferPool* pool, LatchPolicy policy)
+    : pool_(pool), policy_(policy) {
+  Page* root = NewNodePage(/*level=*/0);
+  root_ = root->id();
+}
+
+BTree::BTree(BufferPool* pool, LatchPolicy policy, PageId root)
+    : pool_(pool), policy_(policy), root_(root) {}
+
+Page* BTree::FixPage(PageId id) {
+  return policy_ == LatchPolicy::kLatched ? pool_->Fix(id)
+                                          : pool_->FixUnlocked(id);
+}
+
+Page* BTree::NewNodePage(std::uint16_t level) {
+  Page* page = pool_->NewPage(PageClass::kIndex);
+  BTreeNode::Init(page->data(), level);
+  page->set_owner_tag(owner_tag_);
+  return page;
+}
+
+PageId BTree::LeafFor(Slice key) {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    cur = FixPage(node.ChildFor(key));
+    node = BTreeNode(cur->data());
+  }
+  return cur->id();
+}
+
+void BTree::ApplyLeafMovedHook(Page* right_leaf) {
+  if (!leaf_moved_hook_) return;
+  BTreeNode node(right_leaf->data());
+  for (int i = 0; i < node.count(); ++i) {
+    const std::string new_value = leaf_moved_hook_(
+        node.KeyAt(i), node.ValueAt(i), right_leaf->id());
+    if (!new_value.empty()) {
+      Status st = node.SetValueAt(i, new_value);
+      assert(st.ok());
+      (void)st;
+    }
+  }
+  right_leaf->MarkDirty();
+}
+
+void BTree::RetagPages(std::uint32_t owner) {
+  owner_tag_ = owner;
+  struct Walker {
+    BTree* tree;
+    std::uint32_t owner;
+    void Walk(PageId pid) {
+      Page* page = tree->FixPage(pid);
+      if (page == nullptr) return;
+      page->set_owner_tag(owner);
+      BTreeNode node(page->data());
+      if (node.is_leaf()) return;
+      if (node.leftmost_child() != kInvalidPageId) Walk(node.leftmost_child());
+      for (int i = 0; i < node.count(); ++i) Walk(node.ChildAt(i));
+    }
+  };
+  Walker{this, owner}.Walk(root_);
+}
+
+int BTree::height() {
+  Page* root = FixPage(root_);
+  return BTreeNode(root->data()).level() + 1;
+}
+
+Status BTree::Insert(Slice key, Slice value) {
+  bool needs_smo = false;
+  Status st = InsertOptimistic(key, value, &needs_smo);
+  if (!needs_smo) return st;
+  return InsertPessimistic(key, value);
+}
+
+Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  LatchMode mode =
+      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
+  node = BTreeNode(cur->data());  // re-read under latch
+
+  while (!node.is_leaf()) {
+    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    Page* child = FixPage(node.ChildFor(key));
+    BTreeNode child_node(child->data());
+    const LatchMode child_mode =
+        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+    if (policy_ == LatchPolicy::kLatched) {
+      child->latch().Acquire(child_mode);
+      cur->latch().Release(mode);
+    }
+    cur = child;
+    mode = child_mode;
+    node = BTreeNode(cur->data());
+  }
+  nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+
+  const int pos = node.LowerBound(key);
+  if (pos < node.count() && node.KeyAt(pos) == key) {
+    if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+    return Status::AlreadyExists();
+  }
+  Status st = node.InsertAt(pos, key, value);
+  if (st.ok()) {
+    cur->MarkDirty();
+    num_entries_.fetch_add(1, std::memory_order_relaxed);
+    if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+    return Status::OK();
+  }
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+  *needs_smo = true;
+  return Status::OK();
+}
+
+Status BTree::InsertPessimistic(Slice key, Slice value) {
+  // ARIES/KVL: one SMO at a time per (sub-)tree.
+  const bool latched = policy_ == LatchPolicy::kLatched;
+  if (latched) smo_mu_.lock();
+
+  std::vector<Page*> path;
+  Page* cur = FixPage(root_);
+  if (latched) cur->latch().AcquireExclusive();
+  path.push_back(cur);
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    Page* child = FixPage(node.ChildFor(key));
+    if (latched) child->latch().AcquireExclusive();
+    path.push_back(child);
+    cur = child;
+    node = BTreeNode(cur->data());
+  }
+
+  auto unlock_all = [&] {
+    if (latched) {
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        (*it)->latch().ReleaseExclusive();
+      }
+      smo_mu_.unlock();
+    }
+  };
+
+  // Re-check for a duplicate inserted since the optimistic pass.
+  {
+    const int pos = node.LowerBound(key);
+    if (pos < node.count() && node.KeyAt(pos) == key) {
+      unlock_all();
+      return Status::AlreadyExists();
+    }
+  }
+
+  // Insert, splitting up the path as needed.
+  std::string ins_key = key.ToString();
+  std::string ins_val = value.ToString();
+  int i = static_cast<int>(path.size()) - 1;
+  while (true) {
+    Page* page = path[static_cast<std::size_t>(i)];
+    BTreeNode n(page->data());
+    const int pos = n.LowerBound(ins_key);
+    if (n.InsertAt(pos, ins_key, ins_val).ok()) {
+      page->MarkDirty();
+      break;
+    }
+    if (i == 0) {
+      // Full root: split in place (the root page id never changes).
+      SplitRoot(page);
+      BTreeNode r(page->data());
+      Page* target = FixPage(r.ChildFor(ins_key));
+      BTreeNode tn(target->data());
+      Status st = tn.InsertAt(tn.LowerBound(ins_key), ins_key, ins_val);
+      assert(st.ok());
+      (void)st;
+      target->MarkDirty();
+      break;
+    }
+    std::string sep;
+    PageId right_pid;
+    SplitNode(page, &sep, &right_pid);
+    Page* target = Slice(ins_key).compare(sep) >= 0 ? FixPage(right_pid) : page;
+    BTreeNode tn(target->data());
+    Status st = tn.InsertAt(tn.LowerBound(ins_key), ins_key, ins_val);
+    assert(st.ok());
+    (void)st;
+    target->MarkDirty();
+    // Bubble the separator into the parent.
+    ins_key = sep;
+    ins_val = PidValue(right_pid);
+    --i;
+  }
+
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
+  unlock_all();
+  return Status::OK();
+}
+
+void BTree::SplitNode(Page* page, std::string* sep, PageId* right_pid) {
+  BTreeNode node(page->data());
+  const int mid = node.count() / 2;
+  Page* right = NewNodePage(node.level());
+  BTreeNode rnode(right->data());
+  if (node.is_leaf()) {
+    node.MoveTail(mid, &rnode);
+    *sep = rnode.KeyAt(0).ToString();
+    rnode.set_next(node.next());
+    node.set_next(right->id());
+    ApplyLeafMovedHook(right);
+  } else {
+    *sep = node.KeyAt(mid).ToString();
+    rnode.set_leftmost_child(node.ChildAt(mid));
+    node.MoveTail(mid + 1, &rnode);
+    node.RemoveAt(mid);
+  }
+  right->MarkDirty();
+  page->MarkDirty();
+  *right_pid = right->id();
+  smo_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BTree::SplitRoot(Page* root_page) {
+  BTreeNode node(root_page->data());
+  // Clone the root's contents into a fresh left child, split the clone,
+  // and turn the root into an internal node over the two halves.
+  Page* left = pool_->NewPage(PageClass::kIndex);
+  left->set_owner_tag(owner_tag_);
+  std::memcpy(left->data(), root_page->data(), kPageSize);
+  std::string sep;
+  PageId right_pid;
+  SplitNode(left, &sep, &right_pid);
+  const std::uint16_t new_level = node.level() + 1;
+  BTreeNode::Init(root_page->data(), new_level);
+  BTreeNode r(root_page->data());
+  r.set_leftmost_child(left->id());
+  Status st = r.InsertAt(0, sep, PidValue(right_pid));
+  assert(st.ok());
+  (void)st;
+  left->MarkDirty();
+  root_page->MarkDirty();
+}
+
+Status BTree::Probe(Slice key, std::string* value) {
+  Page* cur = FixPage(root_);
+  if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    Page* child = FixPage(node.ChildFor(key));
+    if (policy_ == LatchPolicy::kLatched) {
+      child->latch().AcquireShared();
+      cur->latch().ReleaseShared();
+    }
+    cur = child;
+    node = BTreeNode(cur->data());
+  }
+  nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+  const int pos = node.Find(key);
+  Status st = Status::OK();
+  if (pos < 0) {
+    st = Status::NotFound();
+  } else {
+    Slice v = node.ValueAt(pos);
+    value->assign(v.data(), v.size());
+  }
+  if (policy_ == LatchPolicy::kLatched) cur->latch().ReleaseShared();
+  return st;
+}
+
+Status BTree::Update(Slice key, Slice value) {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  LatchMode mode =
+      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
+  node = BTreeNode(cur->data());
+  while (!node.is_leaf()) {
+    Page* child = FixPage(node.ChildFor(key));
+    BTreeNode child_node(child->data());
+    const LatchMode child_mode =
+        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+    if (policy_ == LatchPolicy::kLatched) {
+      child->latch().Acquire(child_mode);
+      cur->latch().Release(mode);
+    }
+    cur = child;
+    mode = child_mode;
+    node = BTreeNode(cur->data());
+  }
+  const int pos = node.Find(key);
+  if (pos < 0) {
+    if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+    return Status::NotFound();
+  }
+  Status st = node.SetValueAt(pos, value);
+  if (st.ok()) cur->MarkDirty();
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+  if (st.IsNoSpace()) {
+    // Rare: a grown value no longer fits on the leaf. Re-insert through the
+    // SMO path (delete + insert; not atomic w.r.t. concurrent readers of
+    // this one key, which our single-writer-per-key workloads tolerate).
+    PLP_RETURN_IF_ERROR(Delete(key));
+    return Insert(key, value);
+  }
+  return st;
+}
+
+Status BTree::Delete(Slice key) {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  LatchMode mode =
+      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
+  node = BTreeNode(cur->data());
+  while (!node.is_leaf()) {
+    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    Page* child = FixPage(node.ChildFor(key));
+    BTreeNode child_node(child->data());
+    const LatchMode child_mode =
+        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+    if (policy_ == LatchPolicy::kLatched) {
+      child->latch().Acquire(child_mode);
+      cur->latch().Release(mode);
+    }
+    cur = child;
+    mode = child_mode;
+    node = BTreeNode(cur->data());
+  }
+  nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+  const int pos = node.Find(key);
+  Status st = Status::OK();
+  if (pos < 0) {
+    st = Status::NotFound();
+  } else {
+    node.RemoveAt(pos);
+    cur->MarkDirty();
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
+  return st;
+}
+
+Status BTree::ScanFrom(Slice start,
+                       const std::function<bool(Slice, Slice)>& fn) {
+  Page* cur = FixPage(root_);
+  if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    Page* child = FixPage(node.ChildFor(start));
+    if (policy_ == LatchPolicy::kLatched) {
+      child->latch().AcquireShared();
+      cur->latch().ReleaseShared();
+    }
+    cur = child;
+    node = BTreeNode(cur->data());
+  }
+  int pos = node.LowerBound(start);
+  for (;;) {
+    if (pos >= node.count()) {
+      const PageId next = node.next();
+      if (next == kInvalidPageId) break;
+      Page* np = FixPage(next);
+      if (np == nullptr) break;
+      if (policy_ == LatchPolicy::kLatched) {
+        np->latch().AcquireShared();
+        cur->latch().ReleaseShared();
+      }
+      cur = np;
+      node = BTreeNode(cur->data());
+      pos = 0;
+      continue;
+    }
+    if (!fn(node.KeyAt(pos), node.ValueAt(pos))) break;
+    ++pos;
+  }
+  if (policy_ == LatchPolicy::kLatched) cur->latch().ReleaseShared();
+  return Status::OK();
+}
+
+PageId BTree::LeftmostLeaf() {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    const PageId child = node.count() > 0 || node.leftmost_child() != kInvalidPageId
+                             ? node.leftmost_child()
+                             : kInvalidPageId;
+    cur = FixPage(child);
+    node = BTreeNode(cur->data());
+  }
+  return cur->id();
+}
+
+PageId BTree::RightmostLeaf() {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
+                                          : node.leftmost_child();
+    cur = FixPage(child);
+    node = BTreeNode(cur->data());
+  }
+  return cur->id();
+}
+
+Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out) {
+  // Recursively split the spine containing `split_key`; entries (and
+  // sub-trees) at or above the key move to newly allocated right-side
+  // nodes (Appendix A.3.2). Runs quiesced: no latches needed.
+  struct Slicer {
+    BTree* tree;
+    plp::Slice key;
+
+    PageId SlicePage(PageId pid) {
+      Page* page = tree->FixPage(pid);
+      BTreeNode node(page->data());
+      Page* right = tree->NewNodePage(node.level());
+      BTreeNode rnode(right->data());
+      if (node.is_leaf()) {
+        const int pos = node.LowerBound(key);
+        node.MoveTail(pos, &rnode);
+        rnode.set_next(node.next());
+        node.set_next(kInvalidPageId);
+        tree->ApplyLeafMovedHook(right);
+      } else {
+        const int pos = node.UpperBound(key);
+        const PageId child =
+            pos == 0 ? node.leftmost_child() : node.ChildAt(pos - 1);
+        const PageId right_child = SlicePage(child);
+        rnode.set_leftmost_child(right_child);
+        node.MoveTail(pos, &rnode);
+      }
+      page->MarkDirty();
+      right->MarkDirty();
+      return right->id();
+    }
+  };
+
+  Slicer slicer{this, split_key};
+  PageId right_root = slicer.SlicePage(root_);
+
+  // Trim degenerate right-root chains (internal nodes with no separators).
+  for (;;) {
+    Page* rp = FixPage(right_root);
+    BTreeNode rn(rp->data());
+    if (rn.is_leaf() || rn.count() > 0) break;
+    const PageId only_child = rn.leftmost_child();
+    pool_->FreePage(right_root);
+    right_root = only_child;
+  }
+
+  auto right = std::unique_ptr<BTree>(new BTree(pool_, policy_, right_root));
+  // Recount entries on both sides (slice moves a key range wholesale).
+  std::uint64_t right_count = 0;
+  right->ForEachEntry([&](plp::Slice, plp::Slice) { ++right_count; });
+  right->num_entries_.store(right_count, std::memory_order_relaxed);
+  num_entries_.fetch_sub(right_count, std::memory_order_relaxed);
+  smo_count_.fetch_add(1, std::memory_order_relaxed);
+  *right_out = std::move(right);
+  return Status::OK();
+}
+
+Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
+  // Stitch the leaf chains first.
+  {
+    Page* rl = FixPage(RightmostLeaf());
+    BTreeNode rln(rl->data());
+    rln.set_next(right->LeftmostLeaf());
+    rl->MarkDirty();
+  }
+
+  const int hl = height();
+  const int hr = right->height();
+  Page* lroot = FixPage(root_);
+  Page* rroot = FixPage(right->root_);
+  BTreeNode ln(lroot->data());
+  BTreeNode rn(rroot->data());
+
+  auto fallback_new_root = [&]() {
+    const std::uint16_t level =
+        static_cast<std::uint16_t>(std::max(hl, hr));
+    Page* nroot = NewNodePage(level);
+    BTreeNode nn(nroot->data());
+    nn.set_leftmost_child(root_);
+    Status st = nn.InsertAt(0, boundary_key, PidValue(right->root_));
+    assert(st.ok());
+    (void)st;
+    nroot->MarkDirty();
+    root_ = nroot->id();
+  };
+
+  if (hl == hr) {
+    // Same height: append the right root's entries onto the left root
+    // (Appendix A.3.1, case 1).
+    bool merged = false;
+    if (ln.is_leaf()) {
+      merged = ln.AppendAll(rn).ok();
+      if (merged) ln.set_next(rn.next());
+    } else {
+      const std::size_t need = 4 + boundary_key.size() + sizeof(PageId) +
+                               BTreeNode::kSlotSize;
+      if (ln.TotalFreeSpace() >= need &&
+          ln.InsertAt(ln.count(), boundary_key,
+                      PidValue(rn.leftmost_child()))
+              .ok()) {
+        if (ln.AppendAll(rn).ok()) {
+          merged = true;
+        } else {
+          ln.RemoveAt(ln.count() - 1);  // roll back the boundary entry
+        }
+      }
+    }
+    if (merged) {
+      lroot->MarkDirty();
+      pool_->FreePage(right->root_);
+    } else {
+      fallback_new_root();
+    }
+  } else if (hl > hr) {
+    // Taller left: hang the right root off the left tree's rightmost node
+    // at level hr (Appendix A.3.1, case 2).
+    Page* cur = lroot;
+    BTreeNode node(cur->data());
+    while (node.level() > hr) {
+      const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
+                                            : node.leftmost_child();
+      cur = FixPage(child);
+      node = BTreeNode(cur->data());
+    }
+    if (node.InsertAt(node.count(), boundary_key, PidValue(right->root_))
+            .ok()) {
+      cur->MarkDirty();
+    } else {
+      fallback_new_root();
+    }
+  } else {
+    // Taller right: hang the left tree off the right tree's leftmost node
+    // at level hl (Appendix A.3.1, case 3); the merged root is the right
+    // tree's root.
+    Page* cur = rroot;
+    BTreeNode node(cur->data());
+    while (node.level() > hl) {
+      cur = FixPage(node.leftmost_child());
+      node = BTreeNode(cur->data());
+    }
+    const PageId old_leftmost = node.leftmost_child();
+    if (node.InsertAt(0, boundary_key, PidValue(old_leftmost)).ok()) {
+      node.set_leftmost_child(root_);
+      cur->MarkDirty();
+      root_ = right->root_;
+    } else {
+      fallback_new_root();
+    }
+  }
+
+  num_entries_.fetch_add(right->num_entries(), std::memory_order_relaxed);
+  smo_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BTree::ApproxMedianKey(std::string* out) {
+  Page* cur = FixPage(root_);
+  BTreeNode node(cur->data());
+  while (!node.is_leaf()) {
+    const int mid = node.count() / 2;
+    const PageId child = node.count() == 0
+                             ? node.leftmost_child()
+                             : node.ChildAt(std::max(0, mid - 1));
+    cur = FixPage(child);
+    node = BTreeNode(cur->data());
+  }
+  if (node.count() == 0) return Status::NotFound("empty tree");
+  *out = node.KeyAt(node.count() / 2).ToString();
+  return Status::OK();
+}
+
+Status BTree::MinKey(std::string* out) {
+  Page* cur = FixPage(LeftmostLeaf());
+  for (;;) {
+    BTreeNode node(cur->data());
+    if (node.count() > 0) {
+      *out = node.KeyAt(0).ToString();
+      return Status::OK();
+    }
+    if (node.next() == kInvalidPageId) return Status::NotFound();
+    cur = FixPage(node.next());
+  }
+}
+
+void BTree::ForEachEntry(const std::function<void(plp::Slice, plp::Slice)>& fn) {
+  struct Walker {
+    BTree* tree;
+    const std::function<void(plp::Slice, plp::Slice)>& fn;
+    void Walk(PageId pid) {
+      Page* page = tree->FixPage(pid);
+      BTreeNode node(page->data());
+      if (node.is_leaf()) {
+        for (int i = 0; i < node.count(); ++i) {
+          fn(node.KeyAt(i), node.ValueAt(i));
+        }
+        return;
+      }
+      if (node.leftmost_child() != kInvalidPageId) Walk(node.leftmost_child());
+      for (int i = 0; i < node.count(); ++i) Walk(node.ChildAt(i));
+    }
+  };
+  Walker{this, fn}.Walk(root_);
+}
+
+Status BTree::CheckIntegrity() {
+  struct Checker {
+    BTree* tree;
+    Status status = Status::OK();
+
+    void Check(PageId pid, const std::string* lo, const std::string* hi,
+               int expected_level) {
+      if (!status.ok()) return;
+      Page* page = tree->FixPage(pid);
+      if (page == nullptr) {
+        status = Status::Corruption("dangling child pointer");
+        return;
+      }
+      BTreeNode node(page->data());
+      // Levels strictly decrease toward the leaves. (Meld can legitimately
+      // hang shorter sub-trees below a node, so equality with parent-1 is
+      // not required.)
+      if (expected_level >= 0 && node.level() >= expected_level) {
+        status = Status::Corruption("level not decreasing");
+        return;
+      }
+      for (int i = 0; i < node.count(); ++i) {
+        if (i > 0 && !(node.KeyAt(i - 1) < node.KeyAt(i))) {
+          status = Status::Corruption("keys out of order");
+          return;
+        }
+        if (lo && node.KeyAt(i) < plp::Slice(*lo)) {
+          status = Status::Corruption("key below lower bound");
+          return;
+        }
+        if (hi && !(node.KeyAt(i) < plp::Slice(*hi))) {
+          status = Status::Corruption("key above upper bound");
+          return;
+        }
+      }
+      if (node.is_leaf()) return;
+      if (node.leftmost_child() == kInvalidPageId) {
+        status = Status::Corruption("internal node without leftmost child");
+        return;
+      }
+      // leftmost child: keys in [lo, key0)
+      {
+        std::string first = node.count() > 0 ? node.KeyAt(0).ToString() : "";
+        Check(node.leftmost_child(), lo,
+              node.count() > 0 ? &first : hi, node.level());
+      }
+      for (int i = 0; i < node.count(); ++i) {
+        std::string this_key = node.KeyAt(i).ToString();
+        std::string next_key =
+            i + 1 < node.count() ? node.KeyAt(i + 1).ToString() : "";
+        Check(node.ChildAt(i), &this_key,
+              i + 1 < node.count() ? &next_key : hi, node.level());
+      }
+    }
+  };
+  Checker checker{this};
+  checker.Check(root_, nullptr, nullptr, -1);
+  return checker.status;
+}
+
+}  // namespace plp

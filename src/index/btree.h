@@ -1,0 +1,165 @@
+// ARIES/KVL-style B+Tree over buffer-pool pages.
+//
+// Latched mode (conventional / logical-only systems): probes crab shared
+// latches down the tree; writers take an exclusive latch on the leaf; any
+// structure modification (SMO) serializes behind a per-tree SMO mutex and
+// re-descends holding exclusive latches — the single-SMO-at-a-time rule of
+// ARIES/KVL that Section B of the paper measures.
+//
+// Latch-free mode (PLP partitions): the subtree is owned by exactly one
+// thread, so every latch acquisition and the SMO mutex are skipped, and
+// page fixes bypass the buffer-pool critical section.
+//
+// The same class also serves as one MRBTree sub-tree; MRBTree performs
+// slice (split off a key range) and meld (absorb a neighbor) through the
+// methods at the bottom.
+#ifndef PLP_INDEX_BTREE_H_
+#define PLP_INDEX_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/index/btree_node.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+
+class BTree {
+ public:
+  /// Creates an empty tree (root = empty leaf).
+  BTree(BufferPool* pool, LatchPolicy policy);
+  /// Adopts an existing root page (MRBTree slice/meld produce these).
+  BTree(BufferPool* pool, LatchPolicy policy, PageId root);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  PageId root() const { return root_; }
+  LatchPolicy latch_policy() const { return policy_; }
+
+  /// Unique-key insert. kAlreadyExists on duplicates.
+  Status Insert(Slice key, Slice value);
+
+  /// Exact-match lookup.
+  Status Probe(Slice key, std::string* value);
+
+  /// Replaces the value of an existing key.
+  Status Update(Slice key, Slice value);
+
+  /// Removes a key. Leaves underfull pages in place (no merge on delete,
+  /// as in Shore-MT).
+  Status Delete(Slice key);
+
+  /// In-order scan starting at the first key >= `start`; stops when the
+  /// callback returns false.
+  Status ScanFrom(Slice start,
+                  const std::function<bool(Slice key, Slice value)>& fn);
+
+  /// Levels in the tree (1 = a single leaf).
+  int height();
+
+  std::uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+  /// Completed structure modification operations (splits).
+  std::uint64_t smo_count() const {
+    return smo_count_.load(std::memory_order_relaxed);
+  }
+  /// Nodes touched by probes/inserts (validates "one level shallower").
+  std::uint64_t nodes_visited() const {
+    return nodes_visited_.load(std::memory_order_relaxed);
+  }
+
+  // --- MRBTree structural support (callers quiesce the tree first) ------
+
+  /// Splits off all entries with key >= `split_key` into a new tree
+  /// (Appendix A.3.2 "slice"). Entry counts are adjusted on both sides.
+  Status SliceOff(Slice split_key, std::unique_ptr<BTree>* right_out);
+
+  /// Absorbs `right`, all of whose keys are >= `boundary_key` and sort
+  /// after every key in this tree (Appendix A.3.1 "meld"). On success the
+  /// right tree's pages belong to this tree and `right` must be discarded.
+  Status Meld(BTree* right, Slice boundary_key);
+
+  /// First key in the tree (kNotFound when empty).
+  Status MinKey(std::string* out);
+
+  /// A key near the middle of the tree's key population (descends through
+  /// middle children). Used to pick split points when rebalancing load.
+  Status ApproxMedianKey(std::string* out);
+
+  /// Walks every entry (no latching; for tests and integrity checks).
+  void ForEachEntry(const std::function<void(Slice, Slice)>& fn);
+
+  /// Verifies ordering and structural invariants; returns kCorruption on
+  /// the first violation (property tests use this).
+  Status CheckIntegrity();
+
+  /// Page id of the leaf that would hold `key` (PLP-Leaf uses leaf page
+  /// ids as heap-page owner tags, Section 3.3).
+  PageId LeafFor(Slice key);
+
+  /// PLP-Leaf callback: invoked for every leaf entry that migrates to a
+  /// different leaf page during a split or slice. Receives (key, value,
+  /// new_leaf_pid) and returns the replacement value ("" keeps the old
+  /// one). The PLP-Leaf engine uses it to move the heap record to a page
+  /// owned by the new leaf and to refresh the stored RID — the storage-
+  /// manager callback mechanism of Section 3.3.
+  using LeafEntryMovedHook =
+      std::function<std::string(Slice key, Slice value, PageId new_leaf)>;
+  void set_leaf_moved_hook(LeafEntryMovedHook hook) {
+    leaf_moved_hook_ = std::move(hook);
+  }
+
+  /// Owner tag stamped on pages this tree allocates (see RetagPages).
+  void set_owner_tag(std::uint32_t tag) { owner_tag_ = tag; }
+  std::uint32_t owner_tag() const { return owner_tag_; }
+
+  /// Tags every page of this tree with `owner` (frame-level tag used by
+  /// the page cleaner to delegate cleaning to the owning partition).
+  void RetagPages(std::uint32_t owner);
+
+ private:
+  Page* FixPage(PageId id);
+  Page* NewNodePage(std::uint16_t level);
+
+  Status InsertOptimistic(Slice key, Slice value, bool* needs_smo);
+  Status InsertPessimistic(Slice key, Slice value);
+
+  /// Splits `node` (already exclusively owned by the caller), returning the
+  /// separator key and new right page.
+  void SplitNode(Page* page, std::string* sep, PageId* right_pid);
+
+  /// Handles a full root in place (the root page id never changes).
+  void SplitRoot(Page* root_page);
+
+  PageId LeftmostLeaf();
+  PageId RightmostLeaf();
+
+  /// Applies the leaf-moved hook to every entry of a freshly-populated
+  /// right-hand leaf.
+  void ApplyLeafMovedHook(Page* right_leaf);
+
+  BufferPool* pool_;
+  const LatchPolicy policy_;
+  PageId root_;
+  TrackedMutex smo_mu_{CsCategory::kPageLatch};
+  LeafEntryMovedHook leaf_moved_hook_;
+  std::uint32_t owner_tag_ = UINT32_MAX;
+
+  std::atomic<std::uint64_t> num_entries_{0};
+  std::atomic<std::uint64_t> smo_count_{0};
+  std::atomic<std::uint64_t> nodes_visited_{0};
+};
+
+}  // namespace plp
+
+#endif  // PLP_INDEX_BTREE_H_

@@ -1,0 +1,223 @@
+#include "src/index/btree_node.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace plp {
+
+void BTreeNode::Init(char* data, std::uint16_t level) {
+  std::memset(data, 0, kHeaderSize);
+  BTreeNode node(data);
+  node.set_cell_start(static_cast<std::uint16_t>(kPageSize));
+  node.PutU16(4, level);
+  node.set_next(kInvalidPageId);
+  node.set_leftmost_child(kInvalidPageId);
+}
+
+std::uint16_t BTreeNode::GetU16(std::size_t off) const {
+  std::uint16_t v;
+  std::memcpy(&v, data_ + off, 2);
+  return v;
+}
+void BTreeNode::PutU16(std::size_t off, std::uint16_t v) {
+  std::memcpy(data_ + off, &v, 2);
+}
+std::uint32_t BTreeNode::GetU32(std::size_t off) const {
+  std::uint32_t v;
+  std::memcpy(&v, data_ + off, 4);
+  return v;
+}
+void BTreeNode::PutU32(std::size_t off, std::uint32_t v) {
+  std::memcpy(data_ + off, &v, 4);
+}
+
+Slice BTreeNode::KeyAt(int i) const {
+  const std::uint16_t off = SlotAt(i);
+  const std::uint16_t klen = GetU16(off);
+  return Slice(data_ + off + 4, klen);
+}
+
+Slice BTreeNode::ValueAt(int i) const {
+  const std::uint16_t off = SlotAt(i);
+  const std::uint16_t klen = GetU16(off);
+  const std::uint16_t vlen = GetU16(off + 2);
+  return Slice(data_ + off + 4 + klen, vlen);
+}
+
+PageId BTreeNode::ChildAt(int i) const {
+  Slice v = ValueAt(i);
+  assert(v.size() == sizeof(PageId));
+  PageId id;
+  std::memcpy(&id, v.data(), sizeof(PageId));
+  return id;
+}
+
+int BTreeNode::LowerBound(Slice key) const {
+  int lo = 0, hi = count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (KeyAt(mid).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BTreeNode::UpperBound(Slice key) const {
+  int lo = 0, hi = count();
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (KeyAt(mid).compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int BTreeNode::Find(Slice key) const {
+  const int pos = LowerBound(key);
+  if (pos < count() && KeyAt(pos) == key) return pos;
+  return -1;
+}
+
+PageId BTreeNode::ChildFor(Slice key) const {
+  // Last separator <= key; below the first separator go leftmost.
+  const int pos = UpperBound(key);
+  if (pos == 0) return leftmost_child();
+  return ChildAt(pos - 1);
+}
+
+std::size_t BTreeNode::ContiguousFreeSpace() const {
+  const std::size_t dir_end = kHeaderSize + count() * kSlotSize;
+  const std::size_t start = cell_start();
+  return start > dir_end ? start - dir_end : 0;
+}
+
+std::size_t BTreeNode::TotalFreeSpace() const {
+  std::size_t live = 0;
+  for (int i = 0; i < count(); ++i) {
+    const std::uint16_t off = SlotAt(i);
+    live += 4u + GetU16(off) + GetU16(off + 2);
+  }
+  return kPageSize - kHeaderSize - count() * kSlotSize - live;
+}
+
+bool BTreeNode::HasRoomFor(Slice key, Slice value) const {
+  const std::size_t need = 4 + key.size() + value.size() + kSlotSize;
+  return TotalFreeSpace() >= need;
+}
+
+std::uint16_t BTreeNode::WriteCell(Slice key, Slice value) {
+  const std::size_t cell = 4 + key.size() + value.size();
+  if (ContiguousFreeSpace() < cell + kSlotSize) {
+    if (TotalFreeSpace() < cell + kSlotSize) return 0;
+    Compact();
+    if (ContiguousFreeSpace() < cell + kSlotSize) return 0;
+  }
+  const std::uint16_t off =
+      static_cast<std::uint16_t>(cell_start() - cell);
+  PutU16(off, static_cast<std::uint16_t>(key.size()));
+  PutU16(off + 2, static_cast<std::uint16_t>(value.size()));
+  std::memcpy(data_ + off + 4, key.data(), key.size());
+  std::memcpy(data_ + off + 4 + key.size(), value.data(), value.size());
+  set_cell_start(off);
+  return off;
+}
+
+Status BTreeNode::InsertAt(int pos, Slice key, Slice value) {
+  assert(pos >= 0 && pos <= count());
+  const std::uint16_t off = WriteCell(key, value);
+  if (off == 0) return Status::NoSpace();
+  // Shift the slot directory to open position `pos`.
+  const int n = count();
+  char* dir = data_ + kHeaderSize;
+  std::memmove(dir + (pos + 1) * kSlotSize, dir + pos * kSlotSize,
+               static_cast<std::size_t>(n - pos) * kSlotSize);
+  SetSlot(pos, off);
+  set_count(static_cast<std::uint16_t>(n + 1));
+  return Status::OK();
+}
+
+void BTreeNode::RemoveAt(int pos) {
+  assert(pos >= 0 && pos < count());
+  const int n = count();
+  char* dir = data_ + kHeaderSize;
+  std::memmove(dir + pos * kSlotSize, dir + (pos + 1) * kSlotSize,
+               static_cast<std::size_t>(n - pos - 1) * kSlotSize);
+  set_count(static_cast<std::uint16_t>(n - 1));
+}
+
+Status BTreeNode::SetValueAt(int i, Slice value) {
+  const std::uint16_t off = SlotAt(i);
+  const std::uint16_t klen = GetU16(off);
+  const std::uint16_t vlen = GetU16(off + 2);
+  if (value.size() == vlen) {
+    std::memcpy(data_ + off + 4 + klen, value.data(), value.size());
+    return Status::OK();
+  }
+  // Size change: rewrite the cell.
+  const std::string key = KeyAt(i).ToString();
+  RemoveAt(i);
+  return InsertAt(i, key, value);
+}
+
+void BTreeNode::MoveTail(int from, BTreeNode* dst) {
+  const int n = count();
+  assert(from >= 0 && from <= n);
+  for (int i = from; i < n; ++i) {
+    Status st = dst->InsertAt(dst->count(), KeyAt(i), ValueAt(i));
+    assert(st.ok());
+    (void)st;
+  }
+  set_count(static_cast<std::uint16_t>(from));
+  Compact();
+}
+
+Status BTreeNode::AppendAll(const BTreeNode& src) {
+  // Verify capacity first so a failed append leaves us unchanged.
+  std::size_t need = 0;
+  for (int i = 0; i < src.count(); ++i) {
+    need += 4 + src.KeyAt(i).size() + src.ValueAt(i).size() + kSlotSize;
+  }
+  if (TotalFreeSpace() < need) return Status::NoSpace();
+  for (int i = 0; i < src.count(); ++i) {
+    Status st = InsertAt(count(), src.KeyAt(i), src.ValueAt(i));
+    assert(st.ok());
+    (void)st;
+  }
+  return Status::OK();
+}
+
+void BTreeNode::Compact() {
+  struct Entry {
+    std::string key, value;
+  };
+  const int n = count();
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({KeyAt(i).ToString(), ValueAt(i).ToString()});
+  }
+  set_cell_start(static_cast<std::uint16_t>(kPageSize));
+  for (int i = 0; i < n; ++i) {
+    const Entry& e = entries[i];
+    const std::size_t cell = 4 + e.key.size() + e.value.size();
+    const std::uint16_t off =
+        static_cast<std::uint16_t>(cell_start() - cell);
+    PutU16(off, static_cast<std::uint16_t>(e.key.size()));
+    PutU16(off + 2, static_cast<std::uint16_t>(e.value.size()));
+    std::memcpy(data_ + off + 4, e.key.data(), e.key.size());
+    std::memcpy(data_ + off + 4 + e.key.size(), e.value.data(),
+                e.value.size());
+    set_cell_start(off);
+    SetSlot(i, off);
+  }
+}
+
+}  // namespace plp

@@ -1,0 +1,116 @@
+// On-page B+Tree node format: sorted slot directory over variable-length
+// key/value cells.
+#ifndef PLP_INDEX_BTREE_NODE_H_
+#define PLP_INDEX_BTREE_NODE_H_
+
+#include <cstdint>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+
+/// View over one index page. Entries are kept in key order via the slot
+/// directory (binary-searchable); cells grow backward from the page end.
+///
+/// Layout:
+///   [0]  u16 count          number of entries
+///   [2]  u16 cell_start     lowest used cell byte
+///   [4]  u16 level          0 = leaf
+///   [6]  u16 flags          (reserved)
+///   [8]  u32 next           right sibling (leaf chain); kInvalidPageId none
+///   [12] u32 leftmost       child for keys < first key (internal nodes)
+///   [16] slot directory     u16 cell offset per entry, sorted by key
+///   cells: [u16 klen][u16 vlen][key bytes][value bytes]
+///
+/// Internal-node entries map separator key -> child page id (the child
+/// holding keys >= separator); keys below the first separator go to
+/// `leftmost`.
+class BTreeNode {
+ public:
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr std::size_t kSlotSize = 2;
+
+  explicit BTreeNode(char* data) : data_(data) {}
+
+  /// Formats an empty node at the given level.
+  static void Init(char* data, std::uint16_t level);
+
+  std::uint16_t count() const { return GetU16(0); }
+  std::uint16_t level() const { return GetU16(4); }
+  bool is_leaf() const { return level() == 0; }
+
+  PageId next() const { return GetU32(8); }
+  void set_next(PageId id) { PutU32(8, id); }
+
+  PageId leftmost_child() const { return GetU32(12); }
+  void set_leftmost_child(PageId id) { PutU32(12, id); }
+
+  Slice KeyAt(int i) const;
+  Slice ValueAt(int i) const;
+  /// Child pointer stored in entry i's value (internal nodes).
+  PageId ChildAt(int i) const;
+
+  /// Index of the first entry with key >= `key` (== count() if none).
+  int LowerBound(Slice key) const;
+  /// Index of the first entry with key > `key`.
+  int UpperBound(Slice key) const;
+  /// Exact-match index or -1.
+  int Find(Slice key) const;
+
+  /// Child to follow when descending for `key`.
+  PageId ChildFor(Slice key) const;
+
+  /// Inserts (key, value) at sorted position `pos` (caller computed it via
+  /// LowerBound). kNoSpace if it does not fit even after compaction.
+  Status InsertAt(int pos, Slice key, Slice value);
+
+  void RemoveAt(int pos);
+
+  /// Replaces entry i's value; re-allocates the cell if the size changes.
+  Status SetValueAt(int i, Slice value);
+
+  /// Free bytes available for a new cell (contiguous, before compaction).
+  std::size_t ContiguousFreeSpace() const;
+  /// Free bytes including dead cells (after compaction).
+  std::size_t TotalFreeSpace() const;
+  bool HasRoomFor(Slice key, Slice value) const;
+
+  /// Moves entries [from, count) into `dst` (appended; dst must be empty or
+  /// its last key must sort before entry `from`). Used by splits.
+  void MoveTail(int from, BTreeNode* dst);
+
+  /// Appends all entries of `src` (whose keys all sort after ours).
+  /// kNoSpace if they do not fit.
+  Status AppendAll(const BTreeNode& src);
+
+  /// Rewrites cells to defragment the cell area.
+  void Compact();
+
+ private:
+  std::uint16_t GetU16(std::size_t off) const;
+  void PutU16(std::size_t off, std::uint16_t v);
+  std::uint32_t GetU32(std::size_t off) const;
+  void PutU32(std::size_t off, std::uint32_t v);
+
+  std::uint16_t SlotAt(int i) const {
+    return GetU16(kHeaderSize + static_cast<std::size_t>(i) * kSlotSize);
+  }
+  void SetSlot(int i, std::uint16_t off) {
+    PutU16(kHeaderSize + static_cast<std::size_t>(i) * kSlotSize, off);
+  }
+
+  std::uint16_t cell_start() const { return GetU16(2); }
+  void set_cell_start(std::uint16_t v) { PutU16(2, v); }
+  void set_count(std::uint16_t v) { PutU16(0, v); }
+
+  /// Writes a cell for (key,value); returns its offset or 0 on no-space.
+  std::uint16_t WriteCell(Slice key, Slice value);
+
+  char* data_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_INDEX_BTREE_NODE_H_

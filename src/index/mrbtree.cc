@@ -1,0 +1,161 @@
+#include "src/index/mrbtree.h"
+
+#include <cassert>
+
+namespace plp {
+
+MRBTree::MRBTree(BufferPool* pool, LatchPolicy policy)
+    : pool_(pool), policy_(policy) {}
+
+Status MRBTree::Create(BufferPool* pool, LatchPolicy policy,
+                       std::vector<std::string> boundaries,
+                       std::unique_ptr<MRBTree>* out) {
+  if (boundaries.empty() || !boundaries.front().empty()) {
+    return Status::InvalidArgument(
+        "boundaries[0] must be the empty (-inf) key");
+  }
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    if (!(Slice(boundaries[i - 1]) < Slice(boundaries[i]))) {
+      return Status::InvalidArgument("boundaries must be strictly sorted");
+    }
+  }
+  auto tree = std::unique_ptr<MRBTree>(new MRBTree(pool, policy));
+  tree->table_ = std::make_unique<PartitionTable>(pool);
+  std::vector<PartitionTable::Entry> entries;
+  for (auto& b : boundaries) {
+    auto sub = std::make_unique<BTree>(pool, policy);
+    entries.push_back({b, sub->root()});
+    tree->subtrees_.push_back(std::move(sub));
+  }
+  tree->boundaries_ = std::move(boundaries);
+  PLP_RETURN_IF_ERROR(tree->table_->SetEntries(std::move(entries)));
+  *out = std::move(tree);
+  return Status::OK();
+}
+
+BTree* MRBTree::subtree(PartitionId p) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  assert(p < subtrees_.size());
+  return subtrees_[p].get();
+}
+
+std::string MRBTree::boundary(PartitionId p) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  assert(p < boundaries_.size());
+  return boundaries_[p];
+}
+
+std::vector<std::string> MRBTree::boundaries() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return boundaries_;
+}
+
+Status MRBTree::Insert(Slice key, Slice value) {
+  return subtree(table_->PartitionFor(key))->Insert(key, value);
+}
+
+Status MRBTree::Probe(Slice key, std::string* value) {
+  return subtree(table_->PartitionFor(key))->Probe(key, value);
+}
+
+Status MRBTree::Update(Slice key, Slice value) {
+  return subtree(table_->PartitionFor(key))->Update(key, value);
+}
+
+Status MRBTree::Delete(Slice key) {
+  return subtree(table_->PartitionFor(key))->Delete(key);
+}
+
+Status MRBTree::ScanFrom(Slice start,
+                         const std::function<bool(Slice, Slice)>& fn) {
+  // Scan the containing partition, then stitch following partitions in
+  // boundary order until the callback stops us.
+  PartitionId p = table_->PartitionFor(start);
+  bool keep_going = true;
+  for (std::size_t i = p; keep_going; ++i) {
+    BTree* sub;
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      if (i >= subtrees_.size()) break;
+      sub = subtrees_[i].get();
+    }
+    Slice from = i == p ? start : Slice();
+    PLP_RETURN_IF_ERROR(sub->ScanFrom(from, [&](Slice k, Slice v) {
+      keep_going = fn(k, v);
+      return keep_going;
+    }));
+  }
+  return Status::OK();
+}
+
+Status MRBTree::Split(Slice split_key) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const PartitionId p = table_->PartitionFor(split_key);
+  if (boundaries_[p] == split_key.view()) {
+    return Status::AlreadyExists("partition already starts at split key");
+  }
+  std::unique_ptr<BTree> right;
+  PLP_RETURN_IF_ERROR(subtrees_[p]->SliceOff(split_key, &right));
+  boundaries_.insert(boundaries_.begin() + p + 1, split_key.ToString());
+  subtrees_.insert(subtrees_.begin() + p + 1, std::move(right));
+  lk.unlock();
+  return PersistTable();
+}
+
+Status MRBTree::Merge(PartitionId p) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (p == 0 || p >= subtrees_.size()) {
+    return Status::InvalidArgument("cannot merge the -inf partition");
+  }
+  BTree* left = subtrees_[p - 1].get();
+  BTree* right = subtrees_[p].get();
+  PLP_RETURN_IF_ERROR(left->Meld(right, boundaries_[p]));
+  boundaries_.erase(boundaries_.begin() + p);
+  subtrees_.erase(subtrees_.begin() + p);
+  lk.unlock();
+  return PersistTable();
+}
+
+Status MRBTree::PersistTable() {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<PartitionTable::Entry> entries;
+  entries.reserve(subtrees_.size());
+  for (std::size_t i = 0; i < subtrees_.size(); ++i) {
+    entries.push_back({boundaries_[i], subtrees_[i]->root()});
+  }
+  return table_->SetEntries(std::move(entries));
+}
+
+std::uint64_t MRBTree::num_entries() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& sub : subtrees_) n += sub->num_entries();
+  return n;
+}
+
+std::uint64_t MRBTree::smo_count() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& sub : subtrees_) n += sub->smo_count();
+  return n;
+}
+
+Status MRBTree::CheckIntegrity() {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  for (std::size_t i = 0; i < subtrees_.size(); ++i) {
+    PLP_RETURN_IF_ERROR(subtrees_[i]->CheckIntegrity());
+    // Every key must fall inside its partition's range.
+    Status range_ok = Status::OK();
+    const Slice lo(boundaries_[i]);
+    subtrees_[i]->ForEachEntry([&](Slice k, Slice) {
+      if (k < lo) range_ok = Status::Corruption("key below partition start");
+      if (i + 1 < boundaries_.size() && !(k < Slice(boundaries_[i + 1]))) {
+        range_ok = Status::Corruption("key beyond partition end");
+      }
+    });
+    PLP_RETURN_IF_ERROR(range_ok);
+  }
+  return Status::OK();
+}
+
+}  // namespace plp

@@ -1,0 +1,63 @@
+// The MRBTree "root": a partition table mapping key ranges to sub-tree
+// roots (Appendix A.1).
+//
+// The routing information is cached in memory as a ranges map; the on-disk
+// layout is a chain of slotted catalog pages storing (start_key, root)
+// pairs — simplicity over access performance, exactly as the paper argues,
+// because normal processing never touches the durable form.
+#ifndef PLP_INDEX_PARTITION_TABLE_H_
+#define PLP_INDEX_PARTITION_TABLE_H_
+
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+
+class PartitionTable {
+ public:
+  struct Entry {
+    std::string start_key;  // first key of the range (entry 0: empty = -inf)
+    PageId root = kInvalidPageId;
+  };
+
+  explicit PartitionTable(BufferPool* pool);
+
+  PartitionTable(const PartitionTable&) = delete;
+  PartitionTable& operator=(const PartitionTable&) = delete;
+
+  /// Index of the partition whose range contains `key`.
+  PartitionId PartitionFor(Slice key) const;
+
+  /// Replaces the whole mapping (repartitioning runs quiesced) and
+  /// persists it to the routing page chain.
+  Status SetEntries(std::vector<Entry> entries);
+
+  std::vector<Entry> entries() const;
+  std::size_t NumPartitions() const;
+
+  /// First page of the durable routing chain.
+  PageId routing_page() const { return routing_page_; }
+
+  /// Re-reads the mapping from the routing pages (restart path; also lets
+  /// tests verify durability of the partitioning metadata).
+  Status LoadFromPages();
+
+ private:
+  Status Persist();
+
+  BufferPool* pool_;
+  PageId routing_page_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_INDEX_PARTITION_TABLE_H_

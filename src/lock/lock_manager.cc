@@ -1,0 +1,113 @@
+#include "src/lock/lock_manager.h"
+
+#include <atomic>
+#include <functional>
+
+#include "src/common/clock.h"
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+
+LockManager::Bucket& LockManager::BucketFor(const std::string& name) {
+  return buckets_[std::hash<std::string>{}(name) % kNumBuckets];
+}
+
+bool LockManager::CanGrant(const LockEntry& entry, TxnId txn, LockMode mode) {
+  for (const auto& [holder, held] : entry.holders) {
+    if (holder == txn) continue;
+    if (!LockCompatible(held, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  Bucket& bucket = BucketFor(name);
+
+  // Enter the lock-table critical section (instrumented manually because a
+  // condition variable needs the raw mutex).
+  bool contended = !bucket.mu.try_lock();
+  std::uint64_t wait_ns = 0;
+  if (contended) {
+    const std::uint64_t t0 = NowNanos();
+    bucket.mu.lock();
+    wait_ns = NowNanos() - t0;
+  }
+  CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
+  std::unique_lock<std::mutex> lk(bucket.mu, std::adopt_lock);
+
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  LockEntry& entry = bucket.locks[name];
+
+  auto it = entry.holders.find(txn);
+  if (it != entry.holders.end() && LockCovers(it->second, mode)) {
+    return Status::OK();
+  }
+
+  if (!CanGrant(entry, txn, mode)) {
+    entry.waiters++;
+    const bool granted = bucket.cv.wait_for(lk, timeout, [&] {
+      return CanGrant(bucket.locks[name], txn, mode);
+    });
+    bucket.locks[name].waiters--;
+    if (!granted) {
+      // Deadlock/starvation resolution by timeout: caller aborts.
+      return Status::TimedOut("lock wait timeout on " + name);
+    }
+  }
+
+  LockEntry& final_entry = bucket.locks[name];
+  auto& held = final_entry.holders[txn];
+  // Keep the strongest of the held/new mode (upgrade path).
+  if (held == LockMode::kIS || LockCovers(mode, held)) {
+    held = mode;
+  } else if (!LockCovers(held, mode)) {
+    // Incomparable (S + IX): escalate to X to stay conservative.
+    held = LockMode::kX;
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, const std::string& name) {
+  Bucket& bucket = BucketFor(name);
+  bool contended = !bucket.mu.try_lock();
+  std::uint64_t wait_ns = 0;
+  if (contended) {
+    const std::uint64_t t0 = NowNanos();
+    bucket.mu.lock();
+    wait_ns = NowNanos() - t0;
+  }
+  CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
+  {
+    std::unique_lock<std::mutex> lk(bucket.mu, std::adopt_lock);
+    auto it = bucket.locks.find(name);
+    if (it != bucket.locks.end()) {
+      it->second.holders.erase(txn);
+      if (it->second.holders.empty() && it->second.waiters == 0) {
+        bucket.locks.erase(it);
+      }
+    }
+  }
+  bucket.cv.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn, const std::vector<std::string>& names) {
+  for (const std::string& name : names) Release(txn, name);
+}
+
+bool LockManager::HasWaiters(const std::string& name) {
+  Bucket& bucket = BucketFor(name);
+  std::lock_guard<std::mutex> lk(bucket.mu);
+  auto it = bucket.locks.find(name);
+  return it != bucket.locks.end() && it->second.waiters > 0;
+}
+
+std::string TableLockName(std::uint32_t table_id) {
+  return "t" + std::to_string(table_id);
+}
+
+std::string RecordLockName(std::uint32_t table_id, const std::string& key) {
+  return "t" + std::to_string(table_id) + ":" + key;
+}
+
+}  // namespace plp

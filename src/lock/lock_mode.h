@@ -1,0 +1,47 @@
+// Hierarchical lock modes and their compatibility matrix.
+#ifndef PLP_LOCK_LOCK_MODE_H_
+#define PLP_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace plp {
+
+enum class LockMode : std::uint8_t { kIS = 0, kIX = 1, kS = 2, kX = 3 };
+
+/// Standard multigranularity compatibility.
+inline bool LockCompatible(LockMode a, LockMode b) {
+  static constexpr bool kCompat[4][4] = {
+      // IS     IX     S      X
+      {true, true, true, false},    // IS
+      {true, true, false, false},   // IX
+      {true, false, true, false},   // S
+      {false, false, false, false}  // X
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// True when holding `held` already satisfies a request for `wanted`.
+inline bool LockCovers(LockMode held, LockMode wanted) {
+  if (held == wanted) return true;
+  switch (held) {
+    case LockMode::kX: return true;
+    case LockMode::kS: return wanted == LockMode::kIS;
+    case LockMode::kIX: return wanted == LockMode::kIS;
+    case LockMode::kIS: return false;
+  }
+  return false;
+}
+
+inline const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+}  // namespace plp
+
+#endif  // PLP_LOCK_LOCK_MODE_H_

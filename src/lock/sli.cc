@@ -1,0 +1,4 @@
+#include "src/lock/sli.h"
+
+// SliCache is header-only; this file anchors the translation unit.
+namespace plp {}

@@ -1,0 +1,80 @@
+// Speculative Lock Inheritance (Johnson et al., PVLDB 2009 — [12] in the
+// PLP paper).
+//
+// Hot (table-level intent) locks are not released at commit; the worker
+// thread inherits them into the next transaction it runs, skipping the
+// lock-manager critical section entirely. Inherited locks stay registered
+// in the lock table under a per-worker pseudo transaction id; when another
+// transaction blocks on one, the worker notices at its next transaction
+// boundary and gives the lock back.
+#ifndef PLP_LOCK_SLI_H_
+#define PLP_LOCK_SLI_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/lock/lock_manager.h"
+
+namespace plp {
+
+class SliCache {
+ public:
+  /// `pseudo_txn` must be unique per worker and never used by real
+  /// transactions (we reserve the top id range).
+  SliCache(LockManager* lock_manager, TxnId pseudo_txn)
+      : lock_manager_(lock_manager), pseudo_txn_(pseudo_txn) {}
+
+  /// True when the inherited set already covers (name, mode): the caller
+  /// skips the lock-manager interaction. No critical section is recorded —
+  /// that is SLI's whole point.
+  bool Covers(const std::string& name, LockMode mode) const {
+    auto it = held_.find(name);
+    return it != held_.end() && LockCovers(it->second, mode);
+  }
+
+  /// Acquires (name, mode) under the pseudo transaction and remembers it
+  /// for inheritance. Only intent modes are eligible (record-level locks
+  /// are not hot enough to pay the bookkeeping).
+  Status AcquireAndInherit(const std::string& name, LockMode mode) {
+    PLP_RETURN_IF_ERROR(lock_manager_->Acquire(pseudo_txn_, name, mode));
+    auto it = held_.find(name);
+    if (it == held_.end()) {
+      held_.emplace(name, mode);
+    } else if (!LockCovers(it->second, mode)) {
+      it->second = mode;
+    }
+    return Status::OK();
+  }
+
+  /// Transaction-boundary check: give back any inherited lock that other
+  /// transactions are waiting on.
+  void ReleaseContended() {
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (lock_manager_->HasWaiters(it->first)) {
+        lock_manager_->Release(pseudo_txn_, it->first);
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Drops everything (worker shutdown).
+  void ReleaseAll() {
+    for (const auto& [name, mode] : held_) {
+      lock_manager_->Release(pseudo_txn_, name);
+    }
+    held_.clear();
+  }
+
+  std::size_t size() const { return held_.size(); }
+
+ private:
+  LockManager* lock_manager_;
+  TxnId pseudo_txn_;
+  std::unordered_map<std::string, LockMode> held_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_LOCK_SLI_H_

@@ -1,0 +1,85 @@
+#include "src/log/log_buffer.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+
+LogBuffer::LogBuffer(std::size_t capacity, Sink sink)
+    : capacity_(capacity), ring_(capacity), sink_(std::move(sink)) {
+  assert(capacity_ > 0);
+}
+
+Lsn LogBuffer::Append(Slice payload) {
+  const std::size_t n = payload.size();
+  assert(n > 0 && n < capacity_);
+
+  // Reserve LSN space. This is the composable critical section: concurrent
+  // appenders aggregate through fetch_add instead of queuing on a mutex.
+  Lsn start;
+  for (;;) {
+    start = tail_.load(std::memory_order_relaxed);
+    if (start + n - flushed_.load(std::memory_order_acquire) > capacity_) {
+      // Ring full: help drain it, then retry.
+      FlushSome();
+      continue;
+    }
+    if (tail_.compare_exchange_weak(start, start + n,
+                                    std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  CsProfiler::Record(CsCategory::kLogMgr, /*contended=*/false);
+
+  // Copy into the ring (may wrap).
+  const std::size_t pos = start % capacity_;
+  const std::size_t first = std::min(n, capacity_ - pos);
+  std::memcpy(ring_.data() + pos, payload.data(), first);
+  if (first < n) {
+    std::memcpy(ring_.data(), payload.data() + first, n - first);
+  }
+
+  // Publish completion in LSN order (Aether's "pipelined insert").
+  Lsn expect = start;
+  while (!completed_.compare_exchange_weak(expect, start + n,
+                                           std::memory_order_acq_rel)) {
+    expect = start;
+    std::this_thread::yield();
+  }
+  return start;
+}
+
+void LogBuffer::FlushSome() {
+  std::lock_guard<std::mutex> g(flush_mu_);
+  const Lsn from = flushed_.load(std::memory_order_acquire);
+  const Lsn to = completed_.load(std::memory_order_acquire);
+  if (to <= from) return;
+  if (sink_) {
+    const std::size_t pos = from % capacity_;
+    const std::size_t n = to - from;
+    const std::size_t first = std::min(n, capacity_ - pos);
+    sink_(ring_.data() + pos, first);
+    if (first < n) sink_(ring_.data(), n - first);
+  }
+  flushed_.store(to, std::memory_order_release);
+}
+
+void LogBuffer::FlushTo(Lsn lsn) {
+  while (flushed_.load(std::memory_order_acquire) <= lsn) {
+    FlushSome();
+    if (flushed_.load(std::memory_order_acquire) > lsn) break;
+    std::this_thread::yield();
+  }
+}
+
+void LogBuffer::FlushAll() {
+  const Lsn target = tail_.load(std::memory_order_acquire);
+  while (flushed_.load(std::memory_order_acquire) < target) {
+    FlushSome();
+  }
+}
+
+}  // namespace plp

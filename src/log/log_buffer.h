@@ -1,0 +1,66 @@
+// Aether-style composable log buffer (Johnson et al., PVLDB 2010, [14] in
+// the PLP paper).
+//
+// Appenders reserve LSN space with a single atomic fetch-add (a composable
+// critical section in the paper's taxonomy — queuing appenders combine in
+// the LSN space rather than serializing behind a mutex), copy their payload
+// into the ring concurrently, and then publish completion in LSN order.
+// A flusher drains [flushed, completed) to the backing sink.
+#ifndef PLP_LOG_LOG_BUFFER_H_
+#define PLP_LOG_LOG_BUFFER_H_
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+
+class LogBuffer {
+ public:
+  /// `sink` receives flushed byte ranges in LSN order; may be null (bytes
+  /// are discarded once flushed — used by memory-resident experiments).
+  using Sink = std::function<void(const char* data, std::size_t size)>;
+
+  explicit LogBuffer(std::size_t capacity, Sink sink = nullptr);
+
+  LogBuffer(const LogBuffer&) = delete;
+  LogBuffer& operator=(const LogBuffer&) = delete;
+
+  /// Appends `payload` and returns its starting LSN. Thread-safe; the
+  /// reservation is wait-free unless the ring is full (then the appender
+  /// helps flush).
+  Lsn Append(Slice payload);
+
+  /// Blocks until everything up to and including `lsn` has reached the sink.
+  void FlushTo(Lsn lsn);
+
+  /// Flushes everything appended so far.
+  void FlushAll();
+
+  Lsn next_lsn() const { return tail_.load(std::memory_order_acquire); }
+  Lsn durable_lsn() const { return flushed_.load(std::memory_order_acquire); }
+
+ private:
+  /// Drains [flushed_, completed_) to the sink. Serialized by flush_mu_.
+  void FlushSome();
+
+  const std::size_t capacity_;
+  std::vector<char> ring_;
+  Sink sink_;
+
+  std::atomic<Lsn> tail_{0};       // next LSN to reserve
+  std::atomic<Lsn> completed_{0};  // contiguously copied prefix
+  std::atomic<Lsn> flushed_{0};    // contiguously flushed prefix
+  std::mutex flush_mu_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_LOG_LOG_BUFFER_H_

@@ -1,0 +1,41 @@
+#include "src/log/log_manager.h"
+
+namespace plp {
+
+LogManager::LogManager(LogConfig config) : config_(config) {
+  LogBuffer::Sink sink;
+  if (config_.retain_for_recovery) {
+    sink = [this](const char* data, std::size_t size) {
+      std::lock_guard<std::mutex> g(retained_mu_);
+      retained_.append(data, size);
+    };
+  }
+  buffer_ = std::make_unique<LogBuffer>(config_.buffer_size, std::move(sink));
+}
+
+Lsn LogManager::Append(const LogRecord& record) {
+  return buffer_->Append(record.Serialize());
+}
+
+Status LogManager::Scan(const std::function<void(Lsn, const LogRecord&)>& fn) {
+  if (!config_.retain_for_recovery) {
+    return Status::NotSupported("log not retained; set retain_for_recovery");
+  }
+  buffer_->FlushAll();
+  std::lock_guard<std::mutex> g(retained_mu_);
+  std::size_t off = 0;
+  while (off < retained_.size()) {
+    LogRecord rec;
+    std::size_t consumed = 0;
+    if (!LogRecord::Deserialize(retained_.data() + off, retained_.size() - off,
+                                &rec, &consumed)) {
+      return Status::Corruption("truncated log record at offset " +
+                                std::to_string(off));
+    }
+    fn(static_cast<Lsn>(off), rec);
+    off += consumed;
+  }
+  return Status::OK();
+}
+
+}  // namespace plp

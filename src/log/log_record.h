@@ -1,0 +1,52 @@
+// Write-ahead log record format.
+#ifndef PLP_LOG_LOG_RECORD_H_
+#define PLP_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace plp {
+
+enum class LogType : std::uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kHeapInsert = 4,
+  kHeapUpdate = 5,
+  kHeapDelete = 6,
+  kIndexInsert = 7,
+  kIndexDelete = 8,
+  kCheckpoint = 9,
+};
+
+const char* LogTypeName(LogType t);
+
+/// One physiological log record: the affected page/RID plus redo and undo
+/// images. Begin/commit/abort records carry no images.
+struct LogRecord {
+  LogType type = LogType::kBegin;
+  TxnId txn = kInvalidTxnId;
+  Rid rid;                // affected record (heap ops); invalid otherwise
+  std::string redo;       // after-image / inserted key or payload
+  std::string undo;       // before-image / deleted key or payload
+
+  /// Wire format: [u32 total][u8 type][u64 txn][u32 page][u16 slot]
+  ///              [u32 redo_len][u32 undo_len][redo][undo]
+  std::string Serialize() const;
+
+  /// Parses one record from `data` (at least `size` bytes available).
+  /// On success stores the record and its encoded length. Returns false if
+  /// the buffer does not contain a complete, well-formed record.
+  static bool Deserialize(const char* data, std::size_t size, LogRecord* out,
+                          std::size_t* consumed);
+
+  std::size_t SerializedSize() const { return kHeaderSize + redo.size() + undo.size(); }
+
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4 + 2 + 4 + 4;
+};
+
+}  // namespace plp
+
+#endif  // PLP_LOG_LOG_RECORD_H_

@@ -1,0 +1,29 @@
+#include "src/metrics/throughput_probe.h"
+
+#include "src/common/clock.h"
+
+namespace plp {
+
+void ThroughputProbe::Start() {
+  count_.store(0, std::memory_order_relaxed);
+  start_ns_ = NowNanos();
+  last_sample_ns_ = start_ns_;
+  last_count_ = 0;
+  samples_.clear();
+}
+
+void ThroughputProbe::SampleNow() {
+  const std::uint64_t now = NowNanos();
+  const std::uint64_t count = count_.load(std::memory_order_relaxed);
+  const double window_s =
+      static_cast<double>(now - last_sample_ns_) / 1e9;
+  if (window_s <= 0) return;
+  Sample s;
+  s.at_seconds = static_cast<double>(now - start_ns_) / 1e9;
+  s.ktps = static_cast<double>(count - last_count_) / window_s / 1000.0;
+  samples_.push_back(s);
+  last_sample_ns_ = now;
+  last_count_ = count;
+}
+
+}  // namespace plp

@@ -1,0 +1,42 @@
+// Windowed throughput sampling for time-series experiments (Figure 8).
+#ifndef PLP_METRICS_THROUGHPUT_PROBE_H_
+#define PLP_METRICS_THROUGHPUT_PROBE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace plp {
+
+class ThroughputProbe {
+ public:
+  struct Sample {
+    double at_seconds = 0;   // window end, relative to Start()
+    double ktps = 0;         // thousands of transactions per second
+  };
+
+  /// Workers call this once per completed transaction.
+  void Tick() { count_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Marks the series origin and clears samples.
+  void Start();
+
+  /// Records one window sample; call at a fixed cadence.
+  void SampleNow();
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::uint64_t total() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t last_sample_ns_ = 0;
+  std::uint64_t last_count_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_METRICS_THROUGHPUT_PROBE_H_

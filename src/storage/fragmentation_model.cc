@@ -1,0 +1,48 @@
+#include "src/storage/fragmentation_model.h"
+
+#include <algorithm>
+
+namespace plp {
+
+namespace {
+std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+std::uint64_t RecordsPerHeapPage(const FragmentationParams& p) {
+  // Each record costs its payload plus one slot-directory entry.
+  return p.usable_page_bytes / (p.record_size + 4);
+}
+
+HeapPageCounts ComputeHeapPageCounts(const FragmentationParams& p) {
+  HeapPageCounts out;
+  const std::uint64_t num_records = p.db_bytes / p.record_size;
+  const std::uint64_t rpp = RecordsPerHeapPage(p);
+
+  // Conventional and PLP-Regular pack records densely into one heap file.
+  out.conventional = CeilDiv(num_records, rpp);
+  out.plp_regular = out.conventional;
+
+  // PLP-Partition: each partition packs densely into its own page set; the
+  // waste is at most one partially-filled page per partition.
+  const std::uint64_t per_part = CeilDiv(num_records, p.num_partitions);
+  out.plp_partition = p.num_partitions * CeilDiv(per_part, rpp);
+
+  // PLP-Leaf: each index leaf (holding `leaf_entries` records) owns its own
+  // heap pages, so every leaf rounds up independently.
+  const std::uint64_t leaves = CeilDiv(num_records, p.leaf_entries);
+  const std::uint64_t full_leaf_pages = CeilDiv(p.leaf_entries, rpp);
+  out.plp_leaf = leaves * full_leaf_pages;
+  return out;
+}
+
+double ScanCost(std::uint64_t pages, const ScanTimeParams& t) {
+  const std::uint64_t resident_cap = t.bufferpool_bytes / kPageSize;
+  const std::uint64_t resident = std::min(pages, resident_cap);
+  const std::uint64_t missing = pages - resident;
+  return static_cast<double>(resident) * t.mem_page_cost +
+         static_cast<double>(missing) * t.io_page_cost;
+}
+
+}  // namespace plp

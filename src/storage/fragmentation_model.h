@@ -1,0 +1,54 @@
+// Analytic fragmentation and scan-time model for the PLP heap designs
+// (Appendix D, Figures 11 and 12).
+//
+// PLP-Partition and PLP-Leaf constrain which records may share a heap page,
+// which leaves empty space on partially-filled pages. The model computes
+// the number of heap pages each design needs and the resulting relative
+// scan time with a bounded buffer pool. Unit tests validate the model
+// against actually-built heap files.
+#ifndef PLP_STORAGE_FRAGMENTATION_MODEL_H_
+#define PLP_STORAGE_FRAGMENTATION_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace plp {
+
+struct FragmentationParams {
+  std::uint64_t db_bytes = 0;        // total record payload bytes
+  std::uint32_t record_size = 100;   // bytes per record
+  std::uint32_t num_partitions = 1;  // logical partitions
+  std::uint32_t leaf_entries = 170;  // index entries per MRBTree leaf page
+  /// Record bytes that fit on one heap page (payload after header + slots).
+  std::uint32_t usable_page_bytes =
+      static_cast<std::uint32_t>(kPageSize) - 96;
+};
+
+struct HeapPageCounts {
+  std::uint64_t conventional = 0;
+  std::uint64_t plp_regular = 0;
+  std::uint64_t plp_partition = 0;
+  std::uint64_t plp_leaf = 0;
+};
+
+/// Records that fit on one heap page under `p`.
+std::uint64_t RecordsPerHeapPage(const FragmentationParams& p);
+
+/// Heap page counts for each design (Figure 11's y axis is each count
+/// divided by `conventional`).
+HeapPageCounts ComputeHeapPageCounts(const FragmentationParams& p);
+
+struct ScanTimeParams {
+  std::uint64_t bufferpool_bytes = 4ull << 30;  // 4GB, as in the paper
+  double mem_page_cost = 1.0;    // relative cost to scan a resident page
+  double io_page_cost = 100.0;   // relative cost when the page misses
+};
+
+/// Relative time to scan `pages` heap pages when only the first
+/// `bufferpool_bytes` worth stay resident (Figure 12's model).
+double ScanCost(std::uint64_t pages, const ScanTimeParams& t);
+
+}  // namespace plp
+
+#endif  // PLP_STORAGE_FRAGMENTATION_MODEL_H_

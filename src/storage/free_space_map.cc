@@ -1,0 +1,37 @@
+#include "src/storage/free_space_map.h"
+
+namespace plp {
+
+PageId FreeSpaceMap::FindPageWith(std::size_t need) {
+  mu_.lock();
+  PageId found = kInvalidPageId;
+  for (const auto& [id, free] : free_bytes_) {
+    if (free >= need) {
+      found = id;
+      break;
+    }
+  }
+  mu_.unlock();
+  return found;
+}
+
+void FreeSpaceMap::Update(PageId id, std::size_t free_bytes) {
+  mu_.lock();
+  free_bytes_[id] = free_bytes;
+  mu_.unlock();
+}
+
+void FreeSpaceMap::Remove(PageId id) {
+  mu_.lock();
+  free_bytes_.erase(id);
+  mu_.unlock();
+}
+
+std::size_t FreeSpaceMap::num_tracked() {
+  mu_.lock();
+  std::size_t n = free_bytes_.size();
+  mu_.unlock();
+  return n;
+}
+
+}  // namespace plp

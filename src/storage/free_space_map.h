@@ -1,0 +1,39 @@
+// Free-space management for heap files. A centralized structure guarded by
+// a metadata critical section — the residual "CATALOG/SPACE" latching that
+// remains even under PLP-Leaf (Section 4.2).
+#ifndef PLP_STORAGE_FREE_SPACE_MAP_H_
+#define PLP_STORAGE_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+
+class FreeSpaceMap {
+ public:
+  FreeSpaceMap() : mu_(CsCategory::kMetadata) {}
+
+  /// Returns a page believed to have at least `need` free bytes, or
+  /// kInvalidPageId if none is known.
+  PageId FindPageWith(std::size_t need);
+
+  /// Records/updates a page's free space estimate.
+  void Update(PageId id, std::size_t free_bytes);
+
+  /// Drops a page (freed during repartitioning).
+  void Remove(PageId id);
+
+  std::size_t num_tracked();
+
+ private:
+  TrackedMutex mu_;
+  std::unordered_map<PageId, std::size_t> free_bytes_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_STORAGE_FREE_SPACE_MAP_H_

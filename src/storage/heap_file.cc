@@ -1,0 +1,196 @@
+#include "src/storage/heap_file.h"
+
+#include <cassert>
+
+namespace plp {
+
+HeapFile::HeapFile(BufferPool* pool, HeapMode mode)
+    : pool_(pool),
+      mode_(mode),
+      latch_policy_(mode == HeapMode::kShared ? LatchPolicy::kLatched
+                                              : LatchPolicy::kNone) {}
+
+Page* HeapFile::AllocatePage(std::uint32_t owner) {
+  Page* page = pool_->NewPage(PageClass::kHeap);
+  SlottedPage::Init(page->data());
+  SlottedPage(page->data()).set_owner(owner);
+  if (mode_ != HeapMode::kShared) page->set_owner_tag(owner);
+  meta_mu_.lock();
+  pages_.push_back(page->id());
+  if (mode_ != HeapMode::kShared) {
+    auto& op = owners_[owner];
+    if (!op) op = std::make_unique<OwnerPages>();
+    op->pages.push_back(page->id());
+  }
+  meta_mu_.unlock();
+  return page;
+}
+
+HeapFile::OwnerPages* HeapFile::GetOwnerPages(std::uint32_t owner) {
+  meta_mu_.lock();
+  auto& op = owners_[owner];
+  if (!op) op = std::make_unique<OwnerPages>();
+  OwnerPages* raw = op.get();
+  meta_mu_.unlock();
+  return raw;
+}
+
+Status HeapFile::Insert(Slice record, Rid* rid) {
+  assert(mode_ == HeapMode::kShared);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    PageId pid = fsm_.FindPageWith(record.size() + SlottedPage::kSlotSize);
+    Page* page = pid == kInvalidPageId ? nullptr : pool_->Fix(pid);
+    if (page == nullptr) {
+      page = AllocatePage(/*owner=*/0);
+    }
+    LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
+    SlottedPage sp(page->data());
+    SlotId slot;
+    Status st = sp.Insert(record, &slot);
+    if (st.IsNoSpace()) {
+      fsm_.Update(page->id(), 0);
+      continue;  // stale estimate; try another page
+    }
+    PLP_RETURN_IF_ERROR(st);
+    page->MarkDirty();
+    fsm_.Update(page->id(), sp.TotalFreeSpace());
+    *rid = Rid{page->id(), slot};
+    return Status::OK();
+  }
+  return Status::NoSpace("heap insert failed after retries");
+}
+
+Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
+  assert(mode_ != HeapMode::kShared);
+  OwnerPages* op = GetOwnerPages(owner);
+  // Try the most recently allocated page for this owner first.
+  if (!op->pages.empty()) {
+    Page* page = pool_->FixUnlocked(op->pages.back());
+    if (page != nullptr) {
+      SlottedPage sp(page->data());
+      SlotId slot;
+      Status st = sp.Insert(record, &slot);
+      if (st.ok()) {
+        page->MarkDirty();
+        *rid = Rid{page->id(), slot};
+        return st;
+      }
+      if (!st.IsNoSpace()) return st;
+    }
+  }
+  Page* page = AllocatePage(owner);
+  SlottedPage sp(page->data());
+  SlotId slot;
+  PLP_RETURN_IF_ERROR(sp.Insert(record, &slot));
+  page->MarkDirty();
+  *rid = Rid{page->id(), slot};
+  return Status::OK();
+}
+
+Status HeapFile::Get(Rid rid, std::string* out) {
+  Page* page = latch_policy_ == LatchPolicy::kLatched
+                   ? pool_->Fix(rid.page_id)
+                   : pool_->FixUnlocked(rid.page_id);
+  if (page == nullptr) return Status::NotFound("no such page");
+  LatchGuard g(&page->latch(), LatchMode::kShared, latch_policy_);
+  Slice rec;
+  PLP_RETURN_IF_ERROR(SlottedPage(page->data()).Get(rid.slot, &rec));
+  out->assign(rec.data(), rec.size());
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, Slice record) {
+  Page* page = latch_policy_ == LatchPolicy::kLatched
+                   ? pool_->Fix(rid.page_id)
+                   : pool_->FixUnlocked(rid.page_id);
+  if (page == nullptr) return Status::NotFound("no such page");
+  LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
+  PLP_RETURN_IF_ERROR(SlottedPage(page->data()).Update(rid.slot, record));
+  page->MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Delete(Rid rid) {
+  Page* page = latch_policy_ == LatchPolicy::kLatched
+                   ? pool_->Fix(rid.page_id)
+                   : pool_->FixUnlocked(rid.page_id);
+  if (page == nullptr) return Status::NotFound("no such page");
+  LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
+  SlottedPage sp(page->data());
+  PLP_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  page->MarkDirty();
+  if (mode_ == HeapMode::kShared) {
+    fsm_.Update(page->id(), sp.TotalFreeSpace());
+  }
+  return Status::OK();
+}
+
+void HeapFile::Scan(const std::function<void(Rid, Slice)>& fn) {
+  for (PageId pid : AllPages()) {
+    Page* page = pool_->Fix(pid);
+    if (page == nullptr) continue;
+    LatchGuard g(&page->latch(), LatchMode::kShared, latch_policy_);
+    SlottedPage(page->data()).ForEach([&](SlotId s, Slice rec) {
+      fn(Rid{pid, s}, rec);
+    });
+  }
+}
+
+void HeapFile::ScanOwned(std::uint32_t owner,
+                         const std::function<void(Rid, Slice)>& fn) {
+  for (PageId pid : OwnedPages(owner)) {
+    Page* page = pool_->FixUnlocked(pid);
+    if (page == nullptr) continue;
+    SlottedPage(page->data()).ForEach([&](SlotId s, Slice rec) {
+      fn(Rid{pid, s}, rec);
+    });
+  }
+}
+
+Status HeapFile::Move(Rid from, std::uint32_t new_owner, Rid* new_rid) {
+  std::string record;
+  PLP_RETURN_IF_ERROR(Get(from, &record));
+  PLP_RETURN_IF_ERROR(InsertOwned(new_owner, record, new_rid));
+  return Delete(from);
+}
+
+std::vector<PageId> HeapFile::OwnedPages(std::uint32_t owner) {
+  meta_mu_.lock();
+  std::vector<PageId> out;
+  auto it = owners_.find(owner);
+  if (it != owners_.end()) out = it->second->pages;
+  meta_mu_.unlock();
+  return out;
+}
+
+void HeapFile::RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner) {
+  meta_mu_.lock();
+  auto it = owners_.find(old_owner);
+  if (it != owners_.end()) {
+    auto& dst = owners_[new_owner];
+    if (!dst) dst = std::make_unique<OwnerPages>();
+    for (PageId pid : it->second->pages) {
+      Page* page = pool_->FixUnlocked(pid);
+      if (page != nullptr) {
+        SlottedPage(page->data()).set_owner(new_owner);
+        page->set_owner_tag(new_owner);
+      }
+      dst->pages.push_back(pid);
+    }
+    owners_.erase(it);
+  }
+  meta_mu_.unlock();
+}
+
+std::size_t HeapFile::num_pages() const {
+  return const_cast<HeapFile*>(this)->AllPages().size();
+}
+
+std::vector<PageId> HeapFile::AllPages() {
+  meta_mu_.lock();
+  std::vector<PageId> out = pages_;
+  meta_mu_.unlock();
+  return out;
+}
+
+}  // namespace plp

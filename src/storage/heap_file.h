@@ -1,0 +1,100 @@
+// Heap files: collections of slotted pages addressed by RID.
+//
+// Three access disciplines mirror the paper's heap-page designs (§3.3):
+//  * kShared          — any thread may touch any page; pages are latched
+//                       and placement uses the central free-space map
+//                       (conventional, Logical-only, PLP-Regular).
+//  * kPartitionOwned  — each page is owned by one logical partition
+//                       (PLP-Partition); accesses are latch-free.
+//  * kLeafOwned       — each page is owned by one MRBTree leaf
+//                       (PLP-Leaf); accesses are latch-free.
+// In the owned modes the owner tag is stored in the page header and
+// placement goes through per-owner page lists.
+#ifndef PLP_STORAGE_HEAP_FILE_H_
+#define PLP_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/free_space_map.h"
+#include "src/storage/slotted_page.h"
+#include "src/sync/latch.h"
+
+namespace plp {
+
+enum class HeapMode { kShared, kPartitionOwned, kLeafOwned };
+
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, HeapMode mode);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  HeapMode mode() const { return mode_; }
+  LatchPolicy latch_policy() const { return latch_policy_; }
+
+  /// Shared-mode insert: picks a page via the free-space map.
+  Status Insert(Slice record, Rid* rid);
+
+  /// Owned-mode insert: places the record on a page owned by `owner`
+  /// (a partition id or a leaf page id), allocating one if needed.
+  Status InsertOwned(std::uint32_t owner, Slice record, Rid* rid);
+
+  Status Get(Rid rid, std::string* out);
+  Status Update(Rid rid, Slice record);
+  Status Delete(Rid rid);
+
+  /// Full scan in page order. Under PLP this is distributed across
+  /// partition workers by the engine; the heap file itself just iterates.
+  void Scan(const std::function<void(Rid, Slice)>& fn);
+
+  /// Scans only pages owned by `owner` (owned modes).
+  void ScanOwned(std::uint32_t owner, const std::function<void(Rid, Slice)>& fn);
+
+  /// Moves one record to a page owned by `new_owner`; used during
+  /// repartitioning (PLP-Partition/Leaf) and leaf splits (PLP-Leaf).
+  /// Returns the new RID so callers can fix up index entries.
+  Status Move(Rid from, std::uint32_t new_owner, Rid* new_rid);
+
+  /// All pages owned by `owner`, in allocation order.
+  std::vector<PageId> OwnedPages(std::uint32_t owner);
+
+  /// Reassigns every page owned by `old_owner` to `new_owner` without
+  /// moving records (PLP-Partition repartition fast path when splitting
+  /// whole owners).
+  void RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner);
+
+  std::size_t num_pages() const;
+  std::vector<PageId> AllPages();
+
+ private:
+  struct OwnerPages {
+    std::vector<PageId> pages;
+  };
+
+  Page* AllocatePage(std::uint32_t owner);
+  OwnerPages* GetOwnerPages(std::uint32_t owner);
+
+  BufferPool* pool_;
+  const HeapMode mode_;
+  const LatchPolicy latch_policy_;
+
+  FreeSpaceMap fsm_;  // shared mode placement
+
+  TrackedMutex meta_mu_{CsCategory::kMetadata};
+  std::vector<PageId> pages_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<OwnerPages>> owners_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,207 @@
+#include "src/storage/slotted_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace plp {
+
+void SlottedPage::Init(char* data) {
+  std::memset(data, 0, kHeaderSize);
+  SlottedPage page(data);
+  page.set_cell_start(static_cast<std::uint16_t>(kPageSize));
+}
+
+std::uint16_t SlottedPage::GetU16(std::size_t off) const {
+  std::uint16_t v;
+  std::memcpy(&v, data_ + off, 2);
+  return v;
+}
+
+void SlottedPage::PutU16(std::size_t off, std::uint16_t v) {
+  std::memcpy(data_ + off, &v, 2);
+}
+
+std::uint32_t SlottedPage::GetU32(std::size_t off) const {
+  std::uint32_t v;
+  std::memcpy(&v, data_ + off, 4);
+  return v;
+}
+
+void SlottedPage::PutU32(std::size_t off, std::uint32_t v) {
+  std::memcpy(data_ + off, &v, 4);
+}
+
+std::size_t SlottedPage::ContiguousFreeSpace() const {
+  const std::size_t dir_end = kHeaderSize + slot_count() * kSlotSize;
+  const std::size_t start = cell_start();
+  return start > dir_end ? start - dir_end : 0;
+}
+
+bool SlottedPage::HasRoomFor(std::size_t record_size) const {
+  // A tombstone slot can hold the new record if a cell fits.
+  const bool has_tombstone = live_count() < slot_count();
+  const std::size_t slot_cost = has_tombstone ? 0 : kSlotSize;
+  if (ContiguousFreeSpace() >= record_size + slot_cost) return true;
+  // Compaction may reclaim dead cells.
+  return TotalFreeSpace() >= record_size + slot_cost;
+}
+
+std::size_t SlottedPage::TotalFreeSpace() const {
+  std::size_t dead = 0;
+  const std::uint16_t n = slot_count();
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotOffset(s) == 0) continue;
+  }
+  // Dead bytes = page size - header - directory - live cell bytes.
+  std::size_t live_bytes = 0;
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotOffset(s) != 0) live_bytes += SlotLen(s);
+  }
+  (void)dead;
+  return kPageSize - kHeaderSize - n * kSlotSize - live_bytes;
+}
+
+Status SlottedPage::Insert(Slice record, SlotId* slot) {
+  const std::size_t need = record.size();
+  if (need == 0) return Status::InvalidArgument("empty record");
+
+  // Find a tombstone slot to reuse, else a new one.
+  const std::uint16_t n = slot_count();
+  SlotId target = kInvalidSlotId;
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotOffset(s) == 0) {
+      target = s;
+      break;
+    }
+  }
+  const std::size_t slot_cost = (target == kInvalidSlotId) ? kSlotSize : 0;
+
+  if (ContiguousFreeSpace() < need + slot_cost) {
+    if (TotalFreeSpace() < need + slot_cost) {
+      return Status::NoSpace();
+    }
+    Compact();
+    if (ContiguousFreeSpace() < need + slot_cost) return Status::NoSpace();
+  }
+
+  if (target == kInvalidSlotId) {
+    target = n;
+    set_slot_count(n + 1);
+  }
+
+  const std::uint16_t new_start =
+      static_cast<std::uint16_t>(cell_start() - need);
+  std::memcpy(data_ + new_start, record.data(), need);
+  set_cell_start(new_start);
+  SetSlot(target, new_start, static_cast<std::uint16_t>(need));
+  set_live_count(live_count() + 1);
+  *slot = target;
+  return Status::OK();
+}
+
+Status SlottedPage::Get(SlotId slot, Slice* out) const {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound();
+  }
+  *out = Slice(data_ + SlotOffset(slot), SlotLen(slot));
+  return Status::OK();
+}
+
+Status SlottedPage::Update(SlotId slot, Slice record) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound();
+  }
+  if (record.size() <= SlotLen(slot)) {
+    std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+    SetSlot(slot, SlotOffset(slot), static_cast<std::uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Grow: free the old cell, allocate a new one on this page.
+  SetSlot(slot, 0, 0);
+  set_live_count(live_count() - 1);
+  if (ContiguousFreeSpace() < record.size()) {
+    if (TotalFreeSpace() < record.size()) {
+      return Status::NoSpace();
+    }
+    Compact();
+    if (ContiguousFreeSpace() < record.size()) return Status::NoSpace();
+  }
+  const std::uint16_t new_start =
+      static_cast<std::uint16_t>(cell_start() - record.size());
+  std::memcpy(data_ + new_start, record.data(), record.size());
+  set_cell_start(new_start);
+  SetSlot(slot, new_start, static_cast<std::uint16_t>(record.size()));
+  set_live_count(live_count() + 1);
+  return Status::OK();
+}
+
+Status SlottedPage::Delete(SlotId slot) {
+  if (slot >= slot_count() || SlotOffset(slot) == 0) {
+    return Status::NotFound();
+  }
+  SetSlot(slot, 0, 0);
+  set_live_count(live_count() - 1);
+  return Status::OK();
+}
+
+Status SlottedPage::PutAt(SlotId slot, Slice record) {
+  if (record.empty()) return Status::InvalidArgument("empty record");
+  // Extend the directory with free slots up to `slot`.
+  while (slot_count() <= slot) {
+    if (ContiguousFreeSpace() < kSlotSize) return Status::NoSpace();
+    const std::uint16_t n = slot_count();
+    SetSlot(n, 0, 0);
+    set_slot_count(n + 1);
+  }
+  if (SlotOffset(slot) != 0) {
+    SetSlot(slot, 0, 0);
+    set_live_count(live_count() - 1);
+  }
+  if (ContiguousFreeSpace() < record.size()) {
+    if (TotalFreeSpace() < record.size()) return Status::NoSpace();
+    Compact();
+    if (ContiguousFreeSpace() < record.size()) return Status::NoSpace();
+  }
+  const std::uint16_t new_start =
+      static_cast<std::uint16_t>(cell_start() - record.size());
+  std::memcpy(data_ + new_start, record.data(), record.size());
+  set_cell_start(new_start);
+  SetSlot(slot, new_start, static_cast<std::uint16_t>(record.size()));
+  set_live_count(live_count() + 1);
+  return Status::OK();
+}
+
+void SlottedPage::ForEach(
+    const std::function<void(SlotId, Slice)>& fn) const {
+  const std::uint16_t n = slot_count();
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotOffset(s) != 0) {
+      fn(s, Slice(data_ + SlotOffset(s), SlotLen(s)));
+    }
+  }
+}
+
+void SlottedPage::Compact() {
+  struct LiveCell {
+    SlotId slot;
+    std::string bytes;
+  };
+  std::vector<LiveCell> cells;
+  const std::uint16_t n = slot_count();
+  cells.reserve(live_count());
+  for (SlotId s = 0; s < n; ++s) {
+    if (SlotOffset(s) != 0) {
+      cells.push_back({s, std::string(data_ + SlotOffset(s), SlotLen(s))});
+    }
+  }
+  std::uint16_t start = static_cast<std::uint16_t>(kPageSize);
+  for (const LiveCell& cell : cells) {
+    start = static_cast<std::uint16_t>(start - cell.bytes.size());
+    std::memcpy(data_ + start, cell.bytes.data(), cell.bytes.size());
+    SetSlot(cell.slot, start, static_cast<std::uint16_t>(cell.bytes.size()));
+  }
+  set_cell_start(start);
+}
+
+}  // namespace plp

@@ -1,0 +1,108 @@
+// Slotted-page record layout used by heap pages and B+Tree nodes.
+//
+// Layout: a small header, a slot directory growing forward, and record
+// cells growing backward from the end of the page. Deleting a record leaves
+// a tombstone slot so RIDs of other records remain stable.
+#ifndef PLP_STORAGE_SLOTTED_PAGE_H_
+#define PLP_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+
+/// View over one page's bytes. Does not own the data and performs no
+/// synchronization; callers hold the page latch (or own the page).
+class SlottedPage {
+ public:
+  /// Header layout (offsets into the page):
+  ///   [0]  u16 slot_count
+  ///   [2]  u16 cell_start        lowest used cell byte
+  ///   [4]  u16 live_count        non-tombstone slots
+  ///   [6]  u16 reserved
+  ///   [8]  u32 owner             partition/leaf owner tag (PLP heap modes)
+  ///   [12] u32 reserved2
+  ///   [16] slot directory: {u16 offset, u16 len} per slot; offset 0 = free
+  static constexpr std::size_t kHeaderSize = 16;
+  static constexpr std::size_t kSlotSize = 4;
+
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats an empty page.
+  static void Init(char* data);
+
+  std::uint16_t slot_count() const { return GetU16(0); }
+  std::uint16_t live_count() const { return GetU16(4); }
+
+  std::uint32_t owner() const { return GetU32(8); }
+  void set_owner(std::uint32_t owner) { PutU32(8, owner); }
+
+  /// Contiguous free bytes (between the slot directory and the cells).
+  /// Inserting a new record needs record size + kSlotSize of it unless a
+  /// tombstone slot can be reused.
+  std::size_t ContiguousFreeSpace() const;
+
+  /// True if `record` fits (considering tombstone reuse).
+  bool HasRoomFor(std::size_t record_size) const;
+
+  /// Inserts a record; fails with kNoSpace when it does not fit.
+  Status Insert(Slice record, SlotId* slot);
+
+  /// Reads the record in `slot`; kNotFound for tombstones/out of range.
+  Status Get(SlotId slot, Slice* out) const;
+
+  /// In-place update if the new value fits in the old cell, otherwise
+  /// re-allocates a cell on this page (same slot id). kNoSpace if it
+  /// cannot fit even after compaction.
+  Status Update(SlotId slot, Slice record);
+
+  /// Tombstones the slot. kNotFound if already free.
+  Status Delete(SlotId slot);
+
+  /// Create-or-replace at a fixed slot id, extending the slot directory if
+  /// needed (recovery redo must reproduce exact RIDs).
+  Status PutAt(SlotId slot, Slice record);
+
+  /// Invokes fn for every live record.
+  void ForEach(const std::function<void(SlotId, Slice)>& fn) const;
+
+  /// Rewrites cells to squeeze out holes left by deletes/updates.
+  void Compact();
+
+  /// Approximate free bytes counting tombstoned cells (used by the
+  /// free-space map).
+  std::size_t TotalFreeSpace() const;
+
+ private:
+  std::uint16_t GetU16(std::size_t off) const;
+  void PutU16(std::size_t off, std::uint16_t v);
+  std::uint32_t GetU32(std::size_t off) const;
+  void PutU32(std::size_t off, std::uint32_t v);
+
+  std::uint16_t SlotOffset(SlotId s) const {
+    return GetU16(kHeaderSize + s * kSlotSize);
+  }
+  std::uint16_t SlotLen(SlotId s) const {
+    return GetU16(kHeaderSize + s * kSlotSize + 2);
+  }
+  void SetSlot(SlotId s, std::uint16_t off, std::uint16_t len) {
+    PutU16(kHeaderSize + s * kSlotSize, off);
+    PutU16(kHeaderSize + s * kSlotSize + 2, len);
+  }
+
+  std::uint16_t cell_start() const { return GetU16(2); }
+  void set_cell_start(std::uint16_t v) { PutU16(2, v); }
+  void set_slot_count(std::uint16_t v) { PutU16(0, v); }
+  void set_live_count(std::uint16_t v) { PutU16(4, v); }
+
+  char* data_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_STORAGE_SLOTTED_PAGE_H_

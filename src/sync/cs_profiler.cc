@@ -1,0 +1,173 @@
+#include "src/sync/cs_profiler.h"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace plp {
+
+const char* CsCategoryName(CsCategory c) {
+  switch (c) {
+    case CsCategory::kLockMgr: return "Lock mgr";
+    case CsCategory::kPageLatch: return "Page Latches";
+    case CsCategory::kBufferPool: return "Bpool";
+    case CsCategory::kMetadata: return "Metadata";
+    case CsCategory::kLogMgr: return "Log mgr";
+    case CsCategory::kXctMgr: return "Xct mgr";
+    case CsCategory::kMessagePassing: return "Message passing";
+    case CsCategory::kUncategorized: return "Uncategorized";
+  }
+  return "?";
+}
+
+const char* PageClassName(PageClass c) {
+  switch (c) {
+    case PageClass::kIndex: return "INDEX";
+    case PageClass::kHeap: return "HEAP";
+    case PageClass::kCatalog: return "CATALOG/SPACE";
+  }
+  return "?";
+}
+
+std::uint64_t CsCounts::TotalEntries() const {
+  std::uint64_t t = 0;
+  for (auto v : entries) t += v;
+  return t;
+}
+
+std::uint64_t CsCounts::TotalContended() const {
+  std::uint64_t t = 0;
+  for (auto v : contended) t += v;
+  return t;
+}
+
+std::uint64_t CsCounts::TotalLatches() const {
+  std::uint64_t t = 0;
+  for (auto v : latches) t += v;
+  return t;
+}
+
+CsCounts& CsCounts::operator+=(const CsCounts& other) {
+  for (int i = 0; i < kNumCsCategories; ++i) {
+    entries[i] += other.entries[i];
+    contended[i] += other.contended[i];
+    wait_ns[i] += other.wait_ns[i];
+  }
+  for (int i = 0; i < kNumPageClasses; ++i) {
+    latches[i] += other.latches[i];
+    latches_contended[i] += other.latches_contended[i];
+    latch_wait_ns[i] += other.latch_wait_ns[i];
+  }
+  return *this;
+}
+
+CsCounts CsCounts::operator-(const CsCounts& other) const {
+  CsCounts out;
+  for (int i = 0; i < kNumCsCategories; ++i) {
+    out.entries[i] = entries[i] - other.entries[i];
+    out.contended[i] = contended[i] - other.contended[i];
+    out.wait_ns[i] = wait_ns[i] - other.wait_ns[i];
+  }
+  for (int i = 0; i < kNumPageClasses; ++i) {
+    out.latches[i] = latches[i] - other.latches[i];
+    out.latches_contended[i] = latches_contended[i] - other.latches_contended[i];
+    out.latch_wait_ns[i] = latch_wait_ns[i] - other.latch_wait_ns[i];
+  }
+  return out;
+}
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<CsCounts*> live;
+  CsCounts retired;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+}  // namespace
+
+struct CsProfiler::ThreadState {
+  CsCounts counts;
+
+  ThreadState() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> g(r.mu);
+    r.live.push_back(&counts);
+  }
+  ~ThreadState() {
+    Registry& r = GetRegistry();
+    std::lock_guard<std::mutex> g(r.mu);
+    r.retired += counts;
+    for (auto it = r.live.begin(); it != r.live.end(); ++it) {
+      if (*it == &counts) {
+        r.live.erase(it);
+        break;
+      }
+    }
+  }
+};
+
+CsProfiler& CsProfiler::Global() {
+  static CsProfiler* p = new CsProfiler();
+  return *p;
+}
+
+CsProfiler::ThreadState& CsProfiler::Local() {
+  thread_local ThreadState state;
+  return state;
+}
+
+void CsProfiler::Record(CsCategory category, bool contended,
+                        std::uint64_t wait_ns) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  CsCounts& c = Local().counts;
+  c.entries[static_cast<int>(category)]++;
+  if (contended) {
+    c.contended[static_cast<int>(category)]++;
+    c.wait_ns[static_cast<int>(category)] += wait_ns;
+  }
+}
+
+void CsProfiler::RecordLatch(PageClass page_class, bool contended,
+                             std::uint64_t wait_ns) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  CsCounts& c = Local().counts;
+  c.entries[static_cast<int>(CsCategory::kPageLatch)]++;
+  c.latches[static_cast<int>(page_class)]++;
+  if (contended) {
+    c.contended[static_cast<int>(CsCategory::kPageLatch)]++;
+    c.wait_ns[static_cast<int>(CsCategory::kPageLatch)] += wait_ns;
+    c.latches_contended[static_cast<int>(page_class)]++;
+    c.latch_wait_ns[static_cast<int>(page_class)] += wait_ns;
+  }
+}
+
+CsCounts CsProfiler::Collect() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> g(r.mu);
+  CsCounts out = r.retired;
+  for (CsCounts* c : r.live) out += *c;
+  return out;
+}
+
+void CsProfiler::Reset() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.retired = CsCounts{};
+  for (CsCounts* c : r.live) *c = CsCounts{};
+}
+
+void CsProfiler::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool CsProfiler::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace plp

@@ -1,0 +1,102 @@
+// Critical-section accounting (Section 2 of the paper).
+//
+// Every critical section in the storage manager is tagged with the service
+// that owns it (lock manager, page latching, buffer pool, ...). Entries and
+// contended entries are tallied per thread with no shared-cacheline writes on
+// the hot path; a collector aggregates across threads. This reproduces the
+// measurement infrastructure behind Figures 1, 2 and 3.
+#ifndef PLP_SYNC_CS_PROFILER_H_
+#define PLP_SYNC_CS_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace plp {
+
+/// Storage-manager service that owns a critical section (Figure 1 legend).
+enum class CsCategory : int {
+  kLockMgr = 0,
+  kPageLatch = 1,
+  kBufferPool = 2,
+  kMetadata = 3,     // catalog / free-space management
+  kLogMgr = 4,
+  kXctMgr = 5,
+  kMessagePassing = 6,
+  kUncategorized = 7,
+};
+inline constexpr int kNumCsCategories = 8;
+
+const char* CsCategoryName(CsCategory c);
+
+/// Kind of database page a latch protects (Figures 2 and 3 legend).
+enum class PageClass : int {
+  kIndex = 0,
+  kHeap = 1,
+  kCatalog = 2,  // metadata and free-space pages
+};
+inline constexpr int kNumPageClasses = 3;
+
+const char* PageClassName(PageClass c);
+
+/// Aggregated counters. Plain data; returned by CsProfiler::Collect().
+struct CsCounts {
+  std::array<std::uint64_t, kNumCsCategories> entries{};
+  std::array<std::uint64_t, kNumCsCategories> contended{};
+  /// Nanoseconds spent blocked waiting to enter, per category.
+  std::array<std::uint64_t, kNumCsCategories> wait_ns{};
+  std::array<std::uint64_t, kNumPageClasses> latches{};
+  std::array<std::uint64_t, kNumPageClasses> latches_contended{};
+  /// Nanoseconds spent blocked on page latches, per page class
+  /// ("Idx Latch Cont." / "Heap Latch Cont." in Figures 6 and 7).
+  std::array<std::uint64_t, kNumPageClasses> latch_wait_ns{};
+
+  std::uint64_t TotalEntries() const;
+  std::uint64_t TotalContended() const;
+  std::uint64_t TotalLatches() const;
+
+  CsCounts& operator+=(const CsCounts& other);
+  /// Counter-wise difference (for before/after measurement windows).
+  CsCounts operator-(const CsCounts& other) const;
+};
+
+/// Process-wide profiler. Threads record into thread-local state registered
+/// with the singleton; Collect() sums live threads plus retired ones.
+class CsProfiler {
+ public:
+  static CsProfiler& Global();
+
+  CsProfiler(const CsProfiler&) = delete;
+  CsProfiler& operator=(const CsProfiler&) = delete;
+
+  /// Records one critical-section entry on the calling thread. `contended`
+  /// means the acquirer had to wait (for `wait_ns` nanoseconds).
+  static void Record(CsCategory category, bool contended,
+                     std::uint64_t wait_ns = 0);
+
+  /// Records a page-latch acquisition (also counts as a kPageLatch entry).
+  static void RecordLatch(PageClass page_class, bool contended,
+                          std::uint64_t wait_ns = 0);
+
+  /// Sums counters across all threads that ever recorded.
+  CsCounts Collect();
+
+  /// Zeroes all counters (live and retired). Call between experiments.
+  void Reset();
+
+  /// Globally enable/disable recording (avoids overhead when not measuring).
+  static void SetEnabled(bool enabled);
+  static bool enabled();
+
+ private:
+  CsProfiler() = default;
+
+  struct ThreadState;
+  static ThreadState& Local();
+
+  friend struct ThreadStateHolder;
+};
+
+}  // namespace plp
+
+#endif  // PLP_SYNC_CS_PROFILER_H_

@@ -1,0 +1,5 @@
+#include "src/sync/latch.h"
+
+// Latch and TrackedMutex are header-only; this file anchors the translation
+// unit so the build registers the module.
+namespace plp {}

@@ -1,0 +1,144 @@
+// Instrumented page latches and categorized mutexes.
+#ifndef PLP_SYNC_LATCH_H_
+#define PLP_SYNC_LATCH_H_
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+
+/// Latch acquisition mode.
+enum class LatchMode { kShared, kExclusive };
+
+/// Whether an access method acquires page latches. Partition-owned
+/// structures in PLP run with kNone: exactly one thread touches the pages,
+/// so no physical synchronization is required (Section 3.2.2).
+enum class LatchPolicy { kLatched, kNone };
+
+/// Reader-writer page latch with contention instrumentation. Every
+/// acquisition is recorded against the page class it protects.
+class Latch {
+ public:
+  explicit Latch(PageClass page_class = PageClass::kCatalog)
+      : page_class_(page_class) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void set_page_class(PageClass c) { page_class_ = c; }
+  PageClass page_class() const { return page_class_; }
+
+  void AcquireShared() {
+    if (mu_.try_lock_shared()) {
+      CsProfiler::RecordLatch(page_class_, /*contended=*/false);
+      return;
+    }
+    const std::uint64_t t0 = NowNanos();
+    mu_.lock_shared();
+    CsProfiler::RecordLatch(page_class_, /*contended=*/true, NowNanos() - t0);
+  }
+  void ReleaseShared() { mu_.unlock_shared(); }
+
+  void AcquireExclusive() {
+    if (mu_.try_lock()) {
+      CsProfiler::RecordLatch(page_class_, /*contended=*/false);
+      return;
+    }
+    const std::uint64_t t0 = NowNanos();
+    mu_.lock();
+    CsProfiler::RecordLatch(page_class_, /*contended=*/true, NowNanos() - t0);
+  }
+  void ReleaseExclusive() { mu_.unlock(); }
+
+  void Acquire(LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      AcquireShared();
+    } else {
+      AcquireExclusive();
+    }
+  }
+  void Release(LatchMode mode) {
+    if (mode == LatchMode::kShared) {
+      ReleaseShared();
+    } else {
+      ReleaseExclusive();
+    }
+  }
+
+ private:
+  std::shared_mutex mu_;
+  PageClass page_class_;
+};
+
+/// RAII guard honoring a LatchPolicy: under kNone the acquisition is skipped
+/// entirely — the code path the paper makes possible.
+class LatchGuard {
+ public:
+  LatchGuard(Latch* latch, LatchMode mode, LatchPolicy policy)
+      : latch_(policy == LatchPolicy::kLatched ? latch : nullptr),
+        mode_(mode) {
+    if (latch_ != nullptr) latch_->Acquire(mode_);
+  }
+  ~LatchGuard() { Release(); }
+
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+  /// Early release (used by latch crabbing).
+  void Release() {
+    if (latch_ != nullptr) {
+      latch_->Release(mode_);
+      latch_ = nullptr;
+    }
+  }
+
+ private:
+  Latch* latch_;
+  LatchMode mode_;
+};
+
+/// Mutex whose acquisitions are tallied under a CsCategory; protects
+/// internal storage-manager state (lock-table buckets, buffer-pool shards,
+/// the transaction table, catalog structures, ...).
+class TrackedMutex {
+ public:
+  explicit TrackedMutex(CsCategory category) : category_(category) {}
+
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  void lock() {
+    if (mu_.try_lock()) {
+      CsProfiler::Record(category_, /*contended=*/false);
+      return;
+    }
+    const std::uint64_t t0 = NowNanos();
+    mu_.lock();
+    CsProfiler::Record(category_, /*contended=*/true, NowNanos() - t0);
+  }
+  void unlock() { mu_.unlock(); }
+  bool try_lock() {
+    bool ok = mu_.try_lock();
+    if (ok) CsProfiler::Record(category_, false);
+    return ok;
+  }
+
+  /// Access to the raw mutex for condition-variable waits; the caller is
+  /// responsible for recording the entry.
+  std::mutex& raw() { return mu_; }
+  CsCategory category() const { return category_; }
+
+ private:
+  std::mutex mu_;
+  CsCategory category_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_SYNC_LATCH_H_

@@ -1,0 +1,97 @@
+// Multi-producer single-consumer queue used for partition input queues.
+//
+// Enqueues are the "message passing" communication of the logically
+// partitioned designs — a fixed-contention critical section in the paper's
+// taxonomy (Section 2.1) — and are recorded as such.
+#ifndef PLP_SYNC_MPSC_QUEUE_H_
+#define PLP_SYNC_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() = default;
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  void Push(T item) {
+    {
+      bool contended = !mu_.try_lock();
+      if (contended) mu_.lock();
+      CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      items_.push_back(std::move(item));
+      mu_.unlock();
+    }
+    cv_.notify_one();
+  }
+
+  /// System-queue push (Appendix A.4): high-priority items jump the queue
+  /// so page-cleaning requests are served before normal actions.
+  void PushHighPriority(T item) {
+    {
+      bool contended = !mu_.try_lock();
+      if (contended) mu_.lock();
+      CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      items_.push_front(std::move(item));
+      mu_.unlock();
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or Close() is called.
+  /// Returns nullopt only after close with an empty queue.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace plp
+
+#endif  // PLP_SYNC_MPSC_QUEUE_H_

@@ -1,0 +1,38 @@
+// Test-and-test-and-set spinlock for very short critical sections.
+#ifndef PLP_SYNC_SPINLOCK_H_
+#define PLP_SYNC_SPINLOCK_H_
+
+#include <atomic>
+
+namespace plp {
+
+/// TTAS spinlock. Satisfies Lockable, so std::lock_guard works.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace plp
+
+#endif  // PLP_SYNC_SPINLOCK_H_

@@ -1,0 +1,138 @@
+#include "src/txn/recovery.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/slotted_page.h"
+
+namespace plp {
+
+std::string RecoveryManager::EncodeIndexOp(Slice key, Slice value) {
+  std::string out;
+  const std::uint16_t klen = static_cast<std::uint16_t>(key.size());
+  out.append(reinterpret_cast<const char*>(&klen), 2);
+  out.append(key.data(), key.size());
+  out.append(value.data(), value.size());
+  return out;
+}
+
+void RecoveryManager::DecodeIndexOp(Slice payload, std::string* key,
+                                    std::string* value) {
+  std::uint16_t klen;
+  std::memcpy(&klen, payload.data(), 2);
+  key->assign(payload.data() + 2, klen);
+  value->assign(payload.data() + 2 + klen, payload.size() - 2 - klen);
+}
+
+Status RecoveryManager::Recover(BTree* index, Stats* stats) {
+  Stats local;
+
+  // Pass 1: analysis.
+  std::unordered_set<TxnId> winners;
+  std::unordered_set<TxnId> seen;
+  PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn, const LogRecord& rec) {
+    seen.insert(rec.txn);
+    if (rec.type == LogType::kCommit) winners.insert(rec.txn);
+  }));
+  local.winners = winners.size();
+  local.losers = seen.size() - winners.size();
+
+  // Pass 2: redo heap history; collect loser ops for undo; replay winner
+  // index ops logically.
+  struct LoserOp {
+    LogType type;
+    Rid rid;
+    std::string undo;
+  };
+  std::vector<LoserOp> loser_ops;
+
+  auto heap_page = [&](PageId pid) {
+    Page* page = pool_->NewPageWithId(pid, PageClass::kHeap);
+    // Freshly materialized frames are zeroed; format them once.
+    SlottedPage sp(page->data());
+    if (sp.slot_count() == 0 && sp.ContiguousFreeSpace() == 0) {
+      SlottedPage::Init(page->data());
+    }
+    return page;
+  };
+
+  Status replay_status = Status::OK();
+  PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn, const LogRecord& rec) {
+    if (!replay_status.ok()) return;
+    switch (rec.type) {
+      case LogType::kHeapInsert:
+      case LogType::kHeapUpdate: {
+        Page* page = heap_page(rec.rid.page_id);
+        replay_status = SlottedPage(page->data()).PutAt(rec.rid.slot, rec.redo);
+        page->MarkDirty();
+        local.redo_ops++;
+        break;
+      }
+      case LogType::kHeapDelete: {
+        Page* page = heap_page(rec.rid.page_id);
+        // Idempotent: deleting an already-free slot is fine.
+        (void)SlottedPage(page->data()).Delete(rec.rid.slot);
+        page->MarkDirty();
+        local.redo_ops++;
+        break;
+      }
+      case LogType::kIndexInsert:
+      case LogType::kIndexDelete: {
+        if (index != nullptr && winners.count(rec.txn) > 0) {
+          std::string key, value;
+          DecodeIndexOp(rec.redo.empty() ? rec.undo : rec.redo, &key, &value);
+          if (rec.type == LogType::kIndexInsert) {
+            Status st = index->Insert(key, value);
+            if (st.IsAlreadyExists()) st = index->Update(key, value);
+            replay_status = st;
+          } else {
+            Status st = index->Delete(key);
+            if (!st.IsNotFound()) replay_status = st;
+          }
+          local.index_ops++;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (replay_status.ok() && winners.count(rec.txn) == 0) {
+      switch (rec.type) {
+        case LogType::kHeapInsert:
+        case LogType::kHeapUpdate:
+        case LogType::kHeapDelete:
+          loser_ops.push_back({rec.type, rec.rid, rec.undo});
+          break;
+        default:
+          break;
+      }
+    }
+  }));
+  PLP_RETURN_IF_ERROR(replay_status);
+
+  // Pass 3: undo losers newest-first.
+  for (auto it = loser_ops.rbegin(); it != loser_ops.rend(); ++it) {
+    Page* page = heap_page(it->rid.page_id);
+    SlottedPage sp(page->data());
+    switch (it->type) {
+      case LogType::kHeapInsert:
+        (void)sp.Delete(it->rid.slot);
+        break;
+      case LogType::kHeapUpdate:
+      case LogType::kHeapDelete:
+        PLP_RETURN_IF_ERROR(sp.PutAt(it->rid.slot, it->undo));
+        break;
+      default:
+        break;
+    }
+    page->MarkDirty();
+    local.undo_ops++;
+  }
+
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace plp

@@ -1,0 +1,52 @@
+// ARIES-lite restart recovery over the retained write-ahead log.
+//
+// Three passes, in the ARIES spirit adapted to our physiological records:
+//  1. Analysis — classify transactions into winners (committed) and losers
+//     (active or aborted at the crash).
+//  2. Redo — repeat history for heap operations, reproducing exact RIDs
+//     via SlottedPage::PutAt and BufferPool::NewPageWithId.
+//  3. Undo — roll back loser heap operations newest-first using the undo
+//     images. Index operations are replayed logically for winners only
+//     (the index is rebuilt, so physical undo is unnecessary).
+#ifndef PLP_TXN_RECOVERY_H_
+#define PLP_TXN_RECOVERY_H_
+
+#include <cstdint>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/status.h"
+#include "src/index/btree.h"
+#include "src/log/log_manager.h"
+
+namespace plp {
+
+class RecoveryManager {
+ public:
+  struct Stats {
+    std::uint64_t winners = 0;
+    std::uint64_t losers = 0;
+    std::uint64_t redo_ops = 0;
+    std::uint64_t undo_ops = 0;
+    std::uint64_t index_ops = 0;
+  };
+
+  RecoveryManager(LogManager* log, BufferPool* pool)
+      : log_(log), pool_(pool) {}
+
+  /// Rebuilds heap pages (and optionally a primary index) from the log.
+  /// `index` may be null. The pool should be fresh (crash wiped memory).
+  Status Recover(BTree* index, Stats* stats);
+
+  /// Serialization helpers shared with the engines' logging sites.
+  static std::string EncodeIndexOp(Slice key, Slice value);
+  static void DecodeIndexOp(Slice payload, std::string* key,
+                            std::string* value);
+
+ private:
+  LogManager* log_;
+  BufferPool* pool_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_TXN_RECOVERY_H_

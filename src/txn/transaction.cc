@@ -1,0 +1,24 @@
+#include "src/txn/transaction.h"
+
+namespace plp {
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive: return "ACTIVE";
+    case TxnState::kCommitted: return "COMMITTED";
+    case TxnState::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+Status Transaction::RunUndo() {
+  Status first_error = Status::OK();
+  for (auto it = undo_actions_.rbegin(); it != undo_actions_.rend(); ++it) {
+    Status st = (*it)();
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  undo_actions_.clear();
+  return first_error;
+}
+
+}  // namespace plp

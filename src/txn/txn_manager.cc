@@ -1,0 +1,72 @@
+#include "src/txn/txn_manager.h"
+
+namespace plp {
+
+TxnManager::TxnManager(LogManager* log, LockManager* locks,
+                       TxnManagerConfig config)
+    : log_(log), locks_(locks), config_(config) {}
+
+Transaction* TxnManager::Begin() {
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id);
+  Transaction* raw = txn.get();
+
+  LogRecord rec;
+  rec.type = LogType::kBegin;
+  rec.txn = id;
+  raw->set_last_lsn(log_->Append(rec));
+
+  table_mu_.lock();
+  active_.emplace(id, std::move(txn));
+  table_mu_.unlock();
+  return raw;
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  rec.txn = txn->id();
+  const Lsn lsn = log_->Append(rec);
+  txn->set_last_lsn(lsn);
+  if (config_.durable_commits) {
+    log_->FlushTo(lsn);
+  }
+  txn->set_state(TxnState::kCommitted);
+  if (locks_ != nullptr) {
+    locks_->ReleaseAll(txn->id(), txn->held_locks());
+  }
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  Retire(txn);
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  Status undo_status = txn->RunUndo();
+
+  LogRecord rec;
+  rec.type = LogType::kAbort;
+  rec.txn = txn->id();
+  txn->set_last_lsn(log_->Append(rec));
+  txn->set_state(TxnState::kAborted);
+  if (locks_ != nullptr) {
+    locks_->ReleaseAll(txn->id(), txn->held_locks());
+  }
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  Retire(txn);
+  return undo_status;
+}
+
+void TxnManager::Retire(Transaction* txn) {
+  table_mu_.lock();
+  active_.erase(txn->id());
+  table_mu_.unlock();
+}
+
+std::size_t TxnManager::active_count() {
+  table_mu_.lock();
+  std::size_t n = active_.size();
+  table_mu_.unlock();
+  return n;
+}
+
+}  // namespace plp

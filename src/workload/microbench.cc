@@ -1,0 +1,123 @@
+#include "src/workload/microbench.h"
+
+#include <cstring>
+
+#include "src/common/key_encoding.h"
+
+namespace plp {
+
+Status ProbeInsertMix::Load() {
+  std::vector<std::string> boundaries = {""};
+  for (int p = 1; p < config_.partitions; ++p) {
+    boundaries.push_back(KeyU64(config_.initial_rows * 4 *
+                                static_cast<std::uint64_t>(p) /
+                                config_.partitions));
+  }
+  auto r = engine_->CreateTable(kTable, boundaries);
+  if (!r.ok()) return r.status();
+
+  Rng rng(config_.seed);
+  for (std::uint64_t i = 0; i < config_.initial_rows; ++i) {
+    // Spread initial keys over the whole 4x key space so future inserts
+    // land everywhere (uniform SMO pressure).
+    const std::uint64_t key_val = i * 4;
+    TxnRequest req;
+    const std::string key = KeyU64(key_val);
+    req.Add(0, kTable, key, [key](ExecContext& ctx) {
+      std::string payload(64, 'm');
+      return ctx.Insert(key, payload);
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  next_key_.store(config_.initial_rows * 4);
+  return Status::OK();
+}
+
+TxnRequest ProbeInsertMix::NextTransaction(Rng& rng) {
+  TxnRequest req;
+  if (rng.Uniform(100) < config_.insert_pct) {
+    // Insert a fresh key at a random position (odd offsets are unused).
+    const std::uint64_t base = rng.Uniform(config_.initial_rows * 4);
+    const std::string key = KeyU64(base | 1);
+    req.Add(0, kTable, key, [key](ExecContext& ctx) {
+      std::string payload(64, 'm');
+      Status st = ctx.Insert(key, payload);
+      return st.IsAlreadyExists() ? Status::OK() : st;
+    });
+  } else {
+    const std::uint64_t k = rng.Uniform(config_.initial_rows) * 4;
+    const std::string key = KeyU64(k);
+    req.Add(0, kTable, key, [key](ExecContext& ctx) {
+      std::string payload;
+      Status st = ctx.Read(key, &payload);
+      return st.IsNotFound() ? Status::OK() : st;
+    });
+  }
+  return req;
+}
+
+Status BalanceProbe::Load() {
+  auto r = engine_->CreateTable(kTable, UniformBoundaries());
+  if (!r.ok()) return r.status();
+  for (std::uint32_t s = 1; s <= config_.subscribers; ++s) {
+    TxnRequest req;
+    const std::string key = KeyU32(s);
+    const std::uint32_t size = config_.record_size;
+    req.Add(0, kTable, key, [key, size](ExecContext& ctx) {
+      std::string payload(size, 'a');
+      return ctx.Insert(key, payload);
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> BalanceProbe::UniformBoundaries() const {
+  std::vector<std::string> out = {""};
+  for (int p = 1; p < config_.partitions; ++p) {
+    out.push_back(KeyU32(1 + static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(config_.subscribers) * p /
+        config_.partitions)));
+  }
+  return out;
+}
+
+std::vector<std::string> BalanceProbe::HotColdBoundaries(
+    double hot_fraction) const {
+  // Half the partitions cover the hot prefix, half the cold remainder.
+  std::vector<std::string> out = {""};
+  const auto hot_end = static_cast<std::uint32_t>(
+      static_cast<double>(config_.subscribers) * hot_fraction);
+  const int half = config_.partitions / 2;
+  for (int p = 1; p < half; ++p) {
+    out.push_back(KeyU32(1 + hot_end * static_cast<std::uint32_t>(p) /
+                         static_cast<std::uint32_t>(half)));
+  }
+  out.push_back(KeyU32(1 + hot_end));
+  for (int p = 1; p < config_.partitions - half; ++p) {
+    out.push_back(KeyU32(1 + hot_end + static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(config_.subscribers - hot_end) * p /
+        (config_.partitions - half))));
+  }
+  return out;
+}
+
+TxnRequest BalanceProbe::NextTransaction(Rng& rng) {
+  std::uint32_t s;
+  if (skewed_.load(std::memory_order_acquire) && rng.Percent(50)) {
+    const auto hot_end = static_cast<std::uint32_t>(
+        static_cast<double>(config_.subscribers) * hot_fraction_.load());
+    s = static_cast<std::uint32_t>(rng.Range(1, std::max(2u, hot_end)));
+  } else {
+    s = static_cast<std::uint32_t>(rng.Range(1, config_.subscribers));
+  }
+  TxnRequest req;
+  const std::string key = KeyU32(s);
+  req.Add(0, kTable, key, [key](ExecContext& ctx) {
+    std::string payload;
+    return ctx.Read(key, &payload);
+  });
+  return req;
+}
+
+}  // namespace plp

@@ -1,0 +1,82 @@
+// Microbenchmarks from the evaluation:
+//  * ProbeInsertMix — probe/insert mix over one table, varying the insert
+//    percentage (Appendix B, Figure 10: parallel SMOs with MRBTrees).
+//  * BalanceProbe  — read-only account-balance probes with a switchable
+//    skew target (Section 4.5, Figure 8: repartitioning tolerance).
+#ifndef PLP_WORKLOAD_MICROBENCH_H_
+#define PLP_WORKLOAD_MICROBENCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+
+namespace plp {
+
+struct ProbeInsertConfig {
+  std::uint64_t initial_rows = 20000;
+  int partitions = 4;
+  unsigned insert_pct = 20;
+  std::uint64_t seed = 99;
+};
+
+class ProbeInsertMix {
+ public:
+  ProbeInsertMix(Engine* engine, ProbeInsertConfig config)
+      : engine_(engine), config_(config) {}
+
+  Status Load();
+  TxnRequest NextTransaction(Rng& rng);
+
+  void set_insert_pct(unsigned pct) { config_.insert_pct = pct; }
+
+  static constexpr const char* kTable = "micro_probe_insert";
+
+ private:
+  Engine* engine_;
+  ProbeInsertConfig config_;
+  std::atomic<std::uint64_t> next_key_{0};
+};
+
+struct BalanceProbeConfig {
+  std::uint32_t subscribers = 100000;  // ~50MB at 500B records (paper scale)
+  std::uint32_t record_size = 500;
+  int partitions = 2;
+  std::uint64_t seed = 17;
+};
+
+class BalanceProbe {
+ public:
+  BalanceProbe(Engine* engine, BalanceProbeConfig config)
+      : engine_(engine), config_(config) {}
+
+  Status Load();
+
+  /// When skewed, 50% of probes hit the first `hot_fraction` of the key
+  /// space (the Figure 8 load change).
+  TxnRequest NextTransaction(Rng& rng);
+  void SetSkew(bool enabled, double hot_fraction = 0.1) {
+    hot_fraction_.store(hot_fraction);
+    skewed_.store(enabled, std::memory_order_release);
+  }
+
+  /// Boundaries splitting the hot range evenly (what the rebalancer should
+  /// converge to after the skew switch).
+  std::vector<std::string> HotColdBoundaries(double hot_fraction) const;
+  std::vector<std::string> UniformBoundaries() const;
+
+  static constexpr const char* kTable = "micro_balance";
+
+ private:
+  Engine* engine_;
+  BalanceProbeConfig config_;
+  std::atomic<bool> skewed_{false};
+  std::atomic<double> hot_fraction_{0.1};
+};
+
+}  // namespace plp
+
+#endif  // PLP_WORKLOAD_MICROBENCH_H_

@@ -1,0 +1,290 @@
+#include "src/workload/tatp.h"
+
+#include <memory>
+
+#include "src/common/key_encoding.h"
+
+namespace plp {
+
+namespace {
+constexpr std::size_t kSubscriberRecordSize = 100;
+constexpr std::size_t kSmallRecordSize = 40;
+
+std::string FixedRecord(std::size_t size, std::uint32_t tag) {
+  std::string rec(size, 'x');
+  EncodeU32(&rec, tag);  // appended tag keeps records distinguishable
+  rec.resize(size);
+  std::memcpy(rec.data(), &tag, sizeof(tag));
+  return rec;
+}
+}  // namespace
+
+std::string TatpWorkload::SubscriberKey(std::uint32_t s_id) {
+  return KeyU32(s_id);
+}
+
+std::string TatpWorkload::AccessInfoKey(std::uint32_t s_id,
+                                        std::uint8_t ai_type) {
+  KeyBuilder kb;
+  kb.AddU32(s_id);
+  kb.AddBytes(Slice(reinterpret_cast<const char*>(&ai_type), 1));
+  return kb.Take();
+}
+
+std::string TatpWorkload::FacilityKey(std::uint32_t s_id,
+                                      std::uint8_t sf_type) {
+  KeyBuilder kb;
+  kb.AddU32(s_id);
+  kb.AddBytes(Slice(reinterpret_cast<const char*>(&sf_type), 1));
+  return kb.Take();
+}
+
+std::string TatpWorkload::CallFwdKey(std::uint32_t s_id, std::uint8_t sf_type,
+                                     std::uint8_t start_time) {
+  KeyBuilder kb;
+  kb.AddU32(s_id);
+  kb.AddBytes(Slice(reinterpret_cast<const char*>(&sf_type), 1));
+  kb.AddBytes(Slice(reinterpret_cast<const char*>(&start_time), 1));
+  return kb.Take();
+}
+
+std::string TatpWorkload::MakeSubscriberRecord(std::uint32_t s_id,
+                                               std::uint32_t vlr_location) {
+  std::string rec(kSubscriberRecordSize, 's');
+  std::memcpy(rec.data(), &s_id, 4);
+  std::memcpy(rec.data() + 4, &vlr_location, 4);
+  return rec;
+}
+
+std::uint32_t TatpWorkload::VlrFromRecord(Slice payload) {
+  std::uint32_t vlr;
+  std::memcpy(&vlr, payload.data() + 4, 4);
+  return vlr;
+}
+
+std::vector<std::string> TatpWorkload::BoundariesFor(
+    std::uint32_t subscribers, int partitions) {
+  std::vector<std::string> boundaries = {""};
+  for (int p = 1; p < partitions; ++p) {
+    const std::uint32_t start = 1 + static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(subscribers) * p / partitions);
+    boundaries.push_back(KeyU32(start));
+  }
+  return boundaries;
+}
+
+std::vector<std::string> TatpWorkload::SubscriberBoundaries() const {
+  return BoundariesFor(config_.subscribers, config_.partitions);
+}
+
+Status TatpWorkload::Load() {
+  const std::vector<std::string> boundaries = SubscriberBoundaries();
+  for (const char* name : {kSubscriber, kAccessInfo, kFacility, kCallFwd}) {
+    auto result = engine_->CreateTable(name, boundaries);
+    if (!result.ok()) return result.status();
+  }
+
+  Rng rng(config_.seed);
+  for (std::uint32_t s = 1; s <= config_.subscribers; ++s) {
+    TxnRequest req;
+    const std::string skey = SubscriberKey(s);
+    {
+      const std::string payload =
+          MakeSubscriberRecord(s, static_cast<std::uint32_t>(rng.Next()));
+      req.Add(0, kSubscriber, skey, [skey, payload](ExecContext& ctx) {
+        return ctx.Insert(skey, payload);
+      });
+    }
+    const int num_ai = static_cast<int>(rng.Range(1, 4));
+    for (int i = 1; i <= num_ai; ++i) {
+      const std::string key = AccessInfoKey(s, static_cast<std::uint8_t>(i));
+      const std::string payload = FixedRecord(kSmallRecordSize, s);
+      req.Add(0, kAccessInfo, key, [key, payload](ExecContext& ctx) {
+        return ctx.Insert(key, payload);
+      });
+    }
+    const int num_sf = static_cast<int>(rng.Range(1, 4));
+    for (int i = 1; i <= num_sf; ++i) {
+      const std::string key = FacilityKey(s, static_cast<std::uint8_t>(i));
+      const std::string payload = FixedRecord(kSmallRecordSize, s);
+      req.Add(0, kFacility, key, [key, payload](ExecContext& ctx) {
+        return ctx.Insert(key, payload);
+      });
+      const int num_cf = static_cast<int>(rng.Range(0, 3));
+      for (int c = 0; c < num_cf; ++c) {
+        const std::string cfkey = CallFwdKey(
+            s, static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(c * 8));
+        const std::string cfpayload = FixedRecord(kSmallRecordSize, s);
+        req.Add(0, kCallFwd, cfkey, [cfkey, cfpayload](ExecContext& ctx) {
+          return ctx.Insert(cfkey, cfpayload);
+        });
+      }
+    }
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  return Status::OK();
+}
+
+TxnRequest TatpWorkload::GetSubscriberData(std::uint32_t s_id) {
+  TxnRequest req;
+  const std::string key = SubscriberKey(s_id);
+  req.Add(0, kSubscriber, key, [key](ExecContext& ctx) {
+    std::string payload;
+    return ctx.Read(key, &payload);
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::GetNewDestination(std::uint32_t s_id,
+                                           std::uint8_t sf_type,
+                                           std::uint8_t start_time) {
+  TxnRequest req;
+  const std::string sf_key = FacilityKey(s_id, sf_type);
+  req.Add(0, kFacility, sf_key, [sf_key](ExecContext& ctx) {
+    std::string payload;
+    Status st = ctx.Read(sf_key, &payload);
+    if (st.IsNotFound()) return Status::OK();  // inactive facility: no rows
+    return st;
+  });
+  const std::string lo = CallFwdKey(s_id, sf_type, 0);
+  const std::string hi = CallFwdKey(s_id, sf_type + 1, 0);
+  (void)start_time;
+  req.Add(1, kCallFwd, lo, [lo, hi](ExecContext& ctx) {
+    int rows = 0;
+    Status st = ctx.ScanRange(lo, hi, [&rows](Slice, Slice) {
+      ++rows;
+      return true;
+    });
+    return st;
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::GetAccessData(std::uint32_t s_id,
+                                       std::uint8_t ai_type) {
+  TxnRequest req;
+  const std::string key = AccessInfoKey(s_id, ai_type);
+  req.Add(0, kAccessInfo, key, [key](ExecContext& ctx) {
+    std::string payload;
+    Status st = ctx.Read(key, &payload);
+    return st.IsNotFound() ? Status::OK() : st;
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::UpdateSubscriberData(std::uint32_t s_id,
+                                              std::uint8_t sf_type,
+                                              std::uint8_t bit,
+                                              std::uint8_t data_a) {
+  TxnRequest req;
+  const std::string skey = SubscriberKey(s_id);
+  req.Add(0, kSubscriber, skey, [skey, bit](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(skey, &payload));
+    payload[8] = static_cast<char>(bit);
+    return ctx.Update(skey, payload);
+  });
+  const std::string fkey = FacilityKey(s_id, sf_type);
+  req.Add(0, kFacility, fkey, [fkey, data_a](ExecContext& ctx) {
+    std::string payload;
+    Status st = ctx.Read(fkey, &payload);
+    if (st.IsNotFound()) return Status::OK();
+    PLP_RETURN_IF_ERROR(st);
+    payload[8] = static_cast<char>(data_a);
+    return ctx.Update(fkey, payload);
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::UpdateLocation(std::uint32_t s_id,
+                                        std::uint32_t vlr) {
+  TxnRequest req;
+  const std::string key = SubscriberKey(s_id);
+  req.Add(0, kSubscriber, key, [key, vlr](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(key, &payload));
+    std::memcpy(payload.data() + 4, &vlr, 4);
+    return ctx.Update(key, payload);
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::InsertCallForwarding(std::uint32_t s_id,
+                                              std::uint8_t sf_type,
+                                              std::uint8_t start_time,
+                                              std::uint8_t end_time) {
+  TxnRequest req;
+  auto state = std::make_shared<bool>(false);  // facility exists?
+  const std::string fkey = FacilityKey(s_id, sf_type);
+  req.Add(0, kFacility, fkey, [fkey, state](ExecContext& ctx) {
+    std::string payload;
+    Status st = ctx.Read(fkey, &payload);
+    *state = st.ok();
+    return st.IsNotFound() ? Status::OK() : st;
+  });
+  const std::string cfkey = CallFwdKey(s_id, sf_type, start_time);
+  req.Add(1, kCallFwd, cfkey, [cfkey, state, end_time](ExecContext& ctx) {
+    if (!*state) return Status::OK();  // no facility: nothing to insert
+    std::string payload = FixedRecord(kSmallRecordSize, end_time);
+    Status st = ctx.Insert(cfkey, payload);
+    // TATP counts duplicate inserts as expected failures.
+    return st.IsAlreadyExists() ? Status::OK() : st;
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::DeleteCallForwarding(std::uint32_t s_id,
+                                              std::uint8_t sf_type,
+                                              std::uint8_t start_time) {
+  TxnRequest req;
+  const std::string key = CallFwdKey(s_id, sf_type, start_time);
+  req.Add(0, kCallFwd, key, [key](ExecContext& ctx) {
+    Status st = ctx.Delete(key);
+    return st.IsNotFound() ? Status::OK() : st;  // expected miss
+  });
+  return req;
+}
+
+TxnRequest TatpWorkload::NextTransaction(Rng& rng) {
+  const std::uint32_t s = RandomSubscriber(rng);
+  const auto sf = static_cast<std::uint8_t>(rng.Range(1, 4));
+  const auto start = static_cast<std::uint8_t>(rng.Range(0, 2) * 8);
+  const std::uint64_t roll = rng.Uniform(100);
+  if (roll < 35) return GetSubscriberData(s);
+  if (roll < 45) return GetNewDestination(s, sf, start);
+  if (roll < 80) {
+    return GetAccessData(s, static_cast<std::uint8_t>(rng.Range(1, 4)));
+  }
+  if (roll < 82) {
+    return UpdateSubscriberData(s, sf, static_cast<std::uint8_t>(rng.Uniform(2)),
+                                static_cast<std::uint8_t>(rng.Uniform(256)));
+  }
+  if (roll < 96) {
+    return UpdateLocation(s, static_cast<std::uint32_t>(rng.Next()));
+  }
+  if (roll < 98) {
+    return InsertCallForwarding(s, sf, start,
+                                static_cast<std::uint8_t>(start + 8));
+  }
+  return DeleteCallForwarding(s, sf, start);
+}
+
+TxnRequest TatpWorkload::NextInsertDeleteHeavy(Rng& rng) {
+  const std::uint32_t s = RandomSubscriber(rng);
+  const auto sf = static_cast<std::uint8_t>(rng.Range(1, 4));
+  const auto start = static_cast<std::uint8_t>(rng.Range(0, 2) * 8);
+  if (rng.Percent(50)) {
+    TxnRequest req;
+    // Unconditional CallFwd insert (drives page splits).
+    const std::string key = CallFwdKey(s, sf, start);
+    req.Add(0, kCallFwd, key, [key](ExecContext& ctx) {
+      std::string payload = FixedRecord(kSmallRecordSize, 0);
+      Status st = ctx.Insert(key, payload);
+      return st.IsAlreadyExists() ? Status::OK() : st;
+    });
+    return req;
+  }
+  return DeleteCallForwarding(s, sf, start);
+}
+
+}  // namespace plp

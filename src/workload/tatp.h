@@ -1,0 +1,91 @@
+// TATP (Telecom Application Transaction Processing) benchmark — the
+// paper's primary workload (Section 4.1).
+//
+// Four tables keyed by subscriber id, partitioned on s_id ranges:
+//   SUBSCRIBER(s_id)                        ~100B records
+//   ACCESS_INFO(s_id, ai_type)              1-4 rows per subscriber
+//   SPECIAL_FACILITY(s_id, sf_type)         1-4 rows per subscriber
+//   CALL_FORWARDING(s_id, sf_type, start)   0-3 rows per facility
+// Standard transaction mix: GetSubscriberData 35%, GetNewDestination 10%,
+// GetAccessData 35%, UpdateSubscriberData 2%, UpdateLocation 14%,
+// InsertCallForwarding 2%, DeleteCallForwarding 2%.
+#ifndef PLP_WORKLOAD_TATP_H_
+#define PLP_WORKLOAD_TATP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+
+namespace plp {
+
+struct TatpConfig {
+  std::uint32_t subscribers = 10000;
+  int partitions = 4;
+  std::uint64_t seed = 42;
+};
+
+class TatpWorkload {
+ public:
+  TatpWorkload(Engine* engine, TatpConfig config)
+      : engine_(engine), config_(config) {}
+
+  /// Creates the four tables (partitioned on s_id) and populates them.
+  Status Load();
+
+  /// Evenly-spaced s_id partition boundaries for `partitions` ranges.
+  std::vector<std::string> SubscriberBoundaries() const;
+  static std::vector<std::string> BoundariesFor(std::uint32_t subscribers,
+                                                int partitions);
+
+  /// A transaction drawn from the standard TATP mix.
+  TxnRequest NextTransaction(Rng& rng);
+
+  // Individual transaction builders (also used by the microbenchmarks).
+  TxnRequest GetSubscriberData(std::uint32_t s_id);
+  TxnRequest GetNewDestination(std::uint32_t s_id, std::uint8_t sf_type,
+                               std::uint8_t start_time);
+  TxnRequest GetAccessData(std::uint32_t s_id, std::uint8_t ai_type);
+  TxnRequest UpdateSubscriberData(std::uint32_t s_id, std::uint8_t sf_type,
+                                  std::uint8_t bit, std::uint8_t data_a);
+  TxnRequest UpdateLocation(std::uint32_t s_id, std::uint32_t vlr);
+  TxnRequest InsertCallForwarding(std::uint32_t s_id, std::uint8_t sf_type,
+                                  std::uint8_t start_time,
+                                  std::uint8_t end_time);
+  TxnRequest DeleteCallForwarding(std::uint32_t s_id, std::uint8_t sf_type,
+                                  std::uint8_t start_time);
+
+  /// Insert/delete-only mix on CALL_FORWARDING (the Figure 6 workload).
+  TxnRequest NextInsertDeleteHeavy(Rng& rng);
+
+  std::uint32_t RandomSubscriber(Rng& rng) const {
+    return static_cast<std::uint32_t>(rng.Range(1, config_.subscribers));
+  }
+
+  const TatpConfig& config() const { return config_; }
+
+  // Key/record helpers (exposed for tests).
+  static std::string SubscriberKey(std::uint32_t s_id);
+  static std::string AccessInfoKey(std::uint32_t s_id, std::uint8_t ai_type);
+  static std::string FacilityKey(std::uint32_t s_id, std::uint8_t sf_type);
+  static std::string CallFwdKey(std::uint32_t s_id, std::uint8_t sf_type,
+                                std::uint8_t start_time);
+  static std::string MakeSubscriberRecord(std::uint32_t s_id,
+                                          std::uint32_t vlr_location);
+  static std::uint32_t VlrFromRecord(Slice payload);
+
+  static constexpr const char* kSubscriber = "tatp_subscriber";
+  static constexpr const char* kAccessInfo = "tatp_access_info";
+  static constexpr const char* kFacility = "tatp_special_facility";
+  static constexpr const char* kCallFwd = "tatp_call_forwarding";
+
+ private:
+  Engine* engine_;
+  TatpConfig config_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_WORKLOAD_TATP_H_

@@ -1,0 +1,152 @@
+#include "src/workload/tpcb.h"
+
+#include <cstring>
+#include <memory>
+
+#include "src/common/key_encoding.h"
+
+namespace plp {
+
+namespace {
+constexpr std::size_t kTinyRecord = 32;    // unpadded branch/teller
+constexpr std::size_t kPaddedRecord = 4000;  // ~2 records per page
+constexpr std::size_t kAccountRecord = 100;
+
+std::string BalanceRecord(std::size_t size, std::int64_t balance) {
+  std::string rec(size, 'b');
+  std::memcpy(rec.data(), &balance, 8);
+  return rec;
+}
+
+std::int64_t ReadBalance(const std::string& rec) {
+  std::int64_t b;
+  std::memcpy(&b, rec.data(), 8);
+  return b;
+}
+
+std::string WithDelta(std::string rec, std::int64_t delta) {
+  std::int64_t b;
+  std::memcpy(&b, rec.data(), 8);
+  b += delta;
+  std::memcpy(rec.data(), &b, 8);
+  return rec;
+}
+}  // namespace
+
+std::string TpcbWorkload::BranchKey(std::uint32_t b) { return KeyU32(b); }
+std::string TpcbWorkload::TellerKey(std::uint32_t t) { return KeyU32(t); }
+std::string TpcbWorkload::AccountKey(std::uint32_t a) { return KeyU32(a); }
+std::string TpcbWorkload::HistoryKey(std::uint64_t h) { return KeyU64(h); }
+
+std::int64_t TpcbWorkload::BalanceOf(Slice payload) {
+  std::int64_t b;
+  std::memcpy(&b, payload.data(), 8);
+  return b;
+}
+
+Status TpcbWorkload::Load() {
+  const std::size_t small_size =
+      config_.pad_records ? kPaddedRecord : kTinyRecord;
+
+  auto make_boundaries = [&](std::uint32_t count) {
+    std::vector<std::string> boundaries = {""};
+    for (int p = 1; p < config_.partitions; ++p) {
+      boundaries.push_back(KeyU32(1 + static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(count) * p / config_.partitions)));
+    }
+    return boundaries;
+  };
+
+  {
+    auto r = engine_->CreateTable(kBranch, make_boundaries(config_.branches));
+    if (!r.ok()) return r.status();
+  }
+  const std::uint32_t tellers = config_.branches * config_.tellers_per_branch;
+  {
+    auto r = engine_->CreateTable(kTeller, make_boundaries(tellers));
+    if (!r.ok()) return r.status();
+  }
+  const std::uint32_t accounts =
+      config_.branches * config_.accounts_per_branch;
+  {
+    auto r = engine_->CreateTable(kAccount, make_boundaries(accounts));
+    if (!r.ok()) return r.status();
+  }
+  {
+    auto r = engine_->CreateTable(kHistory, make_boundaries(UINT32_MAX));
+    if (!r.ok()) return r.status();
+  }
+
+  for (std::uint32_t b = 1; b <= config_.branches; ++b) {
+    TxnRequest req;
+    const std::string key = BranchKey(b);
+    const std::string payload = BalanceRecord(small_size, 0);
+    req.Add(0, kBranch, key, [key, payload](ExecContext& ctx) {
+      return ctx.Insert(key, payload);
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  for (std::uint32_t t = 1; t <= tellers; ++t) {
+    TxnRequest req;
+    const std::string key = TellerKey(t);
+    const std::string payload = BalanceRecord(small_size, 0);
+    req.Add(0, kTeller, key, [key, payload](ExecContext& ctx) {
+      return ctx.Insert(key, payload);
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  for (std::uint32_t a = 1; a <= accounts; ++a) {
+    TxnRequest req;
+    const std::string key = AccountKey(a);
+    const std::string payload = BalanceRecord(kAccountRecord, 0);
+    req.Add(0, kAccount, key, [key, payload](ExecContext& ctx) {
+      return ctx.Insert(key, payload);
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  return Status::OK();
+}
+
+TxnRequest TpcbWorkload::NextTransaction(Rng& rng) {
+  const std::uint32_t branch =
+      static_cast<std::uint32_t>(rng.Range(1, config_.branches));
+  const std::uint32_t teller = (branch - 1) * config_.tellers_per_branch +
+      static_cast<std::uint32_t>(rng.Range(1, config_.tellers_per_branch));
+  const std::uint32_t account = (branch - 1) * config_.accounts_per_branch +
+      static_cast<std::uint32_t>(rng.Range(1, config_.accounts_per_branch));
+  const auto delta =
+      static_cast<std::int64_t>(rng.Range(0, 1999999)) - 999999;
+  const std::uint64_t history_id =
+      next_history_.fetch_add(1, std::memory_order_relaxed);
+
+  TxnRequest req;
+  const std::string akey = AccountKey(account);
+  req.Add(0, kAccount, akey, [akey, delta](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(akey, &payload));
+    return ctx.Update(akey, WithDelta(std::move(payload), delta));
+  });
+  const std::string tkey = TellerKey(teller);
+  req.Add(0, kTeller, tkey, [tkey, delta](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(tkey, &payload));
+    return ctx.Update(tkey, WithDelta(std::move(payload), delta));
+  });
+  const std::string bkey = BranchKey(branch);
+  req.Add(0, kBranch, bkey, [bkey, delta](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(bkey, &payload));
+    return ctx.Update(bkey, WithDelta(std::move(payload), delta));
+  });
+  const std::string hkey = HistoryKey(history_id);
+  req.Add(0, kHistory, hkey, [hkey, delta](ExecContext& ctx) {
+    (void)ReadBalance;  // silence unused in some configs
+    std::string payload(50, 'h');
+    std::memcpy(payload.data(), &delta, 8);
+    Status st = ctx.Insert(hkey, payload);
+    return st.IsAlreadyExists() ? Status::OK() : st;
+  });
+  return req;
+}
+
+}  // namespace plp

@@ -1,0 +1,214 @@
+#include "src/workload/tpcc.h"
+
+#include <cstring>
+
+#include "src/common/key_encoding.h"
+
+namespace plp {
+
+namespace {
+std::string Record(std::size_t size, std::uint64_t tag) {
+  std::string rec(size, 'c');
+  std::memcpy(rec.data(), &tag, 8);
+  return rec;
+}
+}  // namespace
+
+std::string TpccWorkload::WarehouseKey(std::uint32_t w) { return KeyU32(w); }
+
+std::string TpccWorkload::DistrictKey(std::uint32_t w, std::uint32_t d) {
+  KeyBuilder kb;
+  kb.AddU32(w).AddU32(d);
+  return kb.Take();
+}
+
+std::string TpccWorkload::CustomerKey(std::uint32_t w, std::uint32_t d,
+                                      std::uint32_t c) {
+  KeyBuilder kb;
+  kb.AddU32(w).AddU32(d).AddU32(c);
+  return kb.Take();
+}
+
+std::string TpccWorkload::StockKey(std::uint32_t w, std::uint32_t i) {
+  KeyBuilder kb;
+  kb.AddU32(w).AddU32(i);
+  return kb.Take();
+}
+
+std::string TpccWorkload::ItemKey(std::uint32_t i) { return KeyU32(i); }
+
+std::string TpccWorkload::OrderKey(std::uint32_t w, std::uint32_t d,
+                                   std::uint64_t o) {
+  KeyBuilder kb;
+  kb.AddU32(w).AddU32(d).AddU64(o);
+  return kb.Take();
+}
+
+std::string TpccWorkload::OrderLineKey(std::uint32_t w, std::uint32_t d,
+                                       std::uint64_t o, std::uint32_t line) {
+  KeyBuilder kb;
+  kb.AddU32(w).AddU32(d).AddU64(o).AddU32(line);
+  return kb.Take();
+}
+
+Status TpccWorkload::Load() {
+  auto wh_boundaries = [&] {
+    std::vector<std::string> out = {""};
+    for (int p = 1; p < config_.partitions; ++p) {
+      out.push_back(KeyU32(1 + static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(config_.warehouses) * p /
+          config_.partitions)));
+    }
+    return out;
+  }();
+  auto item_boundaries = [&] {
+    std::vector<std::string> out = {""};
+    for (int p = 1; p < config_.partitions; ++p) {
+      out.push_back(KeyU32(1 + static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(config_.items) * p /
+          config_.partitions)));
+    }
+    return out;
+  }();
+
+  for (const char* name :
+       {kWarehouse, kDistrict, kCustomer, kStock, kOrder, kOrderLine}) {
+    auto r = engine_->CreateTable(name, wh_boundaries);
+    if (!r.ok()) return r.status();
+  }
+  {
+    auto r = engine_->CreateTable(kItem, item_boundaries);
+    if (!r.ok()) return r.status();
+  }
+
+  for (std::uint32_t w = 1; w <= config_.warehouses; ++w) {
+    TxnRequest req;
+    const std::string wkey = WarehouseKey(w);
+    req.Add(0, kWarehouse, wkey, [wkey, w](ExecContext& ctx) {
+      return ctx.Insert(wkey, Record(90, w));
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+    for (std::uint32_t d = 1; d <= config_.districts_per_wh; ++d) {
+      TxnRequest dreq;
+      const std::string dkey = DistrictKey(w, d);
+      dreq.Add(0, kDistrict, dkey, [dkey, d](ExecContext& ctx) {
+        return ctx.Insert(dkey, Record(95, d));
+      });
+      for (std::uint32_t c = 1; c <= config_.customers_per_district; ++c) {
+        const std::string ckey = CustomerKey(w, d, c);
+        dreq.Add(0, kCustomer, ckey, [ckey, c](ExecContext& ctx) {
+          return ctx.Insert(ckey, Record(200, c));
+        });
+      }
+      PLP_RETURN_IF_ERROR(engine_->Execute(dreq));
+    }
+    for (std::uint32_t i = 1; i <= config_.items; ++i) {
+      TxnRequest sreq;
+      const std::string skey = StockKey(w, i);
+      sreq.Add(0, kStock, skey, [skey, i](ExecContext& ctx) {
+        return ctx.Insert(skey, Record(120, i));
+      });
+      PLP_RETURN_IF_ERROR(engine_->Execute(sreq));
+    }
+  }
+  for (std::uint32_t i = 1; i <= config_.items; ++i) {
+    TxnRequest req;
+    const std::string ikey = ItemKey(i);
+    req.Add(0, kItem, ikey, [ikey, i](ExecContext& ctx) {
+      return ctx.Insert(ikey, Record(80, i));
+    });
+    PLP_RETURN_IF_ERROR(engine_->Execute(req));
+  }
+  return Status::OK();
+}
+
+TxnRequest TpccWorkload::NewOrder(Rng& rng) {
+  const std::uint32_t w =
+      static_cast<std::uint32_t>(rng.Range(1, config_.warehouses));
+  const std::uint32_t d =
+      static_cast<std::uint32_t>(rng.Range(1, config_.districts_per_wh));
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      NuRand(rng, 1023, 1, config_.customers_per_district));
+  const std::uint64_t order_id =
+      next_order_.fetch_add(1, std::memory_order_relaxed);
+  const int lines = static_cast<int>(rng.Range(5, 15));
+
+  TxnRequest req;
+  const std::string dkey = DistrictKey(w, d);
+  req.Add(0, kDistrict, dkey, [dkey](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(dkey, &payload));
+    payload[9]++;  // next_o_id surrogate
+    return ctx.Update(dkey, payload);
+  });
+  const std::string ckey = CustomerKey(w, d, c);
+  req.Add(0, kCustomer, ckey, [ckey](ExecContext& ctx) {
+    std::string payload;
+    return ctx.Read(ckey, &payload);
+  });
+  const std::string okey = OrderKey(w, d, order_id);
+  req.Add(1, kOrder, okey, [okey, order_id](ExecContext& ctx) {
+    return ctx.Insert(okey, Record(60, order_id));
+  });
+  for (int l = 0; l < lines; ++l) {
+    const std::uint32_t item = static_cast<std::uint32_t>(
+        NuRand(rng, 8191, 1, config_.items));
+    const std::string ikey = ItemKey(item);
+    req.Add(1, kItem, ikey, [ikey](ExecContext& ctx) {
+      std::string payload;
+      return ctx.Read(ikey, &payload);
+    });
+    const std::string skey = StockKey(w, item);
+    req.Add(1, kStock, skey, [skey](ExecContext& ctx) {
+      std::string payload;
+      PLP_RETURN_IF_ERROR(ctx.Read(skey, &payload));
+      payload[9]++;  // quantity surrogate
+      return ctx.Update(skey, payload);
+    });
+    const std::string olkey =
+        OrderLineKey(w, d, order_id, static_cast<std::uint32_t>(l));
+    req.Add(1, kOrderLine, olkey, [olkey](ExecContext& ctx) {
+      return ctx.Insert(olkey, Record(70, 0));
+    });
+  }
+  return req;
+}
+
+TxnRequest TpccWorkload::Payment(Rng& rng) {
+  const std::uint32_t w =
+      static_cast<std::uint32_t>(rng.Range(1, config_.warehouses));
+  const std::uint32_t d =
+      static_cast<std::uint32_t>(rng.Range(1, config_.districts_per_wh));
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      NuRand(rng, 1023, 1, config_.customers_per_district));
+
+  TxnRequest req;
+  const std::string wkey = WarehouseKey(w);
+  req.Add(0, kWarehouse, wkey, [wkey](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(wkey, &payload));
+    payload[9]++;  // ytd surrogate
+    return ctx.Update(wkey, payload);
+  });
+  const std::string dkey = DistrictKey(w, d);
+  req.Add(0, kDistrict, dkey, [dkey](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(dkey, &payload));
+    payload[10]++;
+    return ctx.Update(dkey, payload);
+  });
+  const std::string ckey = CustomerKey(w, d, c);
+  req.Add(0, kCustomer, ckey, [ckey](ExecContext& ctx) {
+    std::string payload;
+    PLP_RETURN_IF_ERROR(ctx.Read(ckey, &payload));
+    payload[10]++;
+    return ctx.Update(ckey, payload);
+  });
+  return req;
+}
+
+TxnRequest TpccWorkload::NextTransaction(Rng& rng) {
+  return rng.Percent(50) ? NewOrder(rng) : Payment(rng);
+}
+
+}  // namespace plp

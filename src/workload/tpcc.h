@@ -1,0 +1,68 @@
+// TPC-C (lite) — used for the page-latch breakdown of Figure 2.
+//
+// Implements the schema subset and the two most frequent transactions
+// (NewOrder, Payment) at small scale; enough to exercise the index/heap/
+// catalog latch mix the paper reports. Tables partition by warehouse.
+#ifndef PLP_WORKLOAD_TPCC_H_
+#define PLP_WORKLOAD_TPCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/engine.h"
+
+namespace plp {
+
+struct TpccConfig {
+  std::uint32_t warehouses = 4;
+  std::uint32_t districts_per_wh = 10;
+  std::uint32_t customers_per_district = 100;
+  std::uint32_t items = 1000;
+  int partitions = 4;
+  std::uint64_t seed = 13;
+};
+
+class TpccWorkload {
+ public:
+  TpccWorkload(Engine* engine, TpccConfig config)
+      : engine_(engine), config_(config) {}
+
+  Status Load();
+
+  /// 50/50 NewOrder/Payment mix (the two transactions dominate TPC-C).
+  TxnRequest NextTransaction(Rng& rng);
+
+  TxnRequest NewOrder(Rng& rng);
+  TxnRequest Payment(Rng& rng);
+
+  static constexpr const char* kWarehouse = "tpcc_warehouse";
+  static constexpr const char* kDistrict = "tpcc_district";
+  static constexpr const char* kCustomer = "tpcc_customer";
+  static constexpr const char* kStock = "tpcc_stock";
+  static constexpr const char* kItem = "tpcc_item";
+  static constexpr const char* kOrder = "tpcc_order";
+  static constexpr const char* kOrderLine = "tpcc_orderline";
+
+  static std::string WarehouseKey(std::uint32_t w);
+  static std::string DistrictKey(std::uint32_t w, std::uint32_t d);
+  static std::string CustomerKey(std::uint32_t w, std::uint32_t d,
+                                 std::uint32_t c);
+  static std::string StockKey(std::uint32_t w, std::uint32_t i);
+  static std::string ItemKey(std::uint32_t i);
+  static std::string OrderKey(std::uint32_t w, std::uint32_t d,
+                              std::uint64_t o);
+  static std::string OrderLineKey(std::uint32_t w, std::uint32_t d,
+                                  std::uint64_t o, std::uint32_t line);
+
+ private:
+  Engine* engine_;
+  TpccConfig config_;
+  std::atomic<std::uint64_t> next_order_{1};
+};
+
+}  // namespace plp
+
+#endif  // PLP_WORKLOAD_TPCC_H_

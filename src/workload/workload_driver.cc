@@ -1,0 +1,97 @@
+#include "src/workload/workload_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace plp {
+
+namespace {
+DriverResult RunInternal(Engine* engine, const TxnFactory& next,
+                         const DriverOptions& options,
+                         std::chrono::milliseconds sample_interval,
+                         ThroughputProbe* probe,
+                         std::vector<TimedEvent> events) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> committed{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> thread_time{0};
+
+  const CsCounts before = CsProfiler::Global().Collect();
+  const std::uint64_t t0 = NowNanos();
+  if (probe != nullptr) probe->Start();
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
+    clients.emplace_back([&, i] {
+      Rng rng(options.seed * 1315423911u + static_cast<std::uint64_t>(i));
+      const std::uint64_t start = NowNanos();
+      while (!stop.load(std::memory_order_relaxed)) {
+        TxnRequest req = next(rng);
+        Status st = engine->Execute(req);
+        if (st.ok()) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+          if (probe != nullptr) probe->Tick();
+        } else {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      thread_time.fetch_add(NowNanos() - start, std::memory_order_relaxed);
+    });
+  }
+
+  // Timer/event loop on the coordinating thread.
+  std::sort(events.begin(), events.end(),
+            [](const TimedEvent& a, const TimedEvent& b) {
+              return a.at < b.at;
+            });
+  std::size_t next_event = 0;
+  const auto deadline = std::chrono::steady_clock::now() + options.duration;
+  auto next_sample = std::chrono::steady_clock::now() + sample_interval;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (probe != nullptr && now >= next_sample) {
+      probe->SampleNow();
+      next_sample += sample_interval;
+    }
+    while (next_event < events.size() &&
+           now - (deadline - options.duration) >= events[next_event].at) {
+      events[next_event].fn();
+      ++next_event;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  if (probe != nullptr) probe->SampleNow();
+
+  DriverResult result;
+  result.elapsed_ns = NowNanos() - t0;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  result.thread_time_ns = thread_time.load();
+  result.cs_delta = CsProfiler::Global().Collect() - before;
+  return result;
+}
+}  // namespace
+
+DriverResult RunWorkload(Engine* engine, const TxnFactory& next,
+                         const DriverOptions& options) {
+  return RunInternal(engine, next, options, std::chrono::milliseconds(100),
+                     nullptr, {});
+}
+
+DriverResult RunWorkloadTimed(Engine* engine, const TxnFactory& next,
+                              const DriverOptions& options,
+                              std::chrono::milliseconds sample_interval,
+                              ThroughputProbe* probe,
+                              std::vector<TimedEvent> events) {
+  return RunInternal(engine, next, options, sample_interval, probe,
+                     std::move(events));
+}
+
+}  // namespace plp

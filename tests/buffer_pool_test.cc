@@ -1,0 +1,139 @@
+// Tests for the buffer pool and page cleaner.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/buffer/page_cleaner.h"
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+namespace {
+
+TEST(BufferPoolTest, NewPageAssignsUniqueIds) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  Page* b = pool.NewPage(PageClass::kIndex);
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_EQ(pool.num_pages(), 2u);
+  EXPECT_EQ(a->page_class(), PageClass::kHeap);
+  EXPECT_EQ(b->page_class(), PageClass::kIndex);
+}
+
+TEST(BufferPoolTest, FixReturnsSameFrame) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  EXPECT_EQ(pool.Fix(a->id()), a);
+  EXPECT_EQ(pool.FixUnlocked(a->id()), a);
+}
+
+TEST(BufferPoolTest, FixUnknownIdReturnsNull) {
+  BufferPool pool;
+  EXPECT_EQ(pool.Fix(999), nullptr);
+  EXPECT_EQ(pool.Fix(kInvalidPageId), nullptr);
+}
+
+TEST(BufferPoolTest, FreePageRemovesFrame) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  const PageId id = a->id();
+  pool.FreePage(id);
+  EXPECT_EQ(pool.Fix(id), nullptr);
+  EXPECT_EQ(pool.num_pages(), 0u);
+}
+
+TEST(BufferPoolTest, NewPageWithIdIsIdempotentAndBumpsAllocator) {
+  BufferPool pool;
+  Page* p = pool.NewPageWithId(100, PageClass::kHeap);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->id(), 100u);
+  EXPECT_EQ(pool.NewPageWithId(100, PageClass::kHeap), p);
+  // Fresh allocations must not collide with the recovered id.
+  Page* fresh = pool.NewPage(PageClass::kHeap);
+  EXPECT_GT(fresh->id(), 100u);
+}
+
+TEST(BufferPoolTest, DirtyPageTracking) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  Page* b = pool.NewPage(PageClass::kHeap);
+  a->MarkDirty();
+  (void)b;
+  std::vector<PageId> dirty = pool.DirtyPages(10);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0], a->id());
+}
+
+TEST(BufferPoolTest, FixRecordsBufferPoolCs) {
+  CsProfiler::Global().Reset();
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  CsCounts before = CsProfiler::Global().Collect();
+  pool.Fix(a->id());
+  CsCounts delta = CsProfiler::Global().Collect() - before;
+  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kBufferPool)], 1u);
+  // FixUnlocked models direct pointer access: no critical section.
+  before = CsProfiler::Global().Collect();
+  pool.FixUnlocked(a->id());
+  delta = CsProfiler::Global().Collect() - before;
+  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kBufferPool)], 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentAllocation) {
+  BufferPool pool;
+  constexpr int kThreads = 4, kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) pool.NewPage(PageClass::kHeap);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(pool.num_pages(), static_cast<std::size_t>(kThreads) * kEach);
+}
+
+TEST(PageCleanerTest, CleansDirtyPagesDirectly) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  a->MarkDirty();
+  PageCleaner cleaner(&pool);
+  EXPECT_EQ(cleaner.RunOnce(), 1u);
+  EXPECT_FALSE(a->dirty());
+}
+
+TEST(PageCleanerTest, DelegateReceivesOwnedPages) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  a->MarkDirty();
+  std::vector<PageId> delegated;
+  PageCleaner cleaner(&pool, [&](PageId id) {
+    delegated.push_back(id);
+    return true;
+  });
+  EXPECT_EQ(cleaner.RunOnce(), 1u);
+  ASSERT_EQ(delegated.size(), 1u);
+  EXPECT_EQ(delegated[0], a->id());
+  // Delegated pages are cleaned by the owner, not the cleaner.
+  EXPECT_TRUE(a->dirty());
+}
+
+TEST(PageCleanerTest, DeclinedDelegationFallsBackToDirectClean) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kCatalog);
+  a->MarkDirty();
+  PageCleaner cleaner(&pool, [](PageId) { return false; });
+  EXPECT_EQ(cleaner.RunOnce(), 1u);
+  EXPECT_FALSE(a->dirty());
+}
+
+TEST(PageTest, OwnerTagDefaultsUnowned) {
+  BufferPool pool;
+  Page* a = pool.NewPage(PageClass::kHeap);
+  EXPECT_EQ(a->owner_tag(), UINT32_MAX);
+  a->set_owner_tag(7);
+  EXPECT_EQ(a->owner_tag(), 7u);
+}
+
+}  // namespace
+}  // namespace plp

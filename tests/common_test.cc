@@ -1,0 +1,205 @@
+// Unit tests for src/common: Slice, Status, Result, key encodings, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/common/key_encoding.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+namespace {
+
+TEST(SliceTest, EmptyAndBasics) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, CompareIsMemcmpOrder) {
+  EXPECT_LT(Slice("a").compare(Slice("b")), 0);
+  EXPECT_GT(Slice("b").compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  // Unsigned byte comparison: 0xFF > 0x01.
+  const char hi[] = {'\xff'};
+  const char lo[] = {'\x01'};
+  EXPECT_GT(Slice(hi, 1).compare(Slice(lo, 1)), 0);
+}
+
+TEST(SliceTest, OperatorsConsistent) {
+  Slice a("aa"), b("ab");
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == Slice("aa"));
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompare) {
+  const char x[] = {'a', '\0', 'b'};
+  const char y[] = {'a', '\0', 'c'};
+  EXPECT_LT(Slice(x, 3).compare(Slice(y, 3)), 0);
+  EXPECT_EQ(Slice(x, 3), Slice(x, 3));
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status st = Status::NotFound("missing row");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: missing row");
+
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::TimedOut().IsTimedOut());
+  EXPECT_TRUE(Status::NoSpace().IsNoSpace());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    PLP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsNotFound());
+}
+
+TEST(KeyEncodingTest, U32RoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 255u, 1u << 20, 0xFFFFFFFFu}) {
+    EXPECT_EQ(DecodeU32(KeyU32(v)), v);
+  }
+}
+
+TEST(KeyEncodingTest, U64RoundTrip) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 1ull << 40, 0xFFFFFFFFFFFFFFFFull}) {
+    EXPECT_EQ(DecodeU64(KeyU64(v)), v);
+  }
+}
+
+TEST(KeyEncodingTest, I64RoundTripIncludingNegatives) {
+  const std::vector<std::int64_t> values = {INT64_MIN, -1000000, -1, 0, 1,
+                                            INT64_MAX};
+  for (std::int64_t v : values) {
+    EXPECT_EQ(DecodeI64(KeyI64(v)), v);
+  }
+}
+
+TEST(KeyEncodingTest, EncodingsPreserveOrder) {
+  // Property: encoded keys sort exactly like the source integers.
+  std::vector<std::uint64_t> values = {0, 1, 2, 255, 256, 65535, 65536,
+                                       1ull << 32, (1ull << 32) + 1,
+                                       UINT64_MAX};
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(Slice(KeyU64(values[i - 1])), Slice(KeyU64(values[i])))
+        << values[i - 1] << " vs " << values[i];
+  }
+  std::vector<std::int64_t> signed_values = {INT64_MIN, -65536, -1, 0, 1,
+                                             65536, INT64_MAX};
+  for (std::size_t i = 1; i < signed_values.size(); ++i) {
+    EXPECT_LT(Slice(KeyI64(signed_values[i - 1])),
+              Slice(KeyI64(signed_values[i])));
+  }
+}
+
+TEST(KeyEncodingTest, CompositeKeysOrderLexicographically) {
+  auto key = [](std::uint32_t a, std::uint32_t b) {
+    KeyBuilder kb;
+    kb.AddU32(a).AddU32(b);
+    return kb.Take();
+  };
+  EXPECT_LT(Slice(key(1, 999)), Slice(key(2, 0)));
+  EXPECT_LT(Slice(key(1, 5)), Slice(key(1, 6)));
+  EXPECT_EQ(key(3, 4).size(), 8u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.Range(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfianTest, SkewsTowardLowIndices) {
+  Rng rng(11);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::uint64_t low = 0, total = 10000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (zipf.Next(rng) < 100) ++low;  // first 10% of the key space
+  }
+  // With theta=0.99 the head gets far more than its uniform share.
+  EXPECT_GT(low, total / 4);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  Rng rng(12);
+  ZipfianGenerator zipf(50, 0.5);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+TEST(NuRandTest, StaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = NuRand(rng, 1023, 1, 3000);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(TypesTest, RidEqualityAndHash) {
+  Rid a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<Rid>{}(a), std::hash<Rid>{}(b));
+  EXPECT_FALSE(Rid{}.valid());
+  EXPECT_TRUE(a.valid());
+}
+
+}  // namespace
+}  // namespace plp

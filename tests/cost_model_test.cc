@@ -1,0 +1,133 @@
+// Repartitioning cost-model tests (Appendix C / Tables 1-2).
+#include <gtest/gtest.h>
+
+#include "src/engine/cost_model.h"
+
+namespace plp {
+namespace {
+
+CostModelParams PaperParams() {
+  // Table 1 setup: height-3 tree, 170 entries of 32B per node, 100B
+  // records, a half-node (85 entries) moving at every level of the split
+  // path.
+  CostModelParams p;
+  p.height = 3;
+  p.entries_per_node = 170;
+  p.m = {85, 85, 85};
+  p.record_size = 100;
+  p.entry_size = 32;
+  return p;
+}
+
+TEST(CostModelTest, PlpRegularMovesNoRecords) {
+  const RepartitionCost c =
+      ComputeRepartitionCost(RepartitionDesign::kPlpRegular, PaperParams());
+  EXPECT_EQ(c.records_moved, 0u);
+  EXPECT_EQ(c.entries_moved, 255u);  // 3 x 85
+  EXPECT_EQ(c.pointer_updates, 7u);  // 2h+1
+  EXPECT_EQ(c.primary_updates, 0u);
+  EXPECT_EQ(c.secondary_updates, 0u);
+  // ~8KB of index entries, matching Table 1.
+  EXPECT_NEAR(static_cast<double>(c.bytes_moved(PaperParams())), 8160, 100);
+}
+
+TEST(CostModelTest, PlpLeafMovesOneLeafOfRecords) {
+  const RepartitionCost c =
+      ComputeRepartitionCost(RepartitionDesign::kPlpLeaf, PaperParams());
+  EXPECT_EQ(c.records_moved, 85u);  // m1
+  EXPECT_EQ(c.pages_read, 1u);
+  EXPECT_EQ(c.primary_updates, 85u);
+  EXPECT_EQ(c.secondary_updates, 85u);
+  // 8.5KB of records (Table 1 reports 8.3KB with slightly different m).
+  EXPECT_NEAR(static_cast<double>(c.records_moved * 100), 8500, 100);
+}
+
+TEST(CostModelTest, PlpPartitionMovesWholePartition) {
+  const RepartitionCost c = ComputeRepartitionCost(
+      RepartitionDesign::kPlpPartition, PaperParams());
+  // m1 + n^2*(m3-1) + n*(m2-1) = 85 + 170^2*84 + 170*84 = 2441965.
+  EXPECT_EQ(c.records_moved, 2441965u);
+  // ~233MB of 100B records, matching Table 1's 233MB.
+  EXPECT_NEAR(static_cast<double>(c.records_moved) * 100 / 1e6, 244, 15);
+  // ~14k heap pages read (Table 1: 14365).
+  EXPECT_NEAR(static_cast<double>(c.pages_read), 14364, 30);
+  EXPECT_EQ(c.primary_updates, c.records_moved);
+}
+
+TEST(CostModelTest, SharedNothingUsesInsertsAndDeletes) {
+  const CostModelParams p = PaperParams();
+  const RepartitionCost plp =
+      ComputeRepartitionCost(RepartitionDesign::kPlpPartition, p);
+  const RepartitionCost sn =
+      ComputeRepartitionCost(RepartitionDesign::kSharedNothing, p);
+  EXPECT_EQ(sn.records_moved, plp.records_moved);
+  EXPECT_EQ(sn.primary_updates, 0u);
+  EXPECT_EQ(sn.primary_inserts, sn.records_moved);
+  EXPECT_EQ(sn.primary_deletes, sn.records_moved);
+  EXPECT_EQ(sn.secondary_inserts, sn.records_moved);
+  // Index entry movement is a PLP-only benefit.
+  EXPECT_EQ(sn.entries_moved, 0u);
+}
+
+TEST(CostModelTest, ClusteredPlpMovesLeafRecordsOnly) {
+  const RepartitionCost c =
+      ComputeRepartitionCost(RepartitionDesign::kPlpClustered, PaperParams());
+  EXPECT_EQ(c.records_moved, 85u);      // leaf entries ARE the records
+  EXPECT_EQ(c.entries_moved, 170u);     // levels 2..3 only
+  EXPECT_EQ(c.secondary_updates, 85u);
+  EXPECT_EQ(c.primary_updates, 0u);     // no separate RID index
+}
+
+TEST(CostModelTest, ClusteredSharedNothingStillMovesEverything) {
+  const RepartitionCost c = ComputeRepartitionCost(
+      RepartitionDesign::kSharedNothingClustered, PaperParams());
+  EXPECT_EQ(c.records_moved, 2441965u);
+  EXPECT_EQ(c.primary_inserts, c.records_moved);
+}
+
+TEST(CostModelTest, OrderingMatchesPaperConclusion) {
+  // PLP-Regular < PLP-Leaf << PLP-Partition == Shared-Nothing in moved
+  // bytes — the paper's Table 1 takeaway.
+  const CostModelParams p = PaperParams();
+  const auto reg =
+      ComputeRepartitionCost(RepartitionDesign::kPlpRegular, p).bytes_moved(p);
+  const auto leaf =
+      ComputeRepartitionCost(RepartitionDesign::kPlpLeaf, p).bytes_moved(p);
+  const auto part = ComputeRepartitionCost(
+      RepartitionDesign::kPlpPartition, p).bytes_moved(p);
+  EXPECT_LT(reg, leaf);
+  EXPECT_LT(leaf, part / 100);
+}
+
+TEST(CostModelTest, TallerTreesExplodeSharedNothingCost) {
+  // "for a larger heap file with a B+tree of height 4, the repartitioning
+  // cost for Shared-Nothing (and PLP-Partition) becomes prohibitive".
+  CostModelParams p = PaperParams();
+  const auto h3 = ComputeRepartitionCost(
+      RepartitionDesign::kSharedNothing, p).records_moved;
+  p.height = 4;
+  p.m = {85, 85, 85, 85};
+  const auto h4 = ComputeRepartitionCost(
+      RepartitionDesign::kSharedNothing, p).records_moved;
+  EXPECT_GT(h4, h3 * 100);
+  // PLP-Leaf stays flat.
+  const auto leaf4 = ComputeRepartitionCost(
+      RepartitionDesign::kPlpLeaf, p).records_moved;
+  EXPECT_EQ(leaf4, 85u);
+}
+
+TEST(CostModelTest, FormatRowsAreStable) {
+  const CostModelParams p = PaperParams();
+  for (RepartitionDesign d :
+       {RepartitionDesign::kPlpRegular, RepartitionDesign::kPlpLeaf,
+        RepartitionDesign::kPlpPartition, RepartitionDesign::kSharedNothing,
+        RepartitionDesign::kPlpClustered,
+        RepartitionDesign::kSharedNothingClustered}) {
+    const std::string row = FormatCostRow(d, p);
+    EXPECT_NE(row.find(RepartitionDesignName(d)), std::string::npos);
+    EXPECT_NE(row.find("ptr-upd"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,109 @@
+// Tests for the critical-section profiler — the measurement substrate
+// behind Figures 1-3.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+namespace {
+
+class CsProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CsProfiler::Global().Reset(); }
+};
+
+TEST_F(CsProfilerTest, RecordsEntriesPerCategory) {
+  CsProfiler::Record(CsCategory::kLockMgr, false);
+  CsProfiler::Record(CsCategory::kLockMgr, true, 100);
+  CsProfiler::Record(CsCategory::kLogMgr, false);
+
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kLockMgr)], 2u);
+  EXPECT_EQ(counts.contended[static_cast<int>(CsCategory::kLockMgr)], 1u);
+  EXPECT_EQ(counts.wait_ns[static_cast<int>(CsCategory::kLockMgr)], 100u);
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kLogMgr)], 1u);
+  EXPECT_EQ(counts.TotalEntries(), 3u);
+  EXPECT_EQ(counts.TotalContended(), 1u);
+}
+
+TEST_F(CsProfilerTest, LatchCountsByPageClass) {
+  CsProfiler::RecordLatch(PageClass::kIndex, false);
+  CsProfiler::RecordLatch(PageClass::kIndex, true, 50);
+  CsProfiler::RecordLatch(PageClass::kHeap, false);
+  CsProfiler::RecordLatch(PageClass::kCatalog, false);
+
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kIndex)], 2u);
+  EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kHeap)], 1u);
+  EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kCatalog)], 1u);
+  EXPECT_EQ(counts.TotalLatches(), 4u);
+  // Latches also count as page-latch critical sections.
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kPageLatch)], 4u);
+  EXPECT_EQ(counts.latch_wait_ns[static_cast<int>(PageClass::kIndex)], 50u);
+}
+
+TEST_F(CsProfilerTest, AggregatesAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int j = 0; j < kPerThread; ++j) {
+        CsProfiler::Record(CsCategory::kBufferPool, false);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kBufferPool)],
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(CsProfilerTest, RetiredThreadCountsSurvive) {
+  std::thread t([] { CsProfiler::Record(CsCategory::kXctMgr, false); });
+  t.join();  // thread-local state folded into retired counts
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kXctMgr)], 1u);
+}
+
+TEST_F(CsProfilerTest, ResetZeroesEverything) {
+  CsProfiler::Record(CsCategory::kMetadata, true, 10);
+  CsProfiler::RecordLatch(PageClass::kHeap, true, 20);
+  CsProfiler::Global().Reset();
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.TotalEntries(), 0u);
+  EXPECT_EQ(counts.TotalLatches(), 0u);
+  EXPECT_EQ(counts.TotalContended(), 0u);
+}
+
+TEST_F(CsProfilerTest, DisabledRecordingIsDropped) {
+  CsProfiler::SetEnabled(false);
+  CsProfiler::Record(CsCategory::kLockMgr, false);
+  CsProfiler::SetEnabled(true);
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.entries[static_cast<int>(CsCategory::kLockMgr)], 0u);
+}
+
+TEST_F(CsProfilerTest, DeltaSubtraction) {
+  CsProfiler::Record(CsCategory::kLockMgr, false);
+  CsCounts before = CsProfiler::Global().Collect();
+  CsProfiler::Record(CsCategory::kLockMgr, true, 7);
+  CsProfiler::Record(CsCategory::kLogMgr, false);
+  CsCounts delta = CsProfiler::Global().Collect() - before;
+  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kLockMgr)], 1u);
+  EXPECT_EQ(delta.contended[static_cast<int>(CsCategory::kLockMgr)], 1u);
+  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kLogMgr)], 1u);
+}
+
+TEST_F(CsProfilerTest, CategoryAndClassNames) {
+  EXPECT_STREQ(CsCategoryName(CsCategory::kLockMgr), "Lock mgr");
+  EXPECT_STREQ(CsCategoryName(CsCategory::kPageLatch), "Page Latches");
+  EXPECT_STREQ(PageClassName(PageClass::kIndex), "INDEX");
+  EXPECT_STREQ(PageClassName(PageClass::kHeap), "HEAP");
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,193 @@
+// Tests for heap files in the three ownership disciplines of Section 3.3.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/storage/heap_file.h"
+#include "src/storage/slotted_page.h"
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+namespace {
+
+TEST(HeapFileSharedTest, InsertGetUpdateDelete) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  Rid rid;
+  ASSERT_TRUE(heap.Insert("record-1", &rid).ok());
+  std::string out;
+  ASSERT_TRUE(heap.Get(rid, &out).ok());
+  EXPECT_EQ(out, "record-1");
+  ASSERT_TRUE(heap.Update(rid, "record-1b").ok());
+  ASSERT_TRUE(heap.Get(rid, &out).ok());
+  EXPECT_EQ(out, "record-1b");
+  ASSERT_TRUE(heap.Delete(rid).ok());
+  EXPECT_TRUE(heap.Get(rid, &out).IsNotFound());
+}
+
+TEST(HeapFileSharedTest, PacksManyRecordsPerPage) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  const std::string rec(100, 'x');
+  Rid rid;
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(heap.Insert(rec, &rid).ok());
+  // ~77 records/page -> about 7 pages.
+  EXPECT_LE(heap.num_pages(), 10u);
+  EXPECT_GE(heap.num_pages(), 6u);
+}
+
+TEST(HeapFileSharedTest, ReusesSpaceAfterDelete) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  const std::string rec(1000, 'x');
+  std::vector<Rid> rids;
+  Rid rid;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(heap.Insert(rec, &rid).ok());
+    rids.push_back(rid);
+  }
+  const std::size_t pages_before = heap.num_pages();
+  for (const Rid& r : rids) ASSERT_TRUE(heap.Delete(r).ok());
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(heap.Insert(rec, &rid).ok());
+  EXPECT_EQ(heap.num_pages(), pages_before);  // no growth
+}
+
+TEST(HeapFileSharedTest, ScanVisitsAllRecords) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  std::set<std::string> expected;
+  Rid rid;
+  for (int i = 0; i < 100; ++i) {
+    std::string rec = "rec-" + std::to_string(i);
+    ASSERT_TRUE(heap.Insert(rec, &rid).ok());
+    expected.insert(rec);
+  }
+  std::set<std::string> seen;
+  heap.Scan([&](Rid, Slice rec) { seen.insert(rec.ToString()); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(HeapFileSharedTest, LatchedAccessRecordsHeapLatches) {
+  CsProfiler::Global().Reset();
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  Rid rid;
+  ASSERT_TRUE(heap.Insert("x", &rid).ok());
+  std::string out;
+  ASSERT_TRUE(heap.Get(rid, &out).ok());
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_GE(counts.latches[static_cast<int>(PageClass::kHeap)], 2u);
+}
+
+TEST(HeapFileOwnedTest, LatchFreeAccess) {
+  CsProfiler::Global().Reset();
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid rid;
+  ASSERT_TRUE(heap.InsertOwned(1, "x", &rid).ok());
+  std::string out;
+  ASSERT_TRUE(heap.Get(rid, &out).ok());
+  ASSERT_TRUE(heap.Update(rid, "y").ok());
+  ASSERT_TRUE(heap.Delete(rid).ok());
+  CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kHeap)], 0u)
+      << "owned heap pages must never be latched";
+}
+
+TEST(HeapFileOwnedTest, OwnersGetSeparatePages) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid r1, r2;
+  ASSERT_TRUE(heap.InsertOwned(1, "a", &r1).ok());
+  ASSERT_TRUE(heap.InsertOwned(2, "b", &r2).ok());
+  EXPECT_NE(r1.page_id, r2.page_id);
+  Page* p1 = pool.FixUnlocked(r1.page_id);
+  Page* p2 = pool.FixUnlocked(r2.page_id);
+  EXPECT_EQ(SlottedPage(p1->data()).owner(), 1u);
+  EXPECT_EQ(SlottedPage(p2->data()).owner(), 2u);
+}
+
+TEST(HeapFileOwnedTest, SameOwnerSharesPage) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid r1, r2;
+  ASSERT_TRUE(heap.InsertOwned(1, "a", &r1).ok());
+  ASSERT_TRUE(heap.InsertOwned(1, "b", &r2).ok());
+  EXPECT_EQ(r1.page_id, r2.page_id);
+}
+
+TEST(HeapFileOwnedTest, ScanOwnedIsScoped) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid rid;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(heap.InsertOwned(1, "one-" + std::to_string(i), &rid).ok());
+    ASSERT_TRUE(heap.InsertOwned(2, "two-" + std::to_string(i), &rid).ok());
+  }
+  int count = 0;
+  heap.ScanOwned(1, [&](Rid, Slice rec) {
+    EXPECT_EQ(rec.ToString().substr(0, 4), "one-");
+    ++count;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(HeapFileOwnedTest, MoveRelocatesRecord) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid rid;
+  ASSERT_TRUE(heap.InsertOwned(1, "payload", &rid).ok());
+  Rid new_rid;
+  ASSERT_TRUE(heap.Move(rid, 2, &new_rid).ok());
+  EXPECT_NE(rid, new_rid);
+  std::string out;
+  EXPECT_TRUE(heap.Get(rid, &out).IsNotFound());
+  ASSERT_TRUE(heap.Get(new_rid, &out).ok());
+  EXPECT_EQ(out, "payload");
+  Page* page = pool.FixUnlocked(new_rid.page_id);
+  EXPECT_EQ(SlottedPage(page->data()).owner(), 2u);
+}
+
+TEST(HeapFileOwnedTest, RetagOwnerReassignsPages) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kPartitionOwned);
+  Rid rid;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(heap.InsertOwned(1, "r" + std::to_string(i), &rid).ok());
+  }
+  heap.RetagOwner(1, 9);
+  EXPECT_TRUE(heap.OwnedPages(1).empty());
+  const auto pages = heap.OwnedPages(9);
+  ASSERT_FALSE(pages.empty());
+  for (PageId pid : pages) {
+    EXPECT_EQ(SlottedPage(pool.FixUnlocked(pid)->data()).owner(), 9u);
+  }
+  // New inserts for owner 9 keep using the retagged pages.
+  ASSERT_TRUE(heap.InsertOwned(9, "more", &rid).ok());
+  EXPECT_EQ(heap.OwnedPages(9).size(), pages.size());
+}
+
+TEST(HeapFileOwnedTest, LeafOwnedModeUsesLeafPidAsOwner) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kLeafOwned);
+  EXPECT_EQ(heap.latch_policy(), LatchPolicy::kNone);
+  Rid rid;
+  ASSERT_TRUE(heap.InsertOwned(4242, "x", &rid).ok());
+  Page* page = pool.FixUnlocked(rid.page_id);
+  EXPECT_EQ(SlottedPage(page->data()).owner(), 4242u);
+}
+
+TEST(HeapFileTest, LargeRecordSpansNewPage) {
+  BufferPool pool;
+  HeapFile heap(&pool, HeapMode::kShared);
+  const std::string big(7000, 'b');
+  Rid r1, r2;
+  ASSERT_TRUE(heap.Insert(big, &r1).ok());
+  ASSERT_TRUE(heap.Insert(big, &r2).ok());
+  EXPECT_NE(r1.page_id, r2.page_id);
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,234 @@
+// Edge-case tests for the B+Tree and MRBTree: extreme key/value sizes,
+// empty structures, boundary splits, and exhaustive delete/reinsert.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/key_encoding.h"
+#include "src/common/rng.h"
+#include "src/index/mrbtree.h"
+
+namespace plp {
+namespace {
+
+TEST(BTreeEdgeTest, EmptyTreeOperations) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  std::string value;
+  EXPECT_TRUE(tree.Probe("k", &value).IsNotFound());
+  EXPECT_TRUE(tree.Delete("k").IsNotFound());
+  EXPECT_TRUE(tree.Update("k", "v").IsNotFound());
+  int rows = 0;
+  ASSERT_TRUE(tree.ScanFrom(Slice(), [&](Slice, Slice) {
+    ++rows;
+    return true;
+  }).ok());
+  EXPECT_EQ(rows, 0);
+  EXPECT_EQ(tree.height(), 1);
+  ASSERT_TRUE(tree.CheckIntegrity().ok());
+}
+
+TEST(BTreeEdgeTest, SingleEntryTree) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  ASSERT_TRUE(tree.Insert("only", "entry").ok());
+  std::string min_key;
+  ASSERT_TRUE(tree.MinKey(&min_key).ok());
+  EXPECT_EQ(min_key, "only");
+  std::string median;
+  ASSERT_TRUE(tree.ApproxMedianKey(&median).ok());
+  EXPECT_EQ(median, "only");
+}
+
+TEST(BTreeEdgeTest, LargeKeysAndValues) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  // Keys/values of up to 1KB each; several per node, still splits fine.
+  for (int i = 0; i < 200; ++i) {
+    std::string key(512, 'k');
+    key += KeyU32(static_cast<std::uint32_t>(i));
+    const std::string value(1024, 'v');
+    ASSERT_TRUE(tree.Insert(key, value).ok()) << i;
+  }
+  EXPECT_EQ(tree.num_entries(), 200u);
+  ASSERT_TRUE(tree.CheckIntegrity().ok());
+  std::string out;
+  std::string probe_key(512, 'k');
+  probe_key += KeyU32(77);
+  ASSERT_TRUE(tree.Probe(probe_key, &out).ok());
+  EXPECT_EQ(out.size(), 1024u);
+}
+
+TEST(BTreeEdgeTest, MixedKeyLengthsSortCorrectly) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  const std::vector<std::string> keys = {"a", "aa", "aaa", "ab", "b",
+                                         "ba", "z", "za"};
+  for (const auto& k : keys) ASSERT_TRUE(tree.Insert(k, "v").ok());
+  std::vector<std::string> scanned;
+  ASSERT_TRUE(tree.ScanFrom(Slice(), [&](Slice k, Slice) {
+    scanned.push_back(k.ToString());
+    return true;
+  }).ok());
+  std::vector<std::string> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(scanned, expected);
+}
+
+TEST(BTreeEdgeTest, DeleteEverythingThenReuse) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Insert(KeyU32(i), "v").ok());
+  }
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(tree.Delete(KeyU32(i)).ok());
+  }
+  EXPECT_EQ(tree.num_entries(), 0u);
+  // Structure keeps its empty pages (no merge-on-delete); operations
+  // still work and scans cross the empty leaves.
+  int rows = 0;
+  ASSERT_TRUE(tree.ScanFrom(Slice(), [&](Slice, Slice) {
+    ++rows;
+    return true;
+  }).ok());
+  EXPECT_EQ(rows, 0);
+  for (std::uint32_t i = 0; i < 5000; i += 3) {
+    ASSERT_TRUE(tree.Insert(KeyU32(i), "again").ok());
+  }
+  ASSERT_TRUE(tree.CheckIntegrity().ok());
+  std::string out;
+  ASSERT_TRUE(tree.Probe(KeyU32(3), &out).ok());
+  EXPECT_EQ(out, "again");
+}
+
+TEST(BTreeEdgeTest, ScanFromBeyondMaxKey) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(KeyU32(i), "v").ok());
+  }
+  int rows = 0;
+  ASSERT_TRUE(tree.ScanFrom(KeyU32(1000), [&](Slice, Slice) {
+    ++rows;
+    return true;
+  }).ok());
+  EXPECT_EQ(rows, 0);
+}
+
+TEST(BTreeEdgeTest, SliceAtMinKeyMovesEverything) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 10; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(KeyU32(i), "v").ok());
+  }
+  std::unique_ptr<BTree> right;
+  ASSERT_TRUE(tree.SliceOff(KeyU32(0), &right).ok());
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_EQ(right->num_entries(), 990u);
+  ASSERT_TRUE(right->CheckIntegrity().ok());
+}
+
+TEST(BTreeEdgeTest, SliceBeyondMaxKeyMovesNothing) {
+  BufferPool pool;
+  BTree tree(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tree.Insert(KeyU32(i), "v").ok());
+  }
+  std::unique_ptr<BTree> right;
+  ASSERT_TRUE(tree.SliceOff(KeyU32(5000), &right).ok());
+  EXPECT_EQ(tree.num_entries(), 1000u);
+  EXPECT_EQ(right->num_entries(), 0u);
+  ASSERT_TRUE(tree.CheckIntegrity().ok());
+}
+
+TEST(BTreeEdgeTest, MeldEmptyRight) {
+  BufferPool pool;
+  BTree left(&pool, LatchPolicy::kNone);
+  BTree right(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(left.Insert(KeyU32(i), "v").ok());
+  }
+  ASSERT_TRUE(left.Meld(&right, KeyU32(1000)).ok());
+  EXPECT_EQ(left.num_entries(), 100u);
+  ASSERT_TRUE(left.CheckIntegrity().ok());
+  // Still insertable past the boundary.
+  ASSERT_TRUE(left.Insert(KeyU32(2000), "post-meld").ok());
+}
+
+TEST(BTreeEdgeTest, MeldEmptyLeft) {
+  BufferPool pool;
+  BTree left(&pool, LatchPolicy::kNone);
+  BTree right(&pool, LatchPolicy::kNone);
+  for (std::uint32_t i = 1000; i < 1100; ++i) {
+    ASSERT_TRUE(right.Insert(KeyU32(i), "v").ok());
+  }
+  ASSERT_TRUE(left.Meld(&right, KeyU32(1000)).ok());
+  EXPECT_EQ(left.num_entries(), 100u);
+  std::string out;
+  ASSERT_TRUE(left.Probe(KeyU32(1050), &out).ok());
+}
+
+TEST(MRBTreeEdgeTest, SplitEmptyPartition) {
+  BufferPool pool;
+  std::unique_ptr<MRBTree> tree;
+  ASSERT_TRUE(MRBTree::Create(&pool, LatchPolicy::kNone, {""}, &tree).ok());
+  ASSERT_TRUE(tree->Split(KeyU32(100)).ok());
+  EXPECT_EQ(tree->num_partitions(), 2u);
+  ASSERT_TRUE(tree->Insert(KeyU32(50), "left").ok());
+  ASSERT_TRUE(tree->Insert(KeyU32(150), "right").ok());
+  EXPECT_EQ(tree->subtree(0)->num_entries(), 1u);
+  EXPECT_EQ(tree->subtree(1)->num_entries(), 1u);
+}
+
+TEST(MRBTreeEdgeTest, ManyTinyPartitions) {
+  BufferPool pool;
+  std::vector<std::string> boundaries = {""};
+  for (std::uint32_t i = 1; i < 64; ++i) boundaries.push_back(KeyU32(i * 10));
+  std::unique_ptr<MRBTree> tree;
+  ASSERT_TRUE(
+      MRBTree::Create(&pool, LatchPolicy::kNone, boundaries, &tree).ok());
+  for (std::uint32_t k = 0; k < 640; ++k) {
+    ASSERT_TRUE(tree->Insert(KeyU32(k), "v").ok());
+  }
+  EXPECT_EQ(tree->num_entries(), 640u);
+  ASSERT_TRUE(tree->CheckIntegrity().ok());
+  // Each partition holds exactly its 10 keys.
+  for (PartitionId p = 0; p < 64; ++p) {
+    EXPECT_EQ(tree->subtree(p)->num_entries(), 10u) << p;
+  }
+}
+
+TEST(MRBTreeEdgeTest, RandomSplitMergeFuzz) {
+  BufferPool pool;
+  std::unique_ptr<MRBTree> tree;
+  ASSERT_TRUE(MRBTree::Create(&pool, LatchPolicy::kNone, {""}, &tree).ok());
+  Rng rng(321);
+  constexpr std::uint32_t kKeys = 2000;
+  for (std::uint32_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(tree->Insert(KeyU32(k), KeyU32(k)).ok());
+  }
+  for (int round = 0; round < 30; ++round) {
+    if (tree->num_partitions() < 8 && rng.Percent(60)) {
+      (void)tree->Split(
+          KeyU32(static_cast<std::uint32_t>(rng.Uniform(kKeys))));
+    } else if (tree->num_partitions() > 1) {
+      ASSERT_TRUE(
+          tree->Merge(static_cast<PartitionId>(
+                          rng.Range(1, tree->num_partitions() - 1)))
+              .ok());
+    }
+    ASSERT_TRUE(tree->CheckIntegrity().ok()) << "round " << round;
+    EXPECT_EQ(tree->num_entries(), kKeys);
+  }
+  // Every key still probes correctly with the right value.
+  std::string value;
+  for (std::uint32_t k = 0; k < kKeys; k += 7) {
+    ASSERT_TRUE(tree->Probe(KeyU32(k), &value).ok()) << k;
+    EXPECT_EQ(DecodeU32(value), k);
+  }
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,123 @@
+// Tests for the metrics layer: time breakdowns and throughput probes.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/metrics/throughput_probe.h"
+#include "src/metrics/time_breakdown.h"
+
+namespace plp {
+namespace {
+
+TEST(TimeBreakdownTest, CalibrationIsPositiveAndStable) {
+  const double a = CalibratedLatchCostNs();
+  const double b = CalibratedLatchCostNs();
+  EXPECT_GT(a, 0.0);
+  EXPECT_EQ(a, b);  // memoized
+  EXPECT_LT(a, 10000.0);  // an uncontended latch is well under 10us
+}
+
+TEST(TimeBreakdownTest, ZeroTransactionsGiveEmptyBreakdown) {
+  CsCounts delta;
+  const TimeBreakdown b = MakeTimeBreakdown(delta, 0, 1000000);
+  EXPECT_EQ(b.total_us, 0.0);
+}
+
+TEST(TimeBreakdownTest, ComponentsAttributeCorrectly) {
+  CsCounts delta;
+  delta.latch_wait_ns[static_cast<int>(PageClass::kIndex)] = 4'000'000;
+  delta.latch_wait_ns[static_cast<int>(PageClass::kHeap)] = 2'000'000;
+  delta.wait_ns[static_cast<int>(CsCategory::kPageLatch)] = 6'000'000;
+  delta.wait_ns[static_cast<int>(CsCategory::kLockMgr)] = 1'000'000;
+  const TimeBreakdown b = MakeTimeBreakdown(delta, 1000, 100'000'000);
+  EXPECT_DOUBLE_EQ(b.total_us, 100.0);
+  EXPECT_DOUBLE_EQ(b.idx_latch_wait_us, 4.0);
+  EXPECT_DOUBLE_EQ(b.heap_latch_wait_us, 2.0);
+  EXPECT_DOUBLE_EQ(b.lock_wait_us, 1.0);
+  EXPECT_DOUBLE_EQ(b.smo_wait_us, 0.0);  // fully classed latch waits
+  EXPECT_GT(b.other_us, 0.0);
+}
+
+TEST(TimeBreakdownTest, SmoWaitIsUnclassedLatchWait) {
+  CsCounts delta;
+  // 3ms of page-latch-category waiting, only 1ms attributable to index
+  // pages: the remaining 2ms is SMO-mutex serialization.
+  delta.wait_ns[static_cast<int>(CsCategory::kPageLatch)] = 3'000'000;
+  delta.latch_wait_ns[static_cast<int>(PageClass::kIndex)] = 1'000'000;
+  const TimeBreakdown b = MakeTimeBreakdown(delta, 1000, 50'000'000);
+  EXPECT_DOUBLE_EQ(b.idx_latch_wait_us, 1.0);
+  EXPECT_DOUBLE_EQ(b.smo_wait_us, 2.0);
+}
+
+TEST(TimeBreakdownTest, LatchingOverheadScalesWithCount) {
+  CsCounts delta;
+  delta.latches[static_cast<int>(PageClass::kIndex)] = 10000;
+  const TimeBreakdown small = MakeTimeBreakdown(delta, 1000, 100'000'000);
+  delta.latches[static_cast<int>(PageClass::kIndex)] = 20000;
+  const TimeBreakdown big = MakeTimeBreakdown(delta, 1000, 100'000'000);
+  EXPECT_NEAR(big.latching_us, 2 * small.latching_us, 1e-9);
+}
+
+TEST(TimeBreakdownTest, FormatContainsAllColumns) {
+  const TimeBreakdown b;
+  const std::string row = FormatBreakdownRow("TestRow", b);
+  for (const char* col : {"TestRow", "total", "idx-wait", "heap-wait",
+                          "latching", "lock-wait", "smo-wait", "other"}) {
+    EXPECT_NE(row.find(col), std::string::npos) << col;
+  }
+}
+
+TEST(ThroughputProbeTest, SamplesMeasureWindowRate) {
+  ThroughputProbe probe;
+  probe.Start();
+  for (int i = 0; i < 1000; ++i) probe.Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  probe.SampleNow();
+  ASSERT_EQ(probe.samples().size(), 1u);
+  const auto& s = probe.samples()[0];
+  EXPECT_GT(s.at_seconds, 0.0);
+  EXPECT_GT(s.ktps, 0.0);
+  // 1000 ticks in ~50ms -> ~20 Ktps.
+  EXPECT_NEAR(s.ktps, 20.0, 15.0);
+}
+
+TEST(ThroughputProbeTest, SecondWindowCountsOnlyNewTicks) {
+  ThroughputProbe probe;
+  probe.Start();
+  for (int i = 0; i < 100; ++i) probe.Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  probe.SampleNow();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  probe.SampleNow();  // no ticks in the second window
+  ASSERT_EQ(probe.samples().size(), 2u);
+  EXPECT_GT(probe.samples()[0].ktps, 0.0);
+  EXPECT_DOUBLE_EQ(probe.samples()[1].ktps, 0.0);
+  EXPECT_EQ(probe.total(), 100u);
+}
+
+TEST(ThroughputProbeTest, StartResets) {
+  ThroughputProbe probe;
+  probe.Start();
+  probe.Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  probe.SampleNow();
+  probe.Start();
+  EXPECT_TRUE(probe.samples().empty());
+  EXPECT_EQ(probe.total(), 0u);
+}
+
+TEST(ThroughputProbeTest, ConcurrentTickers) {
+  ThroughputProbe probe;
+  probe.Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) probe.Tick();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(probe.total(), 40000u);
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,161 @@
+// Tests for the PLP extension features: parallel heap scans distributed
+// to partition owners (Section 3.3) and non-partition-aligned secondary
+// index accesses routed to owning threads (Appendix E).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/common/key_encoding.h"
+#include "src/engine/partitioned_engine.h"
+#include "src/sync/cs_profiler.h"
+
+namespace plp {
+namespace {
+
+class PlpFeaturesTest : public ::testing::TestWithParam<SystemDesign> {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.design = GetParam();
+    config.num_workers = 4;
+    engine_ = std::make_unique<PartitionedEngine>(config);
+    engine_->Start();
+    auto result = engine_->CreateTable(
+        "t", {"", KeyU32(250), KeyU32(500), KeyU32(750)});
+    ASSERT_TRUE(result.ok());
+    table_ = result.value();
+  }
+  void TearDown() override { engine_->Stop(); }
+
+  Status Insert(std::uint32_t k, const std::string& value) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key, value](ExecContext& ctx) {
+      return ctx.Insert(key, value);
+    });
+    return engine_->Execute(req);
+  }
+
+  std::unique_ptr<PartitionedEngine> engine_;
+  Table* table_ = nullptr;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, PlpFeaturesTest,
+    ::testing::Values(SystemDesign::kPlpRegular, SystemDesign::kPlpPartition,
+                      SystemDesign::kPlpLeaf),
+    [](const auto& info) {
+      switch (info.param) {
+        case SystemDesign::kPlpRegular: return "PlpRegular";
+        case SystemDesign::kPlpPartition: return "PlpPartition";
+        case SystemDesign::kPlpLeaf: return "PlpLeaf";
+        default: return "Other";
+      }
+    });
+
+TEST_P(PlpFeaturesTest, ParallelScanVisitsEverythingInOrder) {
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(Insert(k, "row-" + std::to_string(k)).ok());
+  }
+  std::vector<std::uint32_t> keys;
+  ASSERT_TRUE(engine_->ParallelScan("t", [&](Slice key, Slice payload) {
+    keys.push_back(DecodeU32(key));
+    EXPECT_EQ(payload.ToString(), "row-" + std::to_string(keys.back()));
+  }).ok());
+  ASSERT_EQ(keys.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(keys[i], i);
+}
+
+TEST_P(PlpFeaturesTest, ParallelScanIsLatchFreeOnPlpHeaps) {
+  for (std::uint32_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(Insert(k, "x").ok());
+  }
+  CsProfiler::Global().Reset();
+  int rows = 0;
+  ASSERT_TRUE(
+      engine_->ParallelScan("t", [&](Slice, Slice) { ++rows; }).ok());
+  EXPECT_EQ(rows, 200);
+  const CsCounts counts = CsProfiler::Global().Collect();
+  EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kIndex)], 0u);
+  if (GetParam() != SystemDesign::kPlpRegular) {
+    EXPECT_EQ(counts.latches[static_cast<int>(PageClass::kHeap)], 0u);
+  }
+}
+
+TEST_P(PlpFeaturesTest, ParallelScanEmptyTable) {
+  int rows = 0;
+  ASSERT_TRUE(
+      engine_->ParallelScan("t", [&](Slice, Slice) { ++rows; }).ok());
+  EXPECT_EQ(rows, 0);
+}
+
+TEST_P(PlpFeaturesTest, SecondaryLookupRoutesToOwners) {
+  // Secondary key: first byte of the payload ("category").
+  ASSERT_TRUE(table_
+                  ->AddSecondary("by_cat",
+                                 [](Slice, Slice payload) {
+                                   return std::string(1, payload.data()[0]);
+                                 })
+                  .ok());
+  // Spread matching records across all four partitions.
+  ASSERT_TRUE(Insert(10, "apple").ok());
+  ASSERT_TRUE(Insert(300, "apricot").ok());
+  ASSERT_TRUE(Insert(600, "avocado").ok());
+  ASSERT_TRUE(Insert(900, "almond").ok());
+  ASSERT_TRUE(Insert(450, "banana").ok());
+
+  std::vector<std::pair<std::string, std::string>> results;
+  ASSERT_TRUE(engine_->SecondaryLookup("t", "by_cat", "a", &results).ok());
+  ASSERT_EQ(results.size(), 4u);
+  std::map<std::uint32_t, std::string> by_key;
+  for (auto& [key, payload] : results) by_key[DecodeU32(key)] = payload;
+  EXPECT_EQ(by_key[10], "apple");
+  EXPECT_EQ(by_key[300], "apricot");
+  EXPECT_EQ(by_key[600], "avocado");
+  EXPECT_EQ(by_key[900], "almond");
+}
+
+TEST_P(PlpFeaturesTest, SecondaryLookupNoMatches) {
+  ASSERT_TRUE(table_
+                  ->AddSecondary("by_cat",
+                                 [](Slice, Slice payload) {
+                                   return std::string(1, payload.data()[0]);
+                                 })
+                  .ok());
+  ASSERT_TRUE(Insert(10, "apple").ok());
+  std::vector<std::pair<std::string, std::string>> results;
+  ASSERT_TRUE(engine_->SecondaryLookup("t", "by_cat", "z", &results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_P(PlpFeaturesTest, SecondaryLookupUnknownIndexFails) {
+  std::vector<std::pair<std::string, std::string>> results;
+  EXPECT_FALSE(engine_->SecondaryLookup("t", "nope", "a", &results).ok());
+  EXPECT_FALSE(
+      engine_->SecondaryLookup("missing", "by_cat", "a", &results).ok());
+}
+
+TEST_P(PlpFeaturesTest, SecondaryStaysInSyncThroughRepartition) {
+  ASSERT_TRUE(table_
+                  ->AddSecondary("by_cat",
+                                 [](Slice, Slice payload) {
+                                   return std::string(1, payload.data()[0]);
+                                 })
+                  .ok());
+  for (std::uint32_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(Insert(k, (k % 2 ? "odd-" : "even-") + std::to_string(k))
+                    .ok());
+  }
+  ASSERT_TRUE(
+      engine_->Repartition("t", {"", KeyU32(100), KeyU32(400)}).ok());
+  std::vector<std::pair<std::string, std::string>> results;
+  ASSERT_TRUE(engine_->SecondaryLookup("t", "by_cat", "o", &results).ok());
+  EXPECT_EQ(results.size(), 250u);
+  for (auto& [key, payload] : results) {
+    EXPECT_EQ(payload.substr(0, 4), "odd-");
+  }
+}
+
+}  // namespace
+}  // namespace plp

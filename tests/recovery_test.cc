@@ -1,0 +1,202 @@
+// ARIES-lite restart recovery tests: winners replayed, losers rolled back.
+#include <gtest/gtest.h>
+
+#include "src/storage/slotted_page.h"
+#include "src/txn/recovery.h"
+
+namespace plp {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    LogConfig config;
+    config.retain_for_recovery = true;
+    log_ = std::make_unique<LogManager>(config);
+  }
+
+  void LogOp(TxnId txn, LogType type, Rid rid, std::string redo,
+             std::string undo) {
+    LogRecord rec;
+    rec.type = type;
+    rec.txn = txn;
+    rec.rid = rid;
+    rec.redo = std::move(redo);
+    rec.undo = std::move(undo);
+    log_->Append(rec);
+  }
+
+  void LogCommit(TxnId txn) {
+    LogRecord rec;
+    rec.type = LogType::kCommit;
+    rec.txn = txn;
+    log_->Append(rec);
+  }
+
+  std::string ReadRecord(BufferPool* pool, Rid rid) {
+    Page* page = pool->FixUnlocked(rid.page_id);
+    if (page == nullptr) return "<no page>";
+    Slice rec;
+    if (!SlottedPage(page->data()).Get(rid.slot, &rec).ok()) {
+      return "<no record>";
+    }
+    return rec.ToString();
+  }
+
+  std::unique_ptr<LogManager> log_;
+};
+
+TEST_F(RecoveryTest, CommittedInsertSurvives) {
+  LogOp(1, LogType::kHeapInsert, Rid{10, 0}, "hello", "");
+  LogCommit(1);
+
+  BufferPool fresh;  // crash wiped memory
+  RecoveryManager rm(log_.get(), &fresh);
+  RecoveryManager::Stats stats;
+  ASSERT_TRUE(rm.Recover(nullptr, &stats).ok());
+  EXPECT_EQ(stats.winners, 1u);
+  EXPECT_EQ(stats.losers, 0u);
+  EXPECT_EQ(ReadRecord(&fresh, Rid{10, 0}), "hello");
+}
+
+TEST_F(RecoveryTest, UncommittedInsertRolledBack) {
+  LogOp(1, LogType::kHeapInsert, Rid{10, 0}, "loser-data", "");
+  // No commit record: loser.
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  RecoveryManager::Stats stats;
+  ASSERT_TRUE(rm.Recover(nullptr, &stats).ok());
+  EXPECT_EQ(stats.losers, 1u);
+  EXPECT_EQ(stats.undo_ops, 1u);
+  EXPECT_EQ(ReadRecord(&fresh, Rid{10, 0}), "<no record>");
+}
+
+TEST_F(RecoveryTest, UpdateUndoRestoresBeforeImage) {
+  LogOp(1, LogType::kHeapInsert, Rid{5, 0}, "v1", "");
+  LogCommit(1);
+  LogOp(2, LogType::kHeapUpdate, Rid{5, 0}, "v2", "v1");
+  // txn 2 never commits.
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());
+  EXPECT_EQ(ReadRecord(&fresh, Rid{5, 0}), "v1");
+}
+
+TEST_F(RecoveryTest, CommittedUpdateWins) {
+  LogOp(1, LogType::kHeapInsert, Rid{5, 0}, "v1", "");
+  LogCommit(1);
+  LogOp(2, LogType::kHeapUpdate, Rid{5, 0}, "v2", "v1");
+  LogCommit(2);
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());
+  EXPECT_EQ(ReadRecord(&fresh, Rid{5, 0}), "v2");
+}
+
+TEST_F(RecoveryTest, DeleteUndoReinsertsRecord) {
+  LogOp(1, LogType::kHeapInsert, Rid{7, 2}, "keep-me", "");
+  LogCommit(1);
+  LogOp(2, LogType::kHeapDelete, Rid{7, 2}, "", "keep-me");
+  // txn 2 aborts at crash.
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());
+  EXPECT_EQ(ReadRecord(&fresh, Rid{7, 2}), "keep-me");
+}
+
+TEST_F(RecoveryTest, CommittedDeleteStaysDeleted) {
+  LogOp(1, LogType::kHeapInsert, Rid{7, 2}, "gone", "");
+  LogCommit(1);
+  LogOp(2, LogType::kHeapDelete, Rid{7, 2}, "", "gone");
+  LogCommit(2);
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());
+  EXPECT_EQ(ReadRecord(&fresh, Rid{7, 2}), "<no record>");
+}
+
+TEST_F(RecoveryTest, IndexReplayedForWinnersOnly) {
+  LogRecord rec;
+  rec.type = LogType::kIndexInsert;
+  rec.txn = 1;
+  rec.redo = RecoveryManager::EncodeIndexOp("alpha", "rid-1");
+  log_->Append(rec);
+  LogCommit(1);
+
+  rec.txn = 2;
+  rec.redo = RecoveryManager::EncodeIndexOp("beta", "rid-2");
+  log_->Append(rec);  // loser
+
+  BufferPool fresh;
+  BTree index(&fresh, LatchPolicy::kNone);
+  RecoveryManager rm(log_.get(), &fresh);
+  RecoveryManager::Stats stats;
+  ASSERT_TRUE(rm.Recover(&index, &stats).ok());
+  EXPECT_EQ(stats.index_ops, 1u);
+
+  std::string value;
+  EXPECT_TRUE(index.Probe("alpha", &value).ok());
+  EXPECT_EQ(value, "rid-1");
+  EXPECT_TRUE(index.Probe("beta", &value).IsNotFound());
+}
+
+TEST_F(RecoveryTest, IndexDeleteReplayed) {
+  LogRecord rec;
+  rec.type = LogType::kIndexInsert;
+  rec.txn = 1;
+  rec.redo = RecoveryManager::EncodeIndexOp("k", "v");
+  log_->Append(rec);
+  rec.type = LogType::kIndexDelete;
+  rec.redo.clear();
+  rec.undo = RecoveryManager::EncodeIndexOp("k", "v");
+  log_->Append(rec);
+  LogCommit(1);
+
+  BufferPool fresh;
+  BTree index(&fresh, LatchPolicy::kNone);
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(&index, nullptr).ok());
+  std::string value;
+  EXPECT_TRUE(index.Probe("k", &value).IsNotFound());
+}
+
+TEST_F(RecoveryTest, InterleavedWinnersAndLosers) {
+  // t1 commits, t2 aborts, t3 commits; ops interleaved on one page.
+  LogOp(1, LogType::kHeapInsert, Rid{3, 0}, "w1", "");
+  LogOp(2, LogType::kHeapInsert, Rid{3, 1}, "l1", "");
+  LogOp(3, LogType::kHeapInsert, Rid{3, 2}, "w2", "");
+  LogOp(2, LogType::kHeapUpdate, Rid{3, 1}, "l1b", "l1");
+  LogCommit(1);
+  LogCommit(3);
+
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  RecoveryManager::Stats stats;
+  ASSERT_TRUE(rm.Recover(nullptr, &stats).ok());
+  EXPECT_EQ(stats.winners, 2u);
+  EXPECT_EQ(stats.losers, 1u);
+  EXPECT_EQ(ReadRecord(&fresh, Rid{3, 0}), "w1");
+  EXPECT_EQ(ReadRecord(&fresh, Rid{3, 1}), "<no record>");
+  EXPECT_EQ(ReadRecord(&fresh, Rid{3, 2}), "w2");
+}
+
+TEST_F(RecoveryTest, EncodeDecodeIndexOp) {
+  const std::string payload = RecoveryManager::EncodeIndexOp("key", "value");
+  std::string key, value;
+  RecoveryManager::DecodeIndexOp(payload, &key, &value);
+  EXPECT_EQ(key, "key");
+  EXPECT_EQ(value, "value");
+}
+
+TEST_F(RecoveryTest, RecoveryIsIdempotent) {
+  LogOp(1, LogType::kHeapInsert, Rid{10, 0}, "hello", "");
+  LogCommit(1);
+  BufferPool fresh;
+  RecoveryManager rm(log_.get(), &fresh);
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());
+  ASSERT_TRUE(rm.Recover(nullptr, nullptr).ok());  // run twice
+  EXPECT_EQ(ReadRecord(&fresh, Rid{10, 0}), "hello");
+}
+
+}  // namespace
+}  // namespace plp

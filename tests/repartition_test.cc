@@ -1,0 +1,247 @@
+// Repartitioning tests (Sections 3.2.1, 4.5): engine-level split/merge for
+// every design, heap ownership fix-up, and the automatic repartitioner.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/key_encoding.h"
+#include "src/engine/partitioned_engine.h"
+#include "src/engine/repartitioner.h"
+#include "src/storage/slotted_page.h"
+
+namespace plp {
+namespace {
+
+class RepartitionTest : public ::testing::TestWithParam<SystemDesign> {
+ protected:
+  void SetUp() override {
+    EngineConfig config;
+    config.design = GetParam();
+    config.num_workers = 4;
+    engine_ = CreateEngine(config);
+    engine_->Start();
+    auto result = engine_->CreateTable("t", {"", KeyU32(500)});
+    ASSERT_TRUE(result.ok());
+    table_ = result.value();
+    for (std::uint32_t k = 0; k < 1000; ++k) {
+      TxnRequest req;
+      const std::string key = KeyU32(k);
+      req.Add(0, "t", key, [key](ExecContext& ctx) {
+        return ctx.Insert(key, std::string(100, 'r'));
+      });
+      ASSERT_TRUE(engine_->Execute(req).ok());
+    }
+  }
+  void TearDown() override { engine_->Stop(); }
+
+  Status ReadKey(std::uint32_t k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      std::string out;
+      return ctx.Read(key, &out);
+    });
+    return engine_->Execute(req);
+  }
+
+  std::unique_ptr<Engine> engine_;
+  Table* table_ = nullptr;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionedDesigns, RepartitionTest,
+    ::testing::Values(SystemDesign::kLogical, SystemDesign::kPlpRegular,
+                      SystemDesign::kPlpPartition, SystemDesign::kPlpLeaf),
+    [](const auto& info) {
+      switch (info.param) {
+        case SystemDesign::kLogical: return "Logical";
+        case SystemDesign::kPlpRegular: return "PlpRegular";
+        case SystemDesign::kPlpPartition: return "PlpPartition";
+        case SystemDesign::kPlpLeaf: return "PlpLeaf";
+        default: return "Other";
+      }
+    });
+
+TEST_P(RepartitionTest, SplitKeepsAllKeysReadable) {
+  ASSERT_TRUE(
+      engine_->Repartition("t", {"", KeyU32(250), KeyU32(500)}).ok());
+  for (std::uint32_t k = 0; k < 1000; k += 37) {
+    ASSERT_TRUE(ReadKey(k).ok()) << "key " << k;
+  }
+  if (GetParam() != SystemDesign::kLogical) {
+    EXPECT_EQ(table_->primary()->num_partitions(), 3u);
+    ASSERT_TRUE(table_->primary()->CheckIntegrity().ok());
+  }
+  EXPECT_EQ(table_->primary()->num_entries(), 1000u);
+}
+
+TEST_P(RepartitionTest, MergeKeepsAllKeysReadable) {
+  ASSERT_TRUE(engine_->Repartition("t", {""}).ok());
+  for (std::uint32_t k = 0; k < 1000; k += 37) {
+    ASSERT_TRUE(ReadKey(k).ok()) << "key " << k;
+  }
+  if (GetParam() != SystemDesign::kLogical) {
+    EXPECT_EQ(table_->primary()->num_partitions(), 1u);
+    ASSERT_TRUE(table_->primary()->CheckIntegrity().ok());
+  }
+}
+
+TEST_P(RepartitionTest, SplitThenWritesContinue) {
+  ASSERT_TRUE(
+      engine_->Repartition("t", {"", KeyU32(100), KeyU32(500)}).ok());
+  for (std::uint32_t k = 2000; k < 2100; ++k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, "post-split");
+    });
+    ASSERT_TRUE(engine_->Execute(req).ok());
+  }
+  EXPECT_EQ(table_->primary()->num_entries(), 1100u);
+}
+
+TEST_P(RepartitionTest, RepeatedRebalanceCycles) {
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::string> boundaries = {""};
+    for (std::uint32_t b = 100 + static_cast<std::uint32_t>(round) * 50;
+         b < 1000; b += 200) {
+      boundaries.push_back(KeyU32(b));
+    }
+    ASSERT_TRUE(engine_->Repartition("t", boundaries).ok());
+    for (std::uint32_t k = 0; k < 1000; k += 111) {
+      ASSERT_TRUE(ReadKey(k).ok());
+    }
+  }
+  EXPECT_EQ(table_->primary()->num_entries(), 1000u);
+}
+
+TEST(RepartitionOwnershipTest, PlpPartitionMovesMismatchedRecords) {
+  EngineConfig config;
+  config.design = SystemDesign::kPlpPartition;
+  config.num_workers = 2;
+  PartitionedEngine engine(config);
+  engine.Start();
+  auto result = engine.CreateTable("t", {""});
+  ASSERT_TRUE(result.ok());
+  Table* table = result.value();
+  for (std::uint32_t k = 0; k < 500; ++k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, std::string(100, 'o'));
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  ASSERT_TRUE(engine.Repartition("t", {"", KeyU32(250)}).ok());
+
+  // After the split every record must live on a page owned by its own
+  // partition's uid.
+  BufferPool* pool = engine.db().pool();
+  MRBTree* primary = table->primary();
+  for (PartitionId p = 0; p < 2; ++p) {
+    const std::uint32_t uid = engine.pm().PartitionUid(table, p);
+    primary->subtree(p)->ForEachEntry([&](Slice, Slice rid_bytes) {
+      Rid rid;
+      std::memcpy(&rid.page_id, rid_bytes.data(), 4);
+      std::memcpy(&rid.slot, rid_bytes.data() + 4, 2);
+      Page* page = pool->FixUnlocked(rid.page_id);
+      ASSERT_NE(page, nullptr);
+      EXPECT_EQ(SlottedPage(page->data()).owner(), uid);
+    });
+  }
+  engine.Stop();
+}
+
+TEST(RepartitionerTest, DetectsSkewAndSplitsHotPartition) {
+  EngineConfig config;
+  config.design = SystemDesign::kPlpRegular;
+  config.num_workers = 4;
+  PartitionedEngine engine(config);
+  engine.Start();
+  auto result =
+      engine.CreateTable("t", {"", KeyU32(250), KeyU32(500), KeyU32(750)});
+  ASSERT_TRUE(result.ok());
+  Table* table = result.value();
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, "skewed");
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  engine.pm().ResetLoad(table);
+
+  // Hammer partition 0 to fake a hot spot.
+  for (int i = 0; i < 3000; ++i) {
+    TxnRequest req;
+    const std::string key = KeyU32(static_cast<std::uint32_t>(i % 250));
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      std::string out;
+      return ctx.Read(key, &out);
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+
+  RepartitionerOptions options;
+  options.min_samples = 1000;
+  options.imbalance_factor = 2.0;
+  Repartitioner rebalancer(&engine, options);
+  EXPECT_EQ(rebalancer.RunOnce(), 1);
+  EXPECT_EQ(rebalancer.rebalances(), 1u);
+  // The hot partition [0,250) was split somewhere in the middle.
+  const auto boundaries = engine.pm().Boundaries(table);
+  bool found_hot_split = false;
+  for (const auto& b : boundaries) {
+    if (!b.empty() && DecodeU32(b) > 0 && DecodeU32(b) < 250) {
+      found_hot_split = true;
+    }
+  }
+  EXPECT_TRUE(found_hot_split);
+  // Everything still readable.
+  for (std::uint32_t k = 0; k < 1000; k += 97) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      std::string out;
+      return ctx.Read(key, &out);
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  engine.Stop();
+}
+
+TEST(RepartitionerTest, BalancedLoadLeavesPartitionsAlone) {
+  EngineConfig config;
+  config.design = SystemDesign::kPlpRegular;
+  config.num_workers = 4;
+  PartitionedEngine engine(config);
+  engine.Start();
+  auto result =
+      engine.CreateTable("t", {"", KeyU32(250), KeyU32(500), KeyU32(750)});
+  ASSERT_TRUE(result.ok());
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, "balanced");
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  // Uniform traffic.
+  for (int i = 0; i < 4000; ++i) {
+    TxnRequest req;
+    const std::string key = KeyU32(static_cast<std::uint32_t>(i % 1000));
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      std::string out;
+      return ctx.Read(key, &out);
+    });
+    ASSERT_TRUE(engine.Execute(req).ok());
+  }
+  Repartitioner rebalancer(&engine);
+  EXPECT_EQ(rebalancer.RunOnce(), 0);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace plp

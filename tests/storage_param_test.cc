@@ -1,0 +1,184 @@
+// Parameterized property sweeps over the storage layer: record sizes,
+// ownership modes, and fill/drain cycles.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/common/rng.h"
+#include "src/storage/fragmentation_model.h"
+#include "src/storage/heap_file.h"
+#include "src/storage/slotted_page.h"
+
+namespace plp {
+namespace {
+
+// Record-size sweep on the slotted page: fill, verify, drain, refill.
+class SlottedPageSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(RecordSizes, SlottedPageSizeTest,
+                         ::testing::Values(8, 32, 100, 500, 1000, 4000),
+                         [](const auto& info) {
+                           return "Size" + std::to_string(info.param);
+                         });
+
+TEST_P(SlottedPageSizeTest, FillVerifyDrainRefill) {
+  const std::size_t record_size = GetParam();
+  char data[kPageSize];
+  SlottedPage::Init(data);
+  SlottedPage page(data);
+
+  std::vector<SlotId> slots;
+  SlotId slot;
+  int seq = 0;
+  auto make_record = [&](int i) {
+    std::string rec(record_size, 'r');
+    std::memcpy(rec.data(), &i, sizeof(i));
+    return rec;
+  };
+  while (page.Insert(make_record(seq), &slot).ok()) {
+    slots.push_back(slot);
+    ++seq;
+  }
+  // Capacity is within one record of the analytic expectation.
+  const std::size_t expected =
+      (kPageSize - SlottedPage::kHeaderSize) /
+      (record_size + SlottedPage::kSlotSize);
+  EXPECT_NEAR(static_cast<double>(slots.size()),
+              static_cast<double>(expected), 1.0);
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slice rec;
+    ASSERT_TRUE(page.Get(slots[i], &rec).ok());
+    int stored;
+    std::memcpy(&stored, rec.data(), sizeof(stored));
+    EXPECT_EQ(stored, static_cast<int>(i));
+  }
+
+  for (SlotId s : slots) ASSERT_TRUE(page.Delete(s).ok());
+  EXPECT_EQ(page.live_count(), 0);
+
+  // Refill reaches the same capacity (no permanent fragmentation).
+  int refill = 0;
+  while (page.Insert(make_record(refill), &slot).ok()) ++refill;
+  EXPECT_EQ(static_cast<std::size_t>(refill), slots.size());
+}
+
+// Ownership-mode x record-size sweep on heap files.
+class HeapFileParamTest
+    : public ::testing::TestWithParam<std::tuple<HeapMode, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSizes, HeapFileParamTest,
+    ::testing::Combine(::testing::Values(HeapMode::kShared,
+                                         HeapMode::kPartitionOwned,
+                                         HeapMode::kLeafOwned),
+                       ::testing::Values(32u, 100u, 1000u)),
+    [](const auto& info) {
+      const char* mode =
+          std::get<0>(info.param) == HeapMode::kShared ? "Shared"
+          : std::get<0>(info.param) == HeapMode::kPartitionOwned
+              ? "PartitionOwned"
+              : "LeafOwned";
+      return std::string(mode) + "_" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(HeapFileParamTest, InsertReadDeleteSurvivesAllModes) {
+  const auto [mode, record_size] = GetParam();
+  BufferPool pool;
+  HeapFile heap(&pool, mode);
+  Rng rng(static_cast<std::uint64_t>(record_size));
+
+  std::vector<std::pair<Rid, std::string>> rows;
+  for (int i = 0; i < 500; ++i) {
+    std::string rec(record_size, static_cast<char>('a' + i % 26));
+    Rid rid;
+    Status st = mode == HeapMode::kShared
+                    ? heap.Insert(rec, &rid)
+                    : heap.InsertOwned(
+                          static_cast<std::uint32_t>(i % 7), rec, &rid);
+    ASSERT_TRUE(st.ok());
+    rows.emplace_back(rid, std::move(rec));
+  }
+  for (const auto& [rid, expected] : rows) {
+    std::string out;
+    ASSERT_TRUE(heap.Get(rid, &out).ok());
+    EXPECT_EQ(out, expected);
+  }
+  // Delete a random half; the rest stays intact.
+  std::size_t deleted = 0;
+  for (auto& [rid, expected] : rows) {
+    if (rng.Percent(50)) {
+      ASSERT_TRUE(heap.Delete(rid).ok());
+      expected.clear();
+      ++deleted;
+    }
+  }
+  EXPECT_GT(deleted, 100u);
+  for (const auto& [rid, expected] : rows) {
+    std::string out;
+    if (expected.empty()) {
+      EXPECT_TRUE(heap.Get(rid, &out).IsNotFound());
+    } else {
+      ASSERT_TRUE(heap.Get(rid, &out).ok());
+      EXPECT_EQ(out, expected);
+    }
+  }
+}
+
+TEST_P(HeapFileParamTest, ScanCountsMatchLiveRows) {
+  const auto [mode, record_size] = GetParam();
+  BufferPool pool;
+  HeapFile heap(&pool, mode);
+  constexpr int kRows = 300;
+  for (int i = 0; i < kRows; ++i) {
+    std::string rec(record_size, 'x');
+    Rid rid;
+    Status st = mode == HeapMode::kShared
+                    ? heap.Insert(rec, &rid)
+                    : heap.InsertOwned(
+                          static_cast<std::uint32_t>(i % 3), rec, &rid);
+    ASSERT_TRUE(st.ok());
+  }
+  int scanned = 0;
+  heap.Scan([&](Rid, Slice rec) {
+    EXPECT_EQ(rec.size(), record_size);
+    ++scanned;
+  });
+  EXPECT_EQ(scanned, kRows);
+}
+
+// Fragmentation model consistency across a parameter grid.
+class FragmentationGridTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FragmentationGridTest,
+    ::testing::Combine(::testing::Values(1ull << 20, 100ull << 20,
+                                         10ull << 30),
+                       ::testing::Values(100u, 1000u)),
+    [](const auto& info) {
+      return "Db" + std::to_string(std::get<0>(info.param) >> 20) + "MB_Rec" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(FragmentationGridTest, InvariantOrderingHolds) {
+  const auto [db_bytes, record_size] = GetParam();
+  FragmentationParams p;
+  p.db_bytes = db_bytes;
+  p.record_size = record_size;
+  p.num_partitions = 50;
+  const HeapPageCounts c = ComputeHeapPageCounts(p);
+  // Invariants from Appendix D: conventional == regular <= partition <=
+  // leaf, and nothing is below the dense packing bound.
+  EXPECT_EQ(c.conventional, c.plp_regular);
+  EXPECT_GE(c.plp_partition, c.conventional);
+  EXPECT_GE(c.plp_leaf, c.plp_partition);
+  const std::uint64_t dense =
+      (db_bytes / record_size) / RecordsPerHeapPage(p);
+  EXPECT_GE(c.conventional, dense);
+}
+
+}  // namespace
+}  // namespace plp
