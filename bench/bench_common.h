@@ -3,8 +3,10 @@
 #define PLP_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/engine/engine.h"
 #include "src/sync/cs_profiler.h"
@@ -60,6 +62,72 @@ inline void PrintCsBreakdownHeader() {
   }
   std::printf(" |   (CS entries per transaction)\n");
 }
+
+/// Machine-readable results for cross-PR perf tracking. Each bench binary
+/// creates one reporter; rows accumulate and the destructor writes
+/// `BENCH_<bench>.json` (into $PLP_BENCH_JSON_DIR when set, else the
+/// working directory):
+///   {"bench": "...", "results": [
+///     {"name": "...", "threads": N, "ktps": X, "p99_us": Y, ...}, ...]}
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { Write(); }
+
+  /// Records one experiment's result line.
+  void Add(const std::string& name, int threads, const DriverResult& r) {
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "{\"name\": \"%s\", \"threads\": %d, \"ktps\": %.3f, "
+        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"committed\": %llu, "
+        "\"aborted\": %llu, \"cs_per_txn\": %.2f}",
+        name.c_str(), threads, r.ktps(), r.p50_us(), r.p99_us(),
+        static_cast<unsigned long long>(r.committed),
+        static_cast<unsigned long long>(r.aborted), r.cs_per_txn());
+    rows_.emplace_back(row);
+  }
+
+  /// Records a scalar metric (for benches without a driver window).
+  void AddMetric(const std::string& name, const std::string& metric,
+                 double value) {
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "{\"name\": \"%s\", \"%s\": %.4f}", name.c_str(),
+                  metric.c_str(), value);
+    rows_.emplace_back(row);
+  }
+
+  void Write() {
+    if (written_ || rows_.empty()) return;
+    written_ = true;
+    const char* dir = std::getenv("PLP_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : "") +
+                             "BENCH_" + bench_name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"bench\": \"%s\", \"results\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\n[bench-json] wrote %s (%zu rows)\n", path.c_str(),
+                rows_.size());
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace plp::bench
 

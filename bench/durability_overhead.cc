@@ -1,0 +1,111 @@
+// Durability overhead: throughput and p99 latency of a TATP-style update
+// workload across storage modes — memory-resident (the paper's setup), an
+// on-disk WAL with group commit, and WAL plus an evicting buffer pool.
+// Quantifies what the new src/io subsystem costs on this host and how
+// well group commit amortizes fsyncs across client threads.
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/common/key_encoding.h"
+
+namespace plp {
+namespace {
+
+constexpr std::uint32_t kKeys = 20000;
+
+std::unique_ptr<Engine> MakeDurableEngine(const std::string& data_dir,
+                                          std::size_t frame_budget) {
+  EngineConfig config;
+  config.design = SystemDesign::kConventional;
+  if (!data_dir.empty()) {
+    config.db.data_dir = data_dir;
+    config.db.frame_budget = frame_budget;
+    config.db.txn.durable_commits = true;
+  }
+  auto engine = CreateEngine(config);
+  engine->Start();
+  return engine;
+}
+
+void Load(Engine* engine) {
+  (void)engine->CreateTable("t", {""});
+  for (std::uint32_t k = 0; k < kKeys; ++k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, "payload-" + std::string(100, 'x'));
+    });
+    (void)engine->Execute(req);
+  }
+}
+
+TxnRequest UpdateTxn(Rng& rng) {
+  const auto k = static_cast<std::uint32_t>(rng.Uniform(kKeys));
+  const std::string key = KeyU32(k);
+  TxnRequest req;
+  req.Add(0, "t", key, [key](ExecContext& ctx) {
+    return ctx.Update(key, "updated-" + std::string(100, 'y'));
+  });
+  return req;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Durability overhead: in-memory vs WAL group commit vs +eviction",
+      "new durable storage subsystem");
+  bench::JsonReporter json("durability_overhead");
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "plp_bench_durability")
+          .string();
+
+  struct Mode {
+    const char* name;
+    bool durable;
+    std::size_t frame_budget;
+  };
+  const Mode modes[] = {
+      {"memory", false, 0},
+      {"wal-group-commit", true, 0},
+      {"wal-evicting", true, 128},
+  };
+
+  std::printf("%-18s %8s %10s %10s %10s %10s\n", "mode", "threads", "ktps",
+              "p50us", "p99us", "fsyncs");
+  for (const Mode& mode : modes) {
+    for (int threads : {1, 4}) {
+      std::filesystem::remove_all(base);
+      auto engine = MakeDurableEngine(mode.durable ? base : "",
+                                      mode.frame_budget);
+      Load(engine.get());
+      const std::uint64_t syncs_before = engine->db().log()->sync_count();
+      DriverOptions options;
+      options.num_threads = threads;
+      options.duration = bench::WindowMs();
+      DriverResult r = RunWorkload(engine.get(), UpdateTxn, options);
+      const std::uint64_t fsyncs =
+          engine->db().log()->sync_count() - syncs_before;
+      std::printf("%-18s %8d %10.1f %10.1f %10.1f %10llu\n", mode.name,
+                  threads, r.ktps(), r.p50_us(), r.p99_us(),
+                  static_cast<unsigned long long>(fsyncs));
+      std::fflush(stdout);
+      json.Add(std::string(mode.name), threads, r);
+      engine->Stop();
+      (void)engine->db().Close();
+    }
+  }
+  std::filesystem::remove_all(base);
+  std::printf(
+      "\nExpected shape: WAL mode pays one fsync per commit batch; with\n"
+      "more client threads group commit amortizes the fsyncs (fsyncs <<\n"
+      "committed txns) and throughput recovers toward memory-resident.\n"
+      "Eviction adds page write-back I/O on top.\n");
+}
+
+}  // namespace
+}  // namespace plp
+
+int main() {
+  plp::Run();
+  return 0;
+}

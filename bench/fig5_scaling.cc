@@ -13,6 +13,7 @@ namespace {
 void Run() {
   bench::PrintHeader(
       "GetSubscriberData throughput vs client threads (Ktps)", "Figure 5");
+  bench::JsonReporter json("fig5_scaling");
   const int thread_counts[] = {1, 2, 4, 8};
   std::printf("%-12s", "design");
   for (int t : thread_counts) std::printf(" %7dthr", t);
@@ -41,6 +42,7 @@ void Run() {
           options);
       std::printf(" %10.1f", r.ktps());
       std::fflush(stdout);
+      json.Add(SystemDesignName(design), threads, r);
       // Unscalable communication per transaction: lock manager, page
       // latching and buffer pool (Section 2.1's taxonomy) — this is what
       // determines the scaling curve on parallel hardware.

@@ -1,17 +1,35 @@
 #include "src/buffer/buffer_pool.h"
 
+#include <cassert>
+#include <cstring>
+
+#include "src/io/disk_manager.h"
+
 namespace plp {
 
-BufferPool::BufferPool() {
+BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
   shards_.reserve(kNumShards);
   for (std::size_t i = 0; i < kNumShards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (config_.disk != nullptr) {
+    // Keep the id allocator ahead of everything already on disk.
+    next_page_id_.store(config_.disk->max_page_id() + 1,
+                        std::memory_order_relaxed);
   }
 }
 
 BufferPool::~BufferPool() = default;
 
+void BufferPool::TrackFrame(Page* page) {
+  if (!evicting() || page->page_class() != PageClass::kHeap) return;
+  page->SetRef();
+  std::lock_guard<std::mutex> g(clock_mu_);
+  clock_.push_back(page->id());
+}
+
 Page* BufferPool::NewPage(PageClass page_class) {
+  if (evicting()) EnsureBudget();
   const PageId id = next_page_id_.fetch_add(1, std::memory_order_relaxed);
   auto page = std::make_unique<Page>(id, page_class);
   Page* raw = page.get();
@@ -20,6 +38,7 @@ Page* BufferPool::NewPage(PageClass page_class) {
   shard.pages.emplace(id, std::move(page));
   shard.mu.unlock();
   num_pages_.fetch_add(1, std::memory_order_relaxed);
+  TrackFrame(raw);
   return raw;
 }
 
@@ -37,34 +56,117 @@ Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
     shard.mu.unlock();
     return existing;
   }
+  shard.mu.unlock();
+  if (config_.disk != nullptr) {
+    Page* loaded = LoadFromDisk(id, shard);
+    if (loaded != nullptr) return loaded;
+  }
+  if (evicting()) EnsureBudget();
+  shard.mu.lock();
+  it = shard.pages.find(id);
+  if (it != shard.pages.end()) {
+    Page* existing = it->second.get();
+    shard.mu.unlock();
+    return existing;
+  }
   auto page = std::make_unique<Page>(id, page_class);
   Page* raw = page.get();
   shard.pages.emplace(id, std::move(page));
   shard.mu.unlock();
   num_pages_.fetch_add(1, std::memory_order_relaxed);
+  TrackFrame(raw);
   return raw;
 }
 
-Page* BufferPool::Fix(PageId id) {
+Page* BufferPool::LoadFromDisk(PageId id, Shard& shard) {
+  if (!config_.disk->Contains(id)) return nullptr;
+  if (evicting()) EnsureBudget();
+  Page* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> g(shard.mu.raw());
+    auto it = shard.pages.find(id);
+    if (it != shard.pages.end()) return it->second.get();  // lost the race
+    PageSlotHeader header;
+    std::vector<char> image(kPageSize);
+    Status st = config_.disk->ReadPage(id, &header, image.data());
+    if (!st.ok()) return nullptr;
+    // Rebuild the frame with the persisted class/tags.
+    auto frame = std::make_unique<Page>(
+        id, static_cast<PageClass>(header.page_class));
+    std::memcpy(frame->data(), image.data(), kPageSize);
+    frame->set_owner_tag(header.owner_tag);
+    frame->set_table_tag(header.table_tag);
+    frame->set_page_lsn(header.page_lsn);
+    raw = frame.get();
+    shard.pages.emplace(id, std::move(frame));
+    num_pages_.fetch_add(1, std::memory_order_relaxed);
+    disk_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Outside the shard mutex: TrackFrame takes clock_mu_, and EvictOne
+  // acquires shard mutexes while holding clock_mu_ — nesting them here
+  // would be an ABBA deadlock.
+  TrackFrame(raw);
+  return raw;
+}
+
+Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
   if (id == kInvalidPageId) return nullptr;
   Shard& shard = ShardFor(id);
-  shard.mu.lock();
-  auto it = shard.pages.find(id);
-  Page* p = it == shard.pages.end() ? nullptr : it->second.get();
-  shard.mu.unlock();
+  Page* p = nullptr;
+  if (tracked) {
+    shard.mu.lock();
+    auto it = shard.pages.find(id);
+    p = it == shard.pages.end() ? nullptr : it->second.get();
+    if (p != nullptr && pin) p->Pin();
+    shard.mu.unlock();
+  } else {
+    // No CS accounting: callers own the page exclusively; guard with the
+    // raw mutex (rehash safety) but do not charge a critical section.
+    std::lock_guard<std::mutex> g(shard.mu.raw());
+    auto it = shard.pages.find(id);
+    p = it == shard.pages.end() ? nullptr : it->second.get();
+    if (p != nullptr && pin) p->Pin();
+  }
+  if (p == nullptr && config_.disk != nullptr) {
+    p = LoadFromDisk(id, shard);
+    if (p != nullptr && pin) {
+      // Benign race: the freshly loaded frame could be evicted before this
+      // pin lands; re-fix in that case.
+      std::lock_guard<std::mutex> g(shard.mu.raw());
+      auto it = shard.pages.find(id);
+      if (it == shard.pages.end() || it->second.get() != p) {
+        return FixInternal(id, tracked, pin);
+      }
+      p->Pin();
+    }
+  }
+  if (p != nullptr) p->SetRef();
   return p;
 }
 
+Page* BufferPool::Fix(PageId id) {
+  return FixInternal(id, /*tracked=*/true, /*pin=*/false);
+}
+
 Page* BufferPool::FixUnlocked(PageId id) {
-  if (id == kInvalidPageId) return nullptr;
-  Shard& shard = ShardFor(id);
-  // No CS accounting: callers own the page exclusively, and frames are
-  // stable (no eviction), so a racy map read is safe only if no concurrent
-  // insert rehashes this shard. Guard with the raw mutex but do not charge
-  // a critical section — this models direct pointer access.
-  std::lock_guard<std::mutex> g(shard.mu.raw());
-  auto it = shard.pages.find(id);
-  return it == shard.pages.end() ? nullptr : it->second.get();
+  return FixInternal(id, /*tracked=*/false, /*pin=*/false);
+}
+
+PageRef BufferPool::AcquirePage(PageId id, bool tracked) {
+  const bool pin = evicting();
+  Page* p = FixInternal(id, tracked, pin);
+  return PageRef(p, pin && p != nullptr);
+}
+
+PageRef BufferPool::AllocatePage(PageClass page_class,
+                                 std::uint32_t table_tag) {
+  Page* p = NewPage(page_class);
+  p->set_table_tag(table_tag);
+  if (evicting()) {
+    p->Pin();
+    return PageRef(p, /*pinned=*/true);
+  }
+  return PageRef(p, /*pinned=*/false);
 }
 
 void BufferPool::FreePage(PageId id) {
@@ -74,6 +176,163 @@ void BufferPool::FreePage(PageId id) {
     num_pages_.fetch_sub(1, std::memory_order_relaxed);
   }
   shard.mu.unlock();
+  if (config_.disk != nullptr) (void)config_.disk->FreePage(id);
+  NotifyEvicted(id);
+}
+
+void BufferPool::EnsureBudget() {
+  // Soft budget: concurrent allocators may overshoot by a frame or two.
+  while (num_pages_.load(std::memory_order_relaxed) >= config_.frame_budget) {
+    if (!EvictOne()) break;  // everything pinned/non-evictable
+  }
+}
+
+bool BufferPool::EvictOne() {
+  // Phase 1 — select a candidate under clock_mu_ only (no I/O, no shard
+  // mutex nesting beyond a brief peek). The candidate is removed from the
+  // clock so concurrent evictors pick different victims; it is re-added
+  // if the steal is abandoned.
+  PageId pid = kInvalidPageId;
+  Page* candidate = nullptr;
+  Lsn lsn_before = 0;
+  bool was_dirty = false;
+  {
+    std::lock_guard<std::mutex> g(clock_mu_);
+    // Up to two sweeps: the first pass clears reference bits, the second
+    // finds a victim unless everything is pinned.
+    std::size_t budget = clock_.size() * 2;
+    while (budget-- > 0 && !clock_.empty()) {
+      const std::size_t idx = clock_hand_ % clock_.size();
+      const PageId candidate_pid = clock_[idx];
+      Shard& shard = ShardFor(candidate_pid);
+      std::lock_guard<std::mutex> sg(shard.mu.raw());
+      auto it = shard.pages.find(candidate_pid);
+      if (it == shard.pages.end()) {
+        // Frame already gone (FreePage); drop the stale candidate.
+        clock_.erase(clock_.begin() + static_cast<std::ptrdiff_t>(idx));
+        continue;
+      }
+      Page* page = it->second.get();
+      ++clock_hand_;
+      if (page->pin_count() > 0) continue;
+      if (page->TestAndClearRef()) continue;
+      pid = candidate_pid;
+      candidate = page;
+      lsn_before = page->page_lsn();
+      was_dirty = page->dirty();
+      clock_.erase(clock_.begin() + static_cast<std::ptrdiff_t>(idx));
+      if (clock_hand_ > 0) --clock_hand_;  // slot vanished under the hand
+      break;
+    }
+  }
+  if (pid == kInvalidPageId) return false;
+
+  // Phase 2 — write a dirty victim back while it is STILL in the shard
+  // map: a concurrent Fix during the I/O must find the live frame, not
+  // fall through to a stale (or mid-write) disk image. No locks held
+  // across the WAL barrier / pwrite.
+  const Status write_status =
+      was_dirty ? WriteBackNoClean(candidate) : Status::OK();
+
+  // Phase 3 — detach, re-validating under the shard mutex: a pin taken
+  // or an update stamped during the I/O (or a write error) aborts the
+  // steal and the frame stays resident. A frame freed during the I/O
+  // (FreePage race) must not be touched at all.
+  Shard& shard = ShardFor(pid);
+  std::unique_ptr<Page> victim;
+  bool still_present = false;
+  {
+    std::lock_guard<std::mutex> sg(shard.mu.raw());
+    auto it = shard.pages.find(pid);
+    still_present = it != shard.pages.end() && it->second.get() == candidate;
+    if (still_present && write_status.ok() &&
+        candidate->pin_count() == 0 &&
+        candidate->page_lsn() == lsn_before &&
+        (was_dirty || !candidate->dirty())) {
+      candidate->MarkClean();
+      victim = std::move(it->second);
+      shard.pages.erase(it);
+    } else if (still_present) {
+      candidate->SetRef();  // under the shard mutex: frame cannot be freed
+    }
+  }
+  if (!victim) {
+    if (still_present) {
+      // Re-register the id only (no frame deref — it may be freed by
+      // now); selection tolerates stale clock entries.
+      std::lock_guard<std::mutex> g(clock_mu_);
+      clock_.push_back(pid);
+    }
+    return write_status.ok() && !still_present;  // freed counts as progress
+  }
+  num_pages_.fetch_sub(1, std::memory_order_relaxed);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  NotifyEvicted(pid);
+  return true;
+}
+
+Status BufferPool::WriteBackNoClean(Page* page) {
+  // WAL rule: every log record describing this page must be durable
+  // before the page image overwrites the disk copy (no-steal of unlogged
+  // state). page_lsn covers the newest update.
+  if (config_.wal_barrier) config_.wal_barrier(page->page_lsn());
+  PageSlotHeader header;
+  header.page_class = static_cast<std::uint8_t>(page->page_class());
+  header.owner_tag = page->owner_tag();
+  header.table_tag = page->table_tag();
+  header.page_lsn = page->page_lsn();
+  PLP_RETURN_IF_ERROR(
+      config_.disk->WritePage(page->id(), header, page->data()));
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(Page* page) {
+  PLP_RETURN_IF_ERROR(WriteBackNoClean(page));
+  page->MarkClean();
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id, LatchPolicy policy) {
+  if (config_.disk == nullptr) {
+    // Memory-resident: cleaning is just clearing the dirty bit.
+    Page* page = FixUnlocked(id);
+    if (page != nullptr) {
+      LatchGuard g(&page->latch(), LatchMode::kShared, policy);
+      page->MarkClean();
+    }
+    return Status::OK();
+  }
+  PageRef ref = AcquirePage(id, /*tracked=*/false);
+  if (!ref) return Status::OK();  // already evicted (hence clean)
+  if (!ref->dirty()) return Status::OK();
+  if (ref->page_class() != PageClass::kHeap) {
+    // Index/catalog pages are volatile (rebuilt at restart); persisting
+    // them would only grow data.db with slots no reopen ever reads.
+    LatchGuard g(&ref->latch(), LatchMode::kShared, policy);
+    ref->MarkClean();
+    return Status::OK();
+  }
+  LatchGuard g(&ref->latch(), LatchMode::kShared, policy);
+  return WriteBack(ref.get());
+}
+
+Status BufferPool::FlushAllDirty(LatchPolicy policy) {
+  Status result = Status::OK();
+  for (auto& shard : shards_) {
+    std::vector<PageId> dirty;
+    {
+      std::lock_guard<std::mutex> g(shard->mu.raw());
+      for (auto& [id, page] : shard->pages) {
+        if (page->dirty()) dirty.push_back(id);
+      }
+    }
+    for (PageId id : dirty) {
+      Status st = FlushPage(id, policy);
+      if (!st.ok() && result.ok()) result = st;
+    }
+  }
+  return result;
 }
 
 std::vector<PageId> BufferPool::DirtyPages(std::size_t limit) {
@@ -88,6 +347,40 @@ std::vector<PageId> BufferPool::DirtyPages(std::size_t limit) {
     }
   }
   return out;
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
+  std::vector<std::pair<PageId, Lsn>> out;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> g(shard->mu.raw());
+    for (auto& [id, page] : shard->pages) {
+      if (page->dirty() && page->page_class() == PageClass::kHeap) {
+        out.emplace_back(id, page->rec_lsn());
+      }
+    }
+  }
+  return out;
+}
+
+void BufferPool::RegisterEvictionListener(
+    void* token, std::function<void(PageId)> listener) {
+  std::lock_guard<Spinlock> g(listeners_mu_);
+  listeners_.emplace_back(token, std::move(listener));
+}
+
+void BufferPool::UnregisterEvictionListener(void* token) {
+  std::lock_guard<Spinlock> g(listeners_mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == token) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void BufferPool::NotifyEvicted(PageId id) {
+  std::lock_guard<Spinlock> g(listeners_mu_);
+  for (auto& [token, fn] : listeners_) fn(id);
 }
 
 }  // namespace plp

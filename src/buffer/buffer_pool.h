@@ -1,49 +1,150 @@
 // Buffer pool: allocation and id->frame translation for database pages.
 //
-// The evaluation (like the paper's) runs memory-resident, so frames are
-// never evicted; Fix() is a sharded hash lookup whose bucket mutex is a
-// buffer-pool critical section, exactly the communication Shore-MT charges
-// to its buffer pool. Partition-owned code paths avoid that communication
-// with a thread-private PageCache (exclusive ownership makes it safe).
+// Memory-resident mode (the paper's evaluation, and the default): frames
+// are never evicted; Fix() is a sharded hash lookup whose bucket mutex is
+// a buffer-pool critical section, exactly the communication Shore-MT
+// charges to its buffer pool. Partition-owned code paths avoid that
+// communication with a thread-private PageCache (exclusive ownership makes
+// it safe).
+//
+// Durable mode (frame_budget > 0 and a DiskManager): the pool becomes a
+// cache over the data file. Misses read the page image back from disk;
+// when the budget is exceeded a clock sweep picks an unpinned heap-class
+// victim, honors the WAL rule (log forced durable up to the victim's
+// page_lsn before the steal), writes dirty victims back, and notifies
+// eviction listeners so thread-private PageCaches drop the frame. Index
+// and catalog frames stay resident (the index is rebuilt logically on
+// restart; see src/txn/recovery.h).
 #ifndef PLP_BUFFER_BUFFER_POOL_H_
 #define PLP_BUFFER_BUFFER_POOL_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/buffer/page.h"
+#include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/sync/latch.h"
+#include "src/sync/spinlock.h"
 
 namespace plp {
 
+class DiskManager;
+
+struct BufferPoolConfig {
+  /// Maximum resident frames; 0 = unlimited (memory-resident mode, never
+  /// evict). Eviction also requires `disk` to steal dirty pages into.
+  std::size_t frame_budget = 0;
+  /// Backing store for evicted pages and restart reads. Not owned.
+  DiskManager* disk = nullptr;
+  /// WAL rule: called with a dirty victim's page_lsn before its frame is
+  /// written back; must make the log durable up to that LSN. May be null
+  /// (no logging, e.g. unit tests).
+  std::function<void(Lsn)> wal_barrier;
+};
+
+class BufferPool;
+
+/// A fixed page reference. In durable mode it holds a pin that blocks
+/// eviction for the lifetime of the guard; in memory-resident mode it is a
+/// plain pointer. Move-only.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(Page* page, bool pinned) : page_(page), pinned_(pinned) {}
+  ~PageRef() { Reset(); }
+
+  PageRef(PageRef&& other) noexcept
+      : page_(other.page_), pinned_(other.pinned_) {
+    other.page_ = nullptr;
+    other.pinned_ = false;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      page_ = other.page_;
+      pinned_ = other.pinned_;
+      other.page_ = nullptr;
+      other.pinned_ = false;
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  void Reset() {
+    if (pinned_ && page_ != nullptr) page_->Unpin();
+    page_ = nullptr;
+    pinned_ = false;
+  }
+
+ private:
+  Page* page_ = nullptr;
+  bool pinned_ = false;
+};
+
 class BufferPool {
  public:
-  BufferPool();
+  BufferPool() : BufferPool(BufferPoolConfig{}) {}
+  explicit BufferPool(BufferPoolConfig config);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
+  /// True when the pool runs with a frame budget over a disk file.
+  bool evicting() const {
+    return config_.frame_budget > 0 && config_.disk != nullptr;
+  }
+
   /// Allocates a fresh zeroed page of the given class.
   Page* NewPage(PageClass page_class);
 
   /// Recovery path: materializes the frame for a specific page id (no-op
-  /// when it already exists). Keeps the id allocator ahead of `id`.
+  /// when it already exists — including on disk). Keeps the id allocator
+  /// ahead of `id`.
   Page* NewPageWithId(PageId id, PageClass page_class);
 
+  /// Restart path: keeps the id allocator ahead of every id the log or
+  /// data file ever used, so fresh allocations (e.g. rebuilt index pages)
+  /// never collide with pages recovery is about to replay.
+  void EnsureNextPageIdAtLeast(PageId id) {
+    PageId expected = next_page_id_.load(std::memory_order_relaxed);
+    while (expected < id && !next_page_id_.compare_exchange_weak(
+                                expected, id, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Current allocator position (checkpointed as the high-water mark).
+  PageId peek_next_page_id() const {
+    return next_page_id_.load(std::memory_order_relaxed);
+  }
+
   /// Translates a page id to its frame; records a buffer-pool critical
-  /// section (the bucket lookup). Returns nullptr for freed/unknown ids.
+  /// section (the bucket lookup). In durable mode a miss falls through to
+  /// the data file. Returns nullptr for freed/unknown ids.
   Page* Fix(PageId id);
 
   /// Lookup without critical-section accounting — only valid for callers
   /// that own the page exclusively (thread-private caches).
   Page* FixUnlocked(PageId id);
 
-  /// Returns the frame to the pool. The caller must guarantee no other
-  /// thread holds a reference.
+  /// Pin-holding variants for operations that touch page contents while
+  /// eviction may run concurrently. `tracked` selects Fix vs FixUnlocked
+  /// critical-section accounting.
+  PageRef AcquirePage(PageId id, bool tracked);
+  PageRef AllocatePage(PageClass page_class, std::uint32_t table_tag);
+
+  /// Returns the frame to the pool (and frees the disk slot). The caller
+  /// must guarantee no other thread holds a reference.
   void FreePage(PageId id);
 
   std::size_t num_pages() const {
@@ -52,6 +153,36 @@ class BufferPool {
 
   /// Up to `limit` currently-dirty page ids (page-cleaner scan).
   std::vector<PageId> DirtyPages(std::size_t limit);
+
+  /// (page id, rec_lsn) of every dirty heap-class frame — the dirty page
+  /// table of a fuzzy checkpoint. A rec_lsn of 0 means "unknown, recover
+  /// from the log start".
+  std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
+
+  /// Writes one resident page back (WAL barrier + disk write + MarkClean).
+  /// The frame stays resident. `policy` guards the frame copy: kLatched
+  /// takes a shared latch (cleaner threads), kNone trusts the caller's
+  /// ownership (partition workers, quiesced shutdown).
+  Status FlushPage(PageId id, LatchPolicy policy = LatchPolicy::kLatched);
+
+  /// Writes every dirty frame back (shutdown / sharp checkpoint).
+  Status FlushAllDirty(LatchPolicy policy = LatchPolicy::kNone);
+
+  /// Eviction listeners (thread-private PageCache invalidation). `token`
+  /// identifies the registration for removal.
+  void RegisterEvictionListener(void* token,
+                                std::function<void(PageId)> listener);
+  void UnregisterEvictionListener(void* token);
+
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disk_reads() const {
+    return disk_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disk_writes() const {
+    return disk_writes_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr std::size_t kNumShards = 64;
@@ -63,30 +194,103 @@ class BufferPool {
 
   Shard& ShardFor(PageId id) { return *shards_[id % kNumShards]; }
 
+  /// Looks the id up in its shard; on miss in durable mode, loads the
+  /// image from disk into a fresh frame. `tracked` charges the bucket
+  /// mutex as a buffer-pool critical section.
+  Page* FixInternal(PageId id, bool tracked, bool pin);
+
+  /// Loads `id` from disk into the shard (caller holds the shard mutex is
+  /// NOT required; takes it itself). Returns nullptr if not on disk.
+  Page* LoadFromDisk(PageId id, Shard& shard);
+
+  /// Evicts until a new frame fits in the budget. Best-effort: gives up
+  /// when every candidate is pinned or referenced.
+  void EnsureBudget();
+
+  /// One clock-sweep eviction. Returns false when no victim qualifies.
+  bool EvictOne();
+
+  /// Writes a frame image to the data file (honoring the WAL rule).
+  /// The NoClean variant leaves the dirty bit for the caller to resolve
+  /// (eviction re-validates under the shard mutex first).
+  Status WriteBackNoClean(Page* page);
+  Status WriteBack(Page* page);
+
+  void NotifyEvicted(PageId id);
+
+  void TrackFrame(Page* page);
+
+  BufferPoolConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<PageId> next_page_id_{1};
   std::atomic<std::size_t> num_pages_{0};
+
+  // Clock sweep over eviction candidates (heap-class frames).
+  std::mutex clock_mu_;
+  std::vector<PageId> clock_;
+  std::size_t clock_hand_ = 0;
+
+  Spinlock listeners_mu_;
+  std::vector<std::pair<void*, std::function<void(PageId)>>> listeners_;
+
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> disk_reads_{0};
+  std::atomic<std::uint64_t> disk_writes_{0};
 };
 
 /// Thread-private id->frame cache for partition workers (PLP): repeated
-/// accesses to owned pages skip the buffer-pool critical section.
+/// accesses to owned pages skip the buffer-pool critical section. The
+/// eviction listener drops entries for stolen frames so the *cache* never
+/// serves a stale mapping — but the returned Page* is unpinned, so in
+/// durable (evicting) mode it is only safe between the owner's own
+/// operations, which re-Fix (and pin) through HeapFile/AcquirePage before
+/// touching page contents. The tiny spinlock is uncontended in normal
+/// operation (only the owner thread touches the cache) and exists so the
+/// evictor's invalidation is safe.
 class PageCache {
  public:
-  explicit PageCache(BufferPool* pool) : pool_(pool) {}
+  explicit PageCache(BufferPool* pool) : pool_(pool) {
+    pool_->RegisterEvictionListener(this, [this](PageId id) {
+      std::lock_guard<Spinlock> g(mu_);
+      cache_.erase(id);
+    });
+  }
+  ~PageCache() { pool_->UnregisterEvictionListener(this); }
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
 
   Page* Fix(PageId id) {
-    auto it = cache_.find(id);
-    if (it != cache_.end()) return it->second;
-    Page* p = pool_->Fix(id);  // one CS on first touch only
-    if (p != nullptr) cache_.emplace(id, p);
+    {
+      std::lock_guard<Spinlock> g(mu_);
+      auto it = cache_.find(id);
+      if (it != cache_.end()) return it->second;
+    }
+    // Acquire pinned for the insert: the pin blocks eviction between the
+    // lookup and the emplace, so the eviction listener cannot fire for
+    // this frame before the cache entry exists (which would leave a
+    // permanently dangling pointer behind). One CS on first touch only.
+    PageRef ref = pool_->AcquirePage(id, /*tracked=*/true);
+    Page* p = ref.get();
+    if (p != nullptr) {
+      std::lock_guard<Spinlock> g(mu_);
+      cache_.emplace(id, p);
+    }
     return p;
   }
 
-  void Invalidate(PageId id) { cache_.erase(id); }
-  void Clear() { cache_.clear(); }
+  void Invalidate(PageId id) {
+    std::lock_guard<Spinlock> g(mu_);
+    cache_.erase(id);
+  }
+  void Clear() {
+    std::lock_guard<Spinlock> g(mu_);
+    cache_.clear();
+  }
 
  private:
   BufferPool* pool_;
+  Spinlock mu_;
   std::unordered_map<PageId, Page*> cache_;
 };
 

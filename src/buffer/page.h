@@ -32,12 +32,49 @@ class Page {
 
   bool dirty() const { return dirty_.load(std::memory_order_relaxed); }
   void MarkDirty() { dirty_.store(true, std::memory_order_relaxed); }
-  void MarkClean() { dirty_.store(false, std::memory_order_relaxed); }
+  void MarkClean() {
+    dirty_.store(false, std::memory_order_relaxed);
+    rec_lsn_.store(0, std::memory_order_relaxed);
+  }
 
   /// Page LSN of the last update (recovery uses it for idempotent redo).
   Lsn page_lsn() const { return page_lsn_.load(std::memory_order_relaxed); }
   void set_page_lsn(Lsn lsn) {
     page_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+
+  /// Recovery LSN: the first update since the page was last clean (the
+  /// dirty-page-table entry of a fuzzy checkpoint). 0 while clean.
+  Lsn rec_lsn() const { return rec_lsn_.load(std::memory_order_relaxed); }
+
+  /// Records a logged update at `lsn`: advances page_lsn, pins rec_lsn to
+  /// the first update of the current dirty interval.
+  void StampUpdate(Lsn lsn) {
+    page_lsn_.store(lsn, std::memory_order_relaxed);
+    Lsn expected = 0;
+    rec_lsn_.compare_exchange_strong(expected, lsn,
+                                     std::memory_order_relaxed);
+    dirty_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Pin accounting: a pinned frame is never evicted. Fix paths pin when
+  /// the pool runs with a frame budget; PageRef releases.
+  void Pin() { pin_count_.fetch_add(1, std::memory_order_acq_rel); }
+  void Unpin() { pin_count_.fetch_sub(1, std::memory_order_acq_rel); }
+  int pin_count() const { return pin_count_.load(std::memory_order_acquire); }
+
+  /// Clock-sweep reference bit (second chance).
+  bool TestAndClearRef() { return ref_.exchange(false, std::memory_order_relaxed); }
+  void SetRef() { ref_.store(true, std::memory_order_relaxed); }
+
+  /// Which heap file (table) allocated this page; persisted in the on-disk
+  /// slot header so page lists can be rebuilt at restart. UINT32_MAX for
+  /// index/catalog pages.
+  std::uint32_t table_tag() const {
+    return table_tag_.load(std::memory_order_relaxed);
+  }
+  void set_table_tag(std::uint32_t tag) {
+    table_tag_.store(tag, std::memory_order_relaxed);
   }
 
   /// Frame-level owner tag: which global partition uid owns this page
@@ -56,7 +93,11 @@ class Page {
   Latch latch_;
   std::atomic<bool> dirty_{false};
   std::atomic<Lsn> page_lsn_{0};
+  std::atomic<Lsn> rec_lsn_{0};
+  std::atomic<int> pin_count_{0};
+  std::atomic<bool> ref_{false};
   std::atomic<std::uint32_t> owner_tag_{UINT32_MAX};
+  std::atomic<std::uint32_t> table_tag_{UINT32_MAX};
   alignas(64) char data_[kPageSize];
 };
 

@@ -22,9 +22,13 @@ void PageCleaner::Stop() {
 
 void PageCleaner::Loop() {
   while (running_.load(std::memory_order_relaxed)) {
-    if (RunOnce() == 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
+    RunOnce();
+    // Always pace the passes. Spinning while pages are dirty floods the
+    // delegation queues with duplicate requests for pages whose owner has
+    // not gotten to them yet (each push is a message-passing critical
+    // section, distorting the per-txn CS counts under load) — and burns a
+    // core re-cleaning pages the workload keeps re-dirtying.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }
 
@@ -35,20 +39,19 @@ std::size_t PageCleaner::RunOnce() {
       ++handled;  // the owning partition worker will clean it
       continue;
     }
-    Page* page = pool_->Fix(id);
-    if (page == nullptr) continue;
-    CleanPage(page, LatchPolicy::kLatched);
+    CleanPage(pool_, id, LatchPolicy::kLatched);
     ++handled;
   }
   pages_cleaned_.fetch_add(handled, std::memory_order_relaxed);
   return handled;
 }
 
-void PageCleaner::CleanPage(Page* page, LatchPolicy policy) {
-  // Cleaning is a read-only copy of the frame followed by clearing the
-  // dirty bit; with a real I/O subsystem the copy would be written back.
-  LatchGuard g(&page->latch(), LatchMode::kShared, policy);
-  page->MarkClean();
+void PageCleaner::CleanPage(BufferPool* pool, PageId id, LatchPolicy policy) {
+  // With a disk manager attached the copy is written back (WAL rule
+  // included); memory-resident pools just clear the dirty bit. FlushPage
+  // re-acquires (and pins) the frame by id, so a concurrent eviction
+  // between the caller's dirty scan and this call is a clean no-op.
+  (void)pool->FlushPage(id, policy);
 }
 
 }  // namespace plp

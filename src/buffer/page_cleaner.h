@@ -38,10 +38,13 @@ class PageCleaner {
   /// Returns the number of pages cleaned or delegated.
   std::size_t RunOnce();
 
-  /// Cleans one page in the conventional way: latch, "write back", clear
-  /// dirty. Also used by partition workers to serve delegated requests
-  /// (they call it with kNone since they own the page).
-  static void CleanPage(Page* page, LatchPolicy policy);
+  /// Cleans one page in the conventional way: latch, write back (through
+  /// the pool's disk manager when one is attached, honoring the WAL rule),
+  /// clear dirty. Also used by partition workers to serve delegated
+  /// requests (they call it with kNone since they own the page). Takes an
+  /// id, not a frame: the frame may have been evicted since the caller
+  /// saw it (an evicted frame is clean on disk — nothing to do).
+  static void CleanPage(BufferPool* pool, PageId id, LatchPolicy policy);
 
   std::uint64_t pages_cleaned() const {
     return pages_cleaned_.load(std::memory_order_relaxed);

@@ -1,10 +1,18 @@
 #include "src/engine/database.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/io/codec.h"
+#include "src/storage/slotted_page.h"
+
 namespace plp {
 
 Table::Table(std::uint32_t id, TableConfig config, BufferPool* pool)
     : id_(id), config_(std::move(config)), pool_(pool) {
-  heap_ = std::make_unique<HeapFile>(pool, config_.heap_mode);
+  heap_ = std::make_unique<HeapFile>(pool, config_.heap_mode, id_);
   std::unique_ptr<MRBTree> tree;
   Status st = MRBTree::Create(pool, config_.index_policy,
                               config_.index_boundaries, &tree);
@@ -23,6 +31,31 @@ Status Table::AddSecondary(const std::string& name, SecondaryKeyFn key_fn) {
   // Non-partition-aligned secondary indexes are accessed as in the
   // conventional system: latched, single-rooted (Appendix E).
   sec->index = std::make_unique<BTree>(pool_, LatchPolicy::kLatched);
+
+  // Backfill from whatever the table already holds (non-empty after a
+  // durable reopen; secondary indexes are not persisted).
+  Status backfill = Status::OK();
+  (void)primary_->ScanFrom("", [&](Slice key, Slice value) {
+    std::string payload;
+    if (config_.clustered) {
+      payload.assign(value.data(), value.size());
+    } else {
+      Rid rid;
+      std::memcpy(&rid.page_id, value.data(), 4);
+      std::memcpy(&rid.slot, value.data() + 4, 2);
+      if (!heap_->Get(rid, &payload).ok()) return true;  // dangling: skip
+    }
+    const std::string skey =
+        sec->key_fn(key, payload) + std::string(key.data(), key.size());
+    Status st = sec->index->Insert(skey, key);
+    if (!st.ok() && !st.IsAlreadyExists()) {
+      backfill = st;
+      return false;
+    }
+    return true;
+  });
+  PLP_RETURN_IF_ERROR(backfill);
+
   secondaries_.push_back(std::move(sec));
   return Status::OK();
 }
@@ -41,10 +74,203 @@ std::vector<Table::Secondary*> Table::secondaries() {
   return out;
 }
 
+namespace {
+
+std::unique_ptr<DiskManager> OpenDisk(const DatabaseConfig& config,
+                                      Status* status) {
+  if (config.data_dir.empty()) return nullptr;
+  std::error_code ec;
+  std::filesystem::create_directories(config.data_dir, ec);
+  if (ec) {
+    *status = Status::Internal("mkdir " + config.data_dir + ": " +
+                               ec.message());
+    return nullptr;
+  }
+  std::unique_ptr<DiskManager> disk;
+  Status st = DiskManager::Open(config.data_dir + "/data.db", &disk);
+  if (!st.ok()) {
+    *status = st;
+    return nullptr;
+  }
+  return disk;
+}
+
+LogConfig MakeLogConfig(const DatabaseConfig& config) {
+  LogConfig log = config.log;
+  if (!config.data_dir.empty() && log.wal_dir.empty()) {
+    log.wal_dir = config.data_dir + "/wal";
+  }
+  return log;
+}
+
+}  // namespace
+
 Database::Database(DatabaseConfig config)
-    : log_(config.log), txns_(&log_, &locks_, config.txn) {}
+    : config_(std::move(config)),
+      disk_(OpenDisk(config_, &open_status_)),
+      pool_([this] {
+        BufferPoolConfig pc;
+        pc.frame_budget = config_.frame_budget;
+        pc.disk = disk_.get();
+        if (disk_ != nullptr) {
+          // WAL rule for dirty steals; log_ outlives every eviction.
+          pc.wal_barrier = [this](Lsn lsn) { log_.FlushTo(lsn); };
+        }
+        return pc;
+      }()),
+      log_(MakeLogConfig(config_)),
+      txns_(&log_, &locks_, config_.txn) {
+  if (!open_status_.ok()) return;
+  if (!log_.open_status().ok()) {
+    open_status_ = log_.open_status();
+    return;
+  }
+  if (durable()) {
+    open_status_ = LoadDurableState();
+  }
+}
+
+Database::~Database() = default;
+
+Status Database::LoadDurableState() {
+  // 0a. Checkpoint master record + image (needed before anything else:
+  // the image bounds every restart scan).
+  bool has_checkpoint = false;
+  Lsn checkpoint_lsn = 0;
+  CheckpointImage image;
+  {
+    Status st = ReadMasterRecord(master_path(), &checkpoint_lsn);
+    if (st.ok()) {
+      Status decode_status =
+          Status::Corruption("no checkpoint record at published LSN");
+      PLP_RETURN_IF_ERROR(
+          log_.ScanFrom(checkpoint_lsn, [&](Lsn lsn, const LogRecord& rec) {
+            if (lsn == checkpoint_lsn && rec.type == LogType::kCheckpoint) {
+              decode_status = CheckpointImage::Decode(rec.redo, &image);
+            }
+          }));
+      PLP_RETURN_IF_ERROR(decode_status);
+      has_checkpoint = true;
+    } else if (!st.IsNotFound()) {
+      return st;
+    }
+  }
+
+  // 0b. Page-id high-water mark. The pool already starts past everything
+  // in the data file, but pages that were dirtied and never stolen before
+  // the crash exist only in the WAL — fresh allocations (the tables'
+  // rebuilt index pages) must not collide with ids recovery will replay.
+  // The checkpoint stores the allocator mark, so only the (bounded) tail
+  // after its scan horizon needs inspection.
+  {
+    PageId max_logged =
+        has_checkpoint && image.next_page_id > 0 ? image.next_page_id - 1 : 0;
+    const Lsn tail_start =
+        has_checkpoint ? image.ScanStart(checkpoint_lsn) : 0;
+    PLP_RETURN_IF_ERROR(log_.ScanFrom(tail_start, [&](Lsn,
+                                                      const LogRecord& rec) {
+      if (rec.rid.page_id != kInvalidPageId) {
+        max_logged = std::max(max_logged, rec.rid.page_id);
+      }
+    }));
+    pool_.EnsureNextPageIdAtLeast(max_logged + 1);
+  }
+
+  // 1. Catalog: recreate tables (fresh, empty indexes).
+  {
+    std::string blob;
+    FILE* f = std::fopen(catalog_path().c_str(), "rb");
+    if (f != nullptr) {
+      char buf[4096];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+      std::fclose(f);
+
+      io::Reader r(blob.data(), blob.size());
+      std::uint32_t count;
+      if (!r.U32(&count)) return Status::Corruption("catalog header");
+      for (std::uint32_t i = 0; i < count; ++i) {
+        TableConfig tc;
+        std::uint32_t nb;
+        std::uint8_t heap_mode, policy, clustered;
+        if (!r.Bytes(&tc.name) || !r.U8(&heap_mode) || !r.U8(&policy) ||
+            !r.U8(&clustered)) {
+          return Status::Corruption("catalog entry " + std::to_string(i));
+        }
+        if (!r.U32(&nb)) return Status::Corruption("catalog boundaries");
+        tc.index_boundaries.clear();
+        for (std::uint32_t b = 0; b < nb; ++b) {
+          std::string boundary;
+          if (!r.Bytes(&boundary)) {
+            return Status::Corruption("catalog boundary bytes");
+          }
+          tc.index_boundaries.push_back(std::move(boundary));
+        }
+        tc.heap_mode = static_cast<HeapMode>(heap_mode);
+        tc.index_policy = static_cast<LatchPolicy>(policy);
+        tc.clustered = clustered != 0;
+        Result<Table*> r = CreateTableInternal(std::move(tc),
+                                               /*persist=*/false);
+        if (!r.ok()) return r.status();
+      }
+    }
+  }
+
+  // 2. Heap page lists from the data file's slot headers.
+  {
+    auto pages = disk_->AllPages();
+    std::sort(pages.begin(), pages.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [pid, header] : pages) {
+      if (static_cast<PageClass>(header.page_class) != PageClass::kHeap) {
+        continue;
+      }
+      catalog_mu_.lock();
+      Table* table = header.table_tag < tables_.size()
+                         ? tables_[header.table_tag].get()
+                         : nullptr;
+      catalog_mu_.unlock();
+      if (table != nullptr) {
+        table->heap()->AdoptPage(pid, header.owner_tag);
+      }
+    }
+  }
+
+  // 3. Restart recovery (analysis / redo / undo).
+  RecoveryManager rm(&log_, &pool_);
+  PLP_RETURN_IF_ERROR(rm.RecoverDatabase(this, has_checkpoint, checkpoint_lsn,
+                                         image, &recovery_stats_));
+
+  // 4. Prime free-space maps for post-restart inserts.
+  for (auto& table : tables_) table->heap()->PrimeFreeSpace();
+  return Status::OK();
+}
+
+Status Database::PersistCatalog() {
+  std::string blob;
+  catalog_mu_.lock();
+  io::PutU32(&blob, static_cast<std::uint32_t>(tables_.size()));
+  for (auto& table : tables_) {
+    const TableConfig& tc = table->config();
+    io::PutBytes(&blob, tc.name);
+    blob.push_back(static_cast<char>(tc.heap_mode));
+    blob.push_back(static_cast<char>(tc.index_policy));
+    blob.push_back(tc.clustered ? 1 : 0);
+    io::PutU32(&blob, static_cast<std::uint32_t>(tc.index_boundaries.size()));
+    for (const std::string& b : tc.index_boundaries) io::PutBytes(&blob, b);
+  }
+  catalog_mu_.unlock();
+  // fsync before rename: committed tables must not vanish with the page
+  // cache on a power failure while data.db/WAL still reference them.
+  return io::AtomicWriteFile(catalog_path(), blob);
+}
 
 Result<Table*> Database::CreateTable(TableConfig config) {
+  return CreateTableInternal(std::move(config), /*persist=*/durable());
+}
+
+Result<Table*> Database::CreateTableInternal(TableConfig config,
+                                             bool persist) {
   if (config.name.empty()) {
     return Status::InvalidArgument("table name required");
   }
@@ -64,6 +290,9 @@ Result<Table*> Database::CreateTable(TableConfig config) {
   tables_.push_back(std::move(table));
   by_name_.emplace(raw->name(), raw);
   catalog_mu_.unlock();
+  if (persist) {
+    PLP_RETURN_IF_ERROR(PersistCatalog());
+  }
   return raw;
 }
 
@@ -82,6 +311,53 @@ std::vector<Table*> Database::tables() {
   for (auto& t : tables_) out.push_back(t.get());
   catalog_mu_.unlock();
   return out;
+}
+
+Status Database::Checkpoint() {
+  if (!durable()) {
+    return Status::NotSupported("checkpoint requires a durable database");
+  }
+  CheckpointImage image;
+  // begin_checkpoint first: anything that happens while the tables below
+  // are collected (a clean page dirtied, a txn begun) is then covered by
+  // the restart scan, which starts no later than this LSN.
+  image.begin_lsn = log_.next_lsn();
+  image.dirty_pages = pool_.DirtyPageTable();
+  image.active_txns = txns_.ActiveSnapshot();
+  image.next_txn_id = txns_.peek_next_id();
+  image.next_page_id = pool_.peek_next_page_id();
+
+  // Primary-index snapshots. The caller must not run concurrent index
+  // writers (see src/io/checkpoint.h); readers are fine.
+  catalog_mu_.lock();
+  for (auto& table : tables_) {
+    CheckpointImage::TableSnapshot snap;
+    snap.table_id = table->id();
+    (void)table->primary()->ScanFrom("", [&](Slice k, Slice v) {
+      snap.entries.emplace_back(std::string(k.data(), k.size()),
+                                std::string(v.data(), v.size()));
+      return true;
+    });
+    image.tables.push_back(std::move(snap));
+  }
+  catalog_mu_.unlock();
+
+  LogRecord rec;
+  rec.type = LogType::kCheckpoint;
+  rec.redo = image.Encode();
+  const Lsn lsn = log_.Append(rec);
+  log_.FlushTo(lsn);
+  return WriteMasterRecord(master_path(), lsn);
+}
+
+Status Database::Close() {
+  if (!durable() || closed_) return Status::OK();
+  log_.FlushAll();
+  PLP_RETURN_IF_ERROR(pool_.FlushAllDirty(LatchPolicy::kNone));
+  PLP_RETURN_IF_ERROR(disk_->Sync());
+  PLP_RETURN_IF_ERROR(Checkpoint());
+  closed_ = true;
+  return Status::OK();
 }
 
 }  // namespace plp

@@ -1,5 +1,16 @@
 // Database catalog: tables (heap file + primary MRBTree + optional
 // secondary indexes) plus the shared storage-manager services.
+//
+// Two modes:
+//  * In-memory (default): the paper's evaluation setup — no files, the
+//    log is discarded or retained in RAM, frames never evict.
+//  * Durable (`DatabaseConfig::data_dir` set): a data file, a segmented
+//    on-disk WAL, a catalog file, and a checkpoint master record live
+//    under the directory. Construction replays the catalog and runs
+//    checkpoint-based restart recovery; Close() (or Checkpoint()) makes
+//    the current state durable. Destroying a durable Database *without*
+//    calling Close() models a crash — the next open recovers from the
+//    data file + WAL.
 #ifndef PLP_ENGINE_DATABASE_H_
 #define PLP_ENGINE_DATABASE_H_
 
@@ -15,9 +26,11 @@
 #include "src/common/status.h"
 #include "src/index/btree.h"
 #include "src/index/mrbtree.h"
+#include "src/io/disk_manager.h"
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
 #include "src/storage/heap_file.h"
+#include "src/txn/recovery.h"
 #include "src/txn/txn_manager.h"
 
 namespace plp {
@@ -55,7 +68,9 @@ class Table {
   MRBTree* primary() { return primary_.get(); }
 
   /// Adds a (non-partition-aligned) secondary index, always accessed with
-  /// conventional latching (Appendix E). Maps secondary key -> primary key.
+  /// conventional latching (Appendix E). Maps secondary key -> primary
+  /// key. Backfills from existing records, so it may be added after a
+  /// reopen (secondary indexes are volatile and rebuilt through this).
   Status AddSecondary(const std::string& name, SecondaryKeyFn key_fn);
 
   struct Secondary {
@@ -78,6 +93,13 @@ class Table {
 struct DatabaseConfig {
   LogConfig log;
   TxnManagerConfig txn;
+  /// When non-empty, the database is durable under this directory:
+  /// `data.db` (page slots), `wal/` (log segments, unless log.wal_dir is
+  /// set explicitly), `catalog` and `CHECKPOINT` (master record).
+  std::string data_dir;
+  /// Buffer-pool frame budget (0 = unlimited / never evict). Meaningful
+  /// only with `data_dir`, which provides the backing store to steal to.
+  std::size_t frame_budget = 0;
 };
 
 /// Bundles the shared-everything storage manager services: one buffer
@@ -86,20 +108,53 @@ struct DatabaseConfig {
 class Database {
  public:
   explicit Database(DatabaseConfig config = {});
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// Non-OK when a durable open failed (I/O error, corrupt files, failed
+  /// recovery). Always OK for in-memory databases.
+  const Status& open_status() const { return open_status_; }
 
   Result<Table*> CreateTable(TableConfig config);
   Table* GetTable(const std::string& name);
   std::vector<Table*> tables();
 
+  bool durable() const { return disk_ != nullptr; }
+
+  /// Fuzzy checkpoint: logs the dirty page table + active transactions +
+  /// primary-index snapshots, forces the record, publishes the master
+  /// record. Bounds restart work; does not flush data pages.
+  Status Checkpoint();
+
+  /// Clean shutdown: flush the log, write every dirty page back, sync the
+  /// data file, take a final checkpoint. Idempotent. NOT called by the
+  /// destructor — destroying without Close() models a crash.
+  Status Close();
+
+  /// Restart-recovery outcome of a durable open (zeroes otherwise).
+  const RecoveryManager::Stats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
   BufferPool* pool() { return &pool_; }
   LogManager* log() { return &log_; }
   LockManager* locks() { return &locks_; }
   TxnManager* txns() { return &txns_; }
+  DiskManager* disk() { return disk_.get(); }
 
  private:
+  Result<Table*> CreateTableInternal(TableConfig config, bool persist);
+
+  Status PersistCatalog();
+  Status LoadDurableState();
+  std::string master_path() const { return config_.data_dir + "/CHECKPOINT"; }
+  std::string catalog_path() const { return config_.data_dir + "/catalog"; }
+
+  DatabaseConfig config_;
+  Status open_status_;
+  std::unique_ptr<DiskManager> disk_;  // before pool_ (pool caches the ptr)
   BufferPool pool_;
   LogManager log_;
   LockManager locks_;
@@ -108,6 +163,9 @@ class Database {
   TrackedMutex catalog_mu_{CsCategory::kMetadata};
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, Table*> by_name_;
+
+  RecoveryManager::Stats recovery_stats_;
+  bool closed_ = false;
 };
 
 }  // namespace plp

@@ -262,22 +262,31 @@ void PartitionManager::Resume() {
 }
 
 bool PartitionManager::DelegateClean(PageId pid) {
-  Page* page = db_->pool()->FixUnlocked(pid);
-  if (page == nullptr) return true;  // freed meanwhile: nothing to clean
-  std::uint32_t tag = page->owner_tag();
+  BufferPool* pool = db_->pool();
+  // Pinned refs while inspecting owner tags: with eviction enabled the
+  // frame could otherwise be freed mid-read.
+  std::uint32_t tag;
+  {
+    PageRef page = pool->AcquirePage(pid, /*tracked=*/false);
+    if (!page) return true;  // evicted/freed meanwhile: nothing to clean
+    tag = page->owner_tag();
+  }
   if (tag == UINT32_MAX) return false;  // unowned: cleaner handles it
   if ((tag & kUidBit) == 0) {
     // Leaf-owned heap page: the tag is the owning leaf's page id; that
     // leaf's frame carries the partition uid.
-    Page* leaf = db_->pool()->FixUnlocked(static_cast<PageId>(tag));
-    if (leaf == nullptr) return false;
+    PageRef leaf = pool->AcquirePage(static_cast<PageId>(tag),
+                                     /*tracked=*/false);
+    if (!leaf) return false;
     tag = leaf->owner_tag();
     if (tag == UINT32_MAX || (tag & kUidBit) == 0) return false;
   }
   const int worker = WorkerForUid(tag);
   if (worker < 0) return false;
-  SubmitSystemTask(worker, [page] {
-    PageCleaner::CleanPage(page, LatchPolicy::kNone);
+  // Capture the id, not the frame: the task runs later, and the frame
+  // may have been evicted (freed) by then.
+  SubmitSystemTask(worker, [pool, pid] {
+    PageCleaner::CleanPage(pool, pid, LatchPolicy::kNone);
   });
   return true;
 }

@@ -26,15 +26,24 @@ void BaseExecContext::LogHeapOp(LogType type, Rid rid, Slice redo,
   rec.type = type;
   rec.txn = txn_->id();
   rec.rid = rid;
+  rec.table = table_->id();
   rec.redo.assign(redo.data(), redo.size());
   rec.undo.assign(undo.data(), undo.size());
-  txn_->set_last_lsn(log_->Append(rec));
+  const Lsn lsn = log_->Append(rec);
+  txn_->set_last_lsn(lsn);
+  // WAL bookkeeping on the frame: page_lsn drives the steal barrier,
+  // rec_lsn the fuzzy checkpoint's dirty page table. Pinned ref: the
+  // frame must not be evicted out from under the stamp.
+  PageRef page = table_->heap()->pool()->AcquirePage(rid.page_id,
+                                                     /*tracked=*/false);
+  if (page) page->StampUpdate(lsn);
 }
 
 void BaseExecContext::LogIndexOp(LogType type, Slice key, Slice value) {
   LogRecord rec;
   rec.type = type;
   rec.txn = txn_->id();
+  rec.table = table_->id();
   if (type == LogType::kIndexInsert) {
     rec.redo = RecoveryManager::EncodeIndexOp(key, value);
   } else {
@@ -224,25 +233,21 @@ Status BaseExecContext::Delete(Slice key) {
   const std::string key_copy = key.ToString();
   const std::string before_copy = before;
   const std::uint32_t owner = owner_uid_;
-  AddUndo([table, key_copy, before_copy, owner]() {
-    // Logical undo: re-place the record (it may land on a new RID).
-    Rid new_rid;
+  AddUndo([table, key_copy, before_copy, owner, rid]() {
+    // Logical undo at the original RID whenever the slot is still free:
+    // the compensation is not logged, so keeping it the exact inverse of
+    // the logged delete lets restart recovery reproduce it from the
+    // before-image (see HeapFile::RestoreAt).
     HeapFile* heap = table->heap();
-    switch (heap->mode()) {
-      case HeapMode::kShared:
-        PLP_RETURN_IF_ERROR(heap->Insert(before_copy, &new_rid));
-        break;
-      case HeapMode::kPartitionOwned:
-        PLP_RETURN_IF_ERROR(heap->InsertOwned(owner, before_copy, &new_rid));
-        break;
-      case HeapMode::kLeafOwned: {
-        MRBTree* primary = table->primary();
-        BTree* sub = primary->subtree(primary->PartitionFor(key_copy));
-        PLP_RETURN_IF_ERROR(
-            heap->InsertOwned(sub->LeafFor(key_copy), before_copy, &new_rid));
-        break;
-      }
+    std::uint32_t restore_owner = owner;
+    if (heap->mode() == HeapMode::kLeafOwned) {
+      MRBTree* primary = table->primary();
+      BTree* sub = primary->subtree(primary->PartitionFor(key_copy));
+      restore_owner = sub->LeafFor(key_copy);
     }
+    Rid new_rid;
+    PLP_RETURN_IF_ERROR(
+        heap->RestoreAt(rid, restore_owner, before_copy, &new_rid));
     PLP_RETURN_IF_ERROR(
         table->primary()->Insert(key_copy, RidToBytes(new_rid)));
     for (Table::Secondary* sec : table->secondaries()) {

@@ -1,0 +1,27 @@
+#include "src/io/codec.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace plp::io {
+
+Status AtomicWriteFile(const std::string& path, const std::string& blob) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("open " + tmp + ": " + std::strerror(errno));
+  }
+  bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  std::fclose(f);
+  if (!ok) return Status::Internal("write " + tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace plp::io

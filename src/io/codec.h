@@ -1,0 +1,75 @@
+// Little-endian length-prefixed encode/decode helpers shared by the
+// durable-metadata writers (checkpoint images, the catalog), plus an
+// fsync-then-rename atomic file write.
+#ifndef PLP_IO_CODEC_H_
+#define PLP_IO_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace plp::io {
+
+inline void PutU32(std::string* s, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  s->append(b, 4);
+}
+
+inline void PutU64(std::string* s, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  s->append(b, 8);
+}
+
+inline void PutBytes(std::string* s, const std::string& v) {
+  PutU32(s, static_cast<std::uint32_t>(v.size()));
+  s->append(v);
+}
+
+/// Bounds-checked sequential reader over an encoded buffer.
+class Reader {
+ public:
+  Reader(const char* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  bool U8(std::uint8_t* v) {
+    if (end_ - p_ < 1) return false;
+    *v = static_cast<std::uint8_t>(*p_);
+    p_ += 1;
+    return true;
+  }
+  bool U32(std::uint32_t* v) {
+    if (end_ - p_ < 4) return false;
+    std::memcpy(v, p_, 4);
+    p_ += 4;
+    return true;
+  }
+  bool U64(std::uint64_t* v) {
+    if (end_ - p_ < 8) return false;
+    std::memcpy(v, p_, 8);
+    p_ += 8;
+    return true;
+  }
+  bool Bytes(std::string* v) {
+    std::uint32_t n;
+    if (!U32(&n)) return false;
+    if (end_ - p_ < static_cast<std::ptrdiff_t>(n)) return false;
+    v->assign(p_, n);
+    p_ += n;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+/// Writes `blob` to `path` durably: temp file, fwrite, fsync, rename.
+/// Readers never observe a torn or empty file after a crash.
+Status AtomicWriteFile(const std::string& path, const std::string& blob);
+
+}  // namespace plp::io
+
+#endif  // PLP_IO_CODEC_H_

@@ -1,0 +1,186 @@
+#include "src/io/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace plp {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool PreadFull(int fd, char* buf, std::size_t n, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pread(fd, buf + done, n - done,
+                              static_cast<off_t>(off + done));
+    if (r <= 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool PwriteFull(int fd, const char* buf, std::size_t n, std::uint64_t off) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::pwrite(fd, buf + done, n - done,
+                               static_cast<off_t>(off + done));
+    if (r < 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status DiskManager::Open(const std::string& path,
+                         std::unique_ptr<DiskManager>* out) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + path);
+
+  std::unique_ptr<DiskManager> dm(new DiskManager(path, fd));
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return Errno("fstat " + path);
+  if (st.st_size == 0) {
+    // Fresh file: write the file header block.
+    char header[kFileHeaderSize] = {};
+    std::uint32_t magic = kFileMagic;
+    std::uint32_t version = 1;
+    std::uint64_t page_size = kPageSize;
+    std::memcpy(header, &magic, 4);
+    std::memcpy(header + 4, &version, 4);
+    std::memcpy(header + 8, &page_size, 8);
+    if (!PwriteFull(fd, header, kFileHeaderSize, 0)) {
+      return Errno("write file header");
+    }
+  } else {
+    char header[16];
+    if (!PreadFull(fd, header, sizeof(header), 0)) {
+      return Errno("read file header");
+    }
+    std::uint32_t magic;
+    std::memcpy(&magic, header, 4);
+    if (magic != kFileMagic) {
+      return Status::Corruption("bad data-file magic in " + path);
+    }
+    std::uint64_t page_size;
+    std::memcpy(&page_size, header + 8, 8);
+    if (page_size != kPageSize) {
+      return Status::Corruption("data file has page size " +
+                                std::to_string(page_size));
+    }
+    PLP_RETURN_IF_ERROR(dm->LoadAllocationTable());
+  }
+  *out = std::move(dm);
+  return Status::OK();
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::LoadAllocationTable() {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return Errno("fstat");
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  char raw[kSlotHeaderSize];
+  for (PageId id = 1; SlotOffset(id) + kSlotHeaderSize <= size; ++id) {
+    if (!PreadFull(fd_, raw, kSlotHeaderSize, SlotOffset(id))) {
+      return Errno("read slot header");
+    }
+    PageSlotHeader h;
+    std::memcpy(&h, raw, sizeof(h));
+    if (h.magic == kPageMagic) live_.emplace(id, h);
+  }
+  return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId id, PageSlotHeader* header, char* data) {
+  {
+    std::lock_guard<std::mutex> g(table_mu_);
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+      return Status::NotFound("page " + std::to_string(id) + " not on disk");
+    }
+  }
+  char buf[kSlotSize];
+  if (!PreadFull(fd_, buf, kSlotSize, SlotOffset(id))) {
+    return Errno("read page " + std::to_string(id));
+  }
+  PageSlotHeader h;
+  std::memcpy(&h, buf, sizeof(h));
+  if (h.magic != kPageMagic) {
+    return Status::Corruption("torn page slot " + std::to_string(id));
+  }
+  if (header != nullptr) *header = h;
+  std::memcpy(data, buf + kSlotHeaderSize, kPageSize);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const PageSlotHeader& header,
+                              const char* data) {
+  if (id == kInvalidPageId || id == 0) {
+    return Status::InvalidArgument("bad page id");
+  }
+  char buf[kSlotSize] = {};
+  PageSlotHeader h = header;
+  h.magic = kPageMagic;
+  std::memcpy(buf, &h, sizeof(h));
+  std::memcpy(buf + kSlotHeaderSize, data, kPageSize);
+  if (!PwriteFull(fd_, buf, kSlotSize, SlotOffset(id))) {
+    return Errno("write page " + std::to_string(id));
+  }
+  {
+    std::lock_guard<std::mutex> g(table_mu_);
+    live_[id] = h;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::FreePage(PageId id) {
+  {
+    std::lock_guard<std::mutex> g(table_mu_);
+    if (live_.erase(id) == 0) return Status::OK();  // never persisted
+  }
+  char zero[kSlotHeaderSize] = {};
+  if (!PwriteFull(fd_, zero, kSlotHeaderSize, SlotOffset(id))) {
+    return Errno("free page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync");
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool DiskManager::Contains(PageId id) {
+  std::lock_guard<std::mutex> g(table_mu_);
+  return live_.count(id) > 0;
+}
+
+std::vector<std::pair<PageId, PageSlotHeader>> DiskManager::AllPages() {
+  std::lock_guard<std::mutex> g(table_mu_);
+  std::vector<std::pair<PageId, PageSlotHeader>> out(live_.begin(),
+                                                     live_.end());
+  return out;
+}
+
+PageId DiskManager::max_page_id() {
+  std::lock_guard<std::mutex> g(table_mu_);
+  PageId max = 0;
+  for (const auto& [id, h] : live_) max = std::max(max, id);
+  return max;
+}
+
+}  // namespace plp

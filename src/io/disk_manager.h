@@ -1,0 +1,107 @@
+// Disk manager: maps PageId -> fixed-size page slots in a single data file.
+//
+// Each slot is a 64-byte header followed by the page image. The header
+// carries the frame metadata that must survive a restart (page class,
+// owner tag, owning heap file, page LSN); the in-memory Page keeps the
+// same fields in its frame, so the buffer pool can write a frame back
+// without knowing what the page contains. Reads and writes are positioned
+// (pread/pwrite), so concurrent I/O on different slots needs no locking;
+// the allocation table is guarded by a mutex.
+#ifndef PLP_IO_DISK_MANAGER_H_
+#define PLP_IO_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace plp {
+
+/// On-disk per-page metadata (the first bytes of every page slot).
+struct PageSlotHeader {
+  std::uint32_t magic = 0;          // kPageMagic for live pages, 0 for free
+  std::uint8_t page_class = 0;      // PageClass as int
+  std::uint8_t flags = 0;
+  std::uint16_t reserved = 0;
+  std::uint32_t owner_tag = UINT32_MAX;   // partition/leaf owner (heap modes)
+  std::uint32_t table_tag = UINT32_MAX;   // owning heap file id
+  Lsn page_lsn = 0;                       // last update durably reflected
+};
+
+class DiskManager {
+ public:
+  static constexpr std::uint32_t kFileMagic = 0x504c5044;  // "PLPD"
+  static constexpr std::uint32_t kPageMagic = 0x504c5047;  // "PLPG"
+  static constexpr std::size_t kFileHeaderSize = 4096;
+  static constexpr std::size_t kSlotHeaderSize = 64;
+  static constexpr std::size_t kSlotSize = kSlotHeaderSize + kPageSize;
+
+  /// Opens (or creates) the data file and loads the allocation table by
+  /// scanning slot headers.
+  static Status Open(const std::string& path,
+                     std::unique_ptr<DiskManager>* out);
+
+  ~DiskManager();
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Reads a page slot. kNotFound if the slot was never written or freed.
+  Status ReadPage(PageId id, PageSlotHeader* header, char* data);
+
+  /// Writes (allocating if needed) a page slot. `data` is kPageSize bytes.
+  Status WritePage(PageId id, const PageSlotHeader& header, const char* data);
+
+  /// Marks the slot free (zeroed header); the space is not reclaimed.
+  Status FreePage(PageId id);
+
+  /// Durably persists all completed writes (fdatasync).
+  Status Sync();
+
+  bool Contains(PageId id);
+
+  /// Snapshot of all live pages (id -> header), loaded at Open and
+  /// maintained on writes. Used to rebuild heap-file page lists on restart.
+  std::vector<std::pair<PageId, PageSlotHeader>> AllPages();
+
+  /// Highest allocated page id (0 when the file is empty).
+  PageId max_page_id();
+
+  const std::string& path() const { return path_; }
+
+  std::uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  std::uint64_t writes() const {
+    return writes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+
+ private:
+  DiskManager(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  static std::uint64_t SlotOffset(PageId id) {
+    return kFileHeaderSize +
+           static_cast<std::uint64_t>(id - 1) * kSlotSize;
+  }
+
+  Status LoadAllocationTable();
+
+  const std::string path_;
+  int fd_;
+
+  std::mutex table_mu_;
+  std::unordered_map<PageId, PageSlotHeader> live_;
+
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+};
+
+}  // namespace plp
+
+#endif  // PLP_IO_DISK_MANAGER_H_

@@ -1,0 +1,237 @@
+#include "src/io/wal_storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+namespace plp {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status WalStorage::Open(const std::string& dir, std::size_t segment_size,
+                        std::unique_ptr<WalStorage>* out) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("mkdir " + dir + ": " + ec.message());
+  }
+
+  std::unique_ptr<WalStorage> wal(new WalStorage(dir, segment_size));
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 20 || name.substr(16) != ".wal") continue;
+    Lsn start = 0;
+    if (std::sscanf(name.c_str(), "%16lx.wal", &start) != 1) continue;
+    Segment seg;
+    seg.start = start;
+    seg.size = entry.file_size();
+    seg.path = entry.path().string();
+    wal->segments_.push_back(std::move(seg));
+  }
+  std::sort(wal->segments_.begin(), wal->segments_.end(),
+            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  for (std::size_t i = 1; i < wal->segments_.size(); ++i) {
+    if (wal->segments_[i].start !=
+        wal->segments_[i - 1].start + wal->segments_[i - 1].size) {
+      return Status::Corruption("WAL segment gap before " +
+                                wal->segments_[i].path);
+    }
+  }
+
+  Lsn end = 0;
+  if (!wal->segments_.empty()) {
+    end = wal->segments_.back().start + wal->segments_.back().size;
+  }
+  wal->end_lsn_.store(end, std::memory_order_release);
+  if (!wal->segments_.empty()) {
+    PLP_RETURN_IF_ERROR(wal->RepairTornTail());
+    PLP_RETURN_IF_ERROR(wal->OpenSegmentForAppend(
+        wal->segments_.back().start, wal->segments_.back().size));
+  }
+  end = wal->end_lsn_.load(std::memory_order_acquire);
+  wal->synced_lsn_.store(end, std::memory_order_release);
+  *out = std::move(wal);
+  return Status::OK();
+}
+
+Status WalStorage::RepairTornTail() {
+  Lsn valid_end = 0;
+  PLP_RETURN_IF_ERROR(ScanFrom(0, [](Lsn, const LogRecord&) {}, &valid_end));
+  const Lsn end = end_lsn_.load(std::memory_order_acquire);
+  if (valid_end >= end) return Status::OK();
+  // Drop whole segments past the boundary, then truncate the one holding it.
+  while (!segments_.empty() && segments_.back().start >= valid_end) {
+    std::error_code ec;
+    std::filesystem::remove(segments_.back().path, ec);
+    segments_.pop_back();
+  }
+  if (!segments_.empty()) {
+    Segment& seg = segments_.back();
+    const std::uint64_t keep = valid_end - seg.start;
+    if (keep < seg.size) {
+      if (::truncate(seg.path.c_str(), static_cast<off_t>(keep)) != 0) {
+        return Errno("truncate " + seg.path);
+      }
+      seg.size = keep;
+    }
+  }
+  end_lsn_.store(valid_end, std::memory_order_release);
+  return Status::OK();
+}
+
+WalStorage::~WalStorage() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string WalStorage::SegmentPath(Lsn start) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016lx.wal", start);
+  return dir_ + "/" + name;
+}
+
+Status WalStorage::OpenSegmentForAppend(Lsn start,
+                                        std::uint64_t existing_size) {
+  const std::string path = SegmentPath(start);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return Errno("open " + path);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  current_start_ = start;
+  current_size_ = existing_size;
+  return Status::OK();
+}
+
+Status WalStorage::RollSegment() {
+  // Sync the finished segment before moving on so Sync() only ever needs
+  // to touch the current one.
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) return Errno("fdatasync(roll)");
+  const Lsn next_start = current_start_ + current_size_;
+  PLP_RETURN_IF_ERROR(OpenSegmentForAppend(next_start, 0));
+  Segment seg;
+  seg.start = next_start;
+  seg.size = 0;
+  seg.path = SegmentPath(next_start);
+  segments_.push_back(std::move(seg));
+  return Status::OK();
+}
+
+Status WalStorage::Append(const char* data, std::size_t size) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (fd_ < 0) {
+    // First append ever: segment starting at the current end of stream.
+    const Lsn start = end_lsn_.load(std::memory_order_relaxed);
+    PLP_RETURN_IF_ERROR(OpenSegmentForAppend(start, 0));
+    Segment seg;
+    seg.start = start;
+    seg.size = 0;
+    seg.path = SegmentPath(start);
+    segments_.push_back(std::move(seg));
+  }
+  if (current_size_ >= segment_size_) {
+    PLP_RETURN_IF_ERROR(RollSegment());
+  }
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t w = ::write(fd_, data + done, size - done);
+    if (w < 0) return Errno("append wal");
+    done += static_cast<std::size_t>(w);
+  }
+  current_size_ += size;
+  segments_.back().size = current_size_;
+  end_lsn_.fetch_add(size, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+Status WalStorage::Sync() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) return Errno("fdatasync");
+  synced_lsn_.store(end_lsn_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  return Status::OK();
+}
+
+Status WalStorage::ScanFrom(
+    Lsn from, const std::function<void(Lsn, const LogRecord&)>& fn,
+    Lsn* valid_end) {
+  std::vector<Segment> segs;
+  Lsn end;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    segs = segments_;
+    end = end_lsn_.load(std::memory_order_acquire);
+  }
+
+  // Stream segments through a carry buffer; records may straddle files.
+  std::string carry;
+  Lsn carry_lsn = from;  // lsn of carry[0]
+  bool positioned = false;
+  std::vector<char> buf(1u << 16);
+  for (const Segment& seg : segs) {
+    if (seg.start + seg.size <= from) continue;
+    const int fd = ::open(seg.path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return Errno("open " + seg.path);
+    std::uint64_t off = 0;
+    if (!positioned && from > seg.start) {
+      off = from - seg.start;
+    }
+    positioned = true;
+    if (::lseek(fd, static_cast<off_t>(off), SEEK_SET) < 0) {
+      ::close(fd);
+      return Errno("seek " + seg.path);
+    }
+    for (;;) {
+      const ssize_t r = ::read(fd, buf.data(), buf.size());
+      if (r < 0) {
+        ::close(fd);
+        return Errno("read " + seg.path);
+      }
+      if (r == 0) break;
+      carry.append(buf.data(), static_cast<std::size_t>(r));
+      // Drain complete records from the carry buffer.
+      std::size_t used = 0;
+      for (;;) {
+        LogRecord rec;
+        std::size_t consumed = 0;
+        if (!LogRecord::Deserialize(carry.data() + used, carry.size() - used,
+                                    &rec, &consumed)) {
+          break;
+        }
+        fn(carry_lsn + used, rec);
+        used += consumed;
+      }
+      carry.erase(0, used);
+      carry_lsn += used;
+    }
+    ::close(fd);
+  }
+  if (valid_end != nullptr) *valid_end = carry_lsn;
+  if (!carry.empty() && valid_end == nullptr) {
+    // Torn tail is legitimate only at the very end of the stream.
+    if (carry_lsn + carry.size() != end) {
+      return Status::Corruption("undecodable WAL bytes at lsn " +
+                                std::to_string(carry_lsn));
+    }
+  }
+  return Status::OK();
+}
+
+std::size_t WalStorage::num_segments() {
+  std::lock_guard<std::mutex> g(mu_);
+  return segments_.size();
+}
+
+}  // namespace plp

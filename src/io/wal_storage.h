@@ -1,0 +1,98 @@
+// Segmented on-disk write-ahead log.
+//
+// The log is one contiguous LSN-addressed byte stream stored as a
+// directory of segment files named by the LSN at which they start
+// (`%016llx.wal`). The LogBuffer's flush sink appends byte ranges in LSN
+// order; segments roll between appends once they exceed the configured
+// size, so one log record may straddle a segment boundary — readers treat
+// the segment set as a single stream. Appends are buffered writes; Sync()
+// makes everything appended so far durable with one fdatasync (the group
+// commit's single I/O).
+#ifndef PLP_IO_WAL_STORAGE_H_
+#define PLP_IO_WAL_STORAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/log/log_record.h"
+
+namespace plp {
+
+class WalStorage {
+ public:
+  /// Opens (or creates) the WAL directory and positions the append cursor
+  /// at the end of the existing stream.
+  static Status Open(const std::string& dir, std::size_t segment_size,
+                     std::unique_ptr<WalStorage>* out);
+
+  ~WalStorage();
+
+  WalStorage(const WalStorage&) = delete;
+  WalStorage& operator=(const WalStorage&) = delete;
+
+  /// Appends bytes at the end of the stream. Called by the log buffer's
+  /// flush path (already serialized); rolls segments as needed.
+  Status Append(const char* data, std::size_t size);
+
+  /// fdatasync on the current segment (earlier segments are synced when
+  /// they are rolled).
+  Status Sync();
+
+  /// Total bytes ever appended == the LSN new appends continue at.
+  Lsn end_lsn() const { return end_lsn_.load(std::memory_order_acquire); }
+
+  /// Bytes durably synced.
+  Lsn synced_lsn() const { return synced_lsn_.load(std::memory_order_acquire); }
+
+  /// Replays complete records whose start LSN is >= `from`, in order.
+  /// A truncated record at the very tail of the stream (torn crash write)
+  /// ends the scan without error; garbage anywhere else is Corruption.
+  /// When `valid_end` is non-null it receives the LSN just past the last
+  /// complete record (== end_lsn() when the tail is clean).
+  Status ScanFrom(Lsn from,
+                  const std::function<void(Lsn, const LogRecord&)>& fn,
+                  Lsn* valid_end = nullptr);
+
+  std::size_t num_segments();
+
+ private:
+  struct Segment {
+    Lsn start = 0;
+    std::uint64_t size = 0;
+    std::string path;
+  };
+
+  WalStorage(std::string dir, std::size_t segment_size)
+      : dir_(std::move(dir)), segment_size_(segment_size) {}
+
+  std::string SegmentPath(Lsn start) const;
+  Status OpenSegmentForAppend(Lsn start, std::uint64_t existing_size);
+  Status RollSegment();
+
+  /// Drops bytes past the last complete record (a torn tail from a crash)
+  /// so appends resume on a record boundary. Called once at Open.
+  Status RepairTornTail();
+
+  const std::string dir_;
+  const std::size_t segment_size_;
+
+  std::mutex mu_;                  // guards segments_/fd_ bookkeeping
+  std::vector<Segment> segments_;  // sorted by start lsn
+  int fd_ = -1;                    // current append segment
+  Lsn current_start_ = 0;
+  std::uint64_t current_size_ = 0;
+
+  std::atomic<Lsn> end_lsn_{0};
+  std::atomic<Lsn> synced_lsn_{0};
+};
+
+}  // namespace plp
+
+#endif  // PLP_IO_WAL_STORAGE_H_

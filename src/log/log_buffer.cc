@@ -8,9 +8,12 @@
 
 namespace plp {
 
-LogBuffer::LogBuffer(std::size_t capacity, Sink sink)
+LogBuffer::LogBuffer(std::size_t capacity, Sink sink, Lsn start_lsn)
     : capacity_(capacity), ring_(capacity), sink_(std::move(sink)) {
   assert(capacity_ > 0);
+  tail_.store(start_lsn, std::memory_order_relaxed);
+  completed_.store(start_lsn, std::memory_order_relaxed);
+  flushed_.store(start_lsn, std::memory_order_relaxed);
 }
 
 Lsn LogBuffer::Append(Slice payload) {

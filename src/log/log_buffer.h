@@ -28,7 +28,10 @@ class LogBuffer {
   /// are discarded once flushed — used by memory-resident experiments).
   using Sink = std::function<void(const char* data, std::size_t size)>;
 
-  explicit LogBuffer(std::size_t capacity, Sink sink = nullptr);
+  /// `start_lsn` positions the buffer inside an existing LSN stream (a
+  /// reopened on-disk WAL continues where the last run ended).
+  explicit LogBuffer(std::size_t capacity, Sink sink = nullptr,
+                     Lsn start_lsn = 0);
 
   LogBuffer(const LogBuffer&) = delete;
   LogBuffer& operator=(const LogBuffer&) = delete;

@@ -1,29 +1,120 @@
 #include "src/log/log_manager.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/io/wal_storage.h"
+
 namespace plp {
 
 LogManager::LogManager(LogConfig config) : config_(config) {
+  Lsn start_lsn = 0;
   LogBuffer::Sink sink;
-  if (config_.retain_for_recovery) {
+  if (!config_.wal_dir.empty()) {
+    open_status_ =
+        WalStorage::Open(config_.wal_dir, config_.segment_size, &wal_);
+    if (open_status_.ok()) {
+      start_lsn = wal_->end_lsn();
+      gc_synced_lsn_ = start_lsn;
+      WalStorage* wal = wal_.get();
+      sink = [wal](const char* data, std::size_t size) {
+        // The buffer's flush path is already serialized; surface I/O
+        // errors loudly rather than silently dropping log bytes.
+        Status st = wal->Append(data, size);
+        if (!st.ok()) {
+          std::fprintf(stderr, "FATAL: WAL append failed: %s\n",
+                       st.ToString().c_str());
+          std::abort();
+        }
+      };
+    }
+  }
+  if (!wal_ && config_.retain_for_recovery) {
     sink = [this](const char* data, std::size_t size) {
       std::lock_guard<std::mutex> g(retained_mu_);
       retained_.append(data, size);
     };
   }
-  buffer_ = std::make_unique<LogBuffer>(config_.buffer_size, std::move(sink));
+  buffer_ =
+      std::make_unique<LogBuffer>(config_.buffer_size, std::move(sink),
+                                  start_lsn);
 }
+
+LogManager::~LogManager() = default;
 
 Lsn LogManager::Append(const LogRecord& record) {
   return buffer_->Append(record.Serialize());
 }
 
-Status LogManager::Scan(const std::function<void(Lsn, const LogRecord&)>& fn) {
+Lsn LogManager::durable_lsn() const {
+  if (wal_ != nullptr) return wal_->synced_lsn();
+  return buffer_->durable_lsn();
+}
+
+void LogManager::FlushTo(Lsn lsn) {
+  flush_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (wal_ == nullptr) {
+    buffer_->FlushTo(lsn);
+    return;
+  }
+  if (!config_.group_commit) {
+    buffer_->FlushTo(lsn);
+    SyncWal(lsn);
+    return;
+  }
+  // Group commit: one leader drains + fsyncs for every waiter whose target
+  // is covered; late arrivals become the next round's leader.
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  while (gc_synced_lsn_ <= lsn) {
+    if (!gc_leader_active_) {
+      gc_leader_active_ = true;
+      lk.unlock();
+      buffer_->FlushTo(lsn);  // bytes reach the wal file (no fsync yet)
+      const Lsn written = buffer_->durable_lsn();
+      SyncWal(written);
+      lk.lock();
+      gc_synced_lsn_ = std::max(gc_synced_lsn_, written);
+      gc_leader_active_ = false;
+      gc_cv_.notify_all();
+    } else {
+      gc_cv_.wait(lk);
+    }
+  }
+}
+
+void LogManager::SyncWal(Lsn lsn) {
+  (void)lsn;
+  Status st = wal_->Sync();
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL: WAL sync failed: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LogManager::FlushAll() {
+  buffer_->FlushAll();
+  if (wal_ != nullptr) {
+    SyncWal(buffer_->durable_lsn());
+    std::lock_guard<std::mutex> g(gc_mu_);
+    gc_synced_lsn_ = std::max(gc_synced_lsn_, buffer_->durable_lsn());
+  }
+}
+
+Status LogManager::ScanFrom(
+    Lsn from, const std::function<void(Lsn, const LogRecord&)>& fn) {
+  if (wal_ != nullptr) {
+    buffer_->FlushAll();
+    return wal_->ScanFrom(from, fn);
+  }
   if (!config_.retain_for_recovery) {
     return Status::NotSupported("log not retained; set retain_for_recovery");
   }
   buffer_->FlushAll();
   std::lock_guard<std::mutex> g(retained_mu_);
-  std::size_t off = 0;
+  std::size_t off = from >= retained_base_ ? from - retained_base_ : 0;
   while (off < retained_.size()) {
     LogRecord rec;
     std::size_t consumed = 0;
@@ -32,7 +123,7 @@ Status LogManager::Scan(const std::function<void(Lsn, const LogRecord&)>& fn) {
       return Status::Corruption("truncated log record at offset " +
                                 std::to_string(off));
     }
-    fn(static_cast<Lsn>(off), rec);
+    fn(retained_base_ + static_cast<Lsn>(off), rec);
     off += consumed;
   }
   return Status::OK();

@@ -1,8 +1,21 @@
 // The log manager: record-level API over the composable LogBuffer, plus an
 // offline scan used by restart recovery.
+//
+// Three backing modes:
+//  * discard (default)      — flushed bytes vanish; memory-resident
+//                             benchmark mode, as in the paper's evaluation.
+//  * retain_for_recovery    — flushed bytes are kept in RAM and can be
+//                             scanned (the seed's crash-simulation tests).
+//  * wal_dir set            — flushed bytes go to an on-disk segmented WAL
+//                             (src/io/wal_storage). FlushTo() then runs a
+//                             group commit: concurrent callers elect one
+//                             leader that drains the buffer and issues a
+//                             single fdatasync for the whole batch.
 #ifndef PLP_LOG_LOG_MANAGER_H_
 #define PLP_LOG_LOG_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -15,40 +28,89 @@
 
 namespace plp {
 
+class WalStorage;
+
 struct LogConfig {
   std::size_t buffer_size = 16u << 20;
   /// When true, flushed bytes are retained in memory and can be scanned by
   /// recovery. When false they are discarded after flush (memory-resident
-  /// benchmark mode, as in the paper's evaluation).
+  /// benchmark mode, as in the paper's evaluation). Ignored when `wal_dir`
+  /// is set: the on-disk WAL is always scannable.
   bool retain_for_recovery = false;
+  /// When non-empty, the log lives in segmented files under this directory.
+  std::string wal_dir;
+  std::size_t segment_size = 8u << 20;
+  /// Batch concurrent FlushTo() callers into one fsync (wal mode only).
+  bool group_commit = true;
 };
 
 class LogManager {
  public:
   explicit LogManager(LogConfig config = {});
+  ~LogManager();
 
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
+
+  /// Non-OK when the WAL directory could not be opened.
+  const Status& open_status() const { return open_status_; }
 
   /// Appends a record; returns its LSN.
   Lsn Append(const LogRecord& record);
 
   /// Guarantees durability up to `lsn` (inclusive of that record's bytes).
-  void FlushTo(Lsn lsn) { buffer_->FlushTo(lsn); }
-  void FlushAll() { buffer_->FlushAll(); }
+  /// In wal mode this means the bytes are fdatasync'ed, via group commit.
+  void FlushTo(Lsn lsn);
+  void FlushAll();
 
-  Lsn durable_lsn() const { return buffer_->durable_lsn(); }
+  /// LSN below which every byte is durable (synced in wal mode).
+  Lsn durable_lsn() const;
   Lsn next_lsn() const { return buffer_->next_lsn(); }
 
-  /// Scans all retained records in LSN order. Requires
-  /// `retain_for_recovery`; flushes first.
-  Status Scan(const std::function<void(Lsn, const LogRecord&)>& fn);
+  bool on_disk() const { return wal_ != nullptr; }
+  WalStorage* wal() { return wal_.get(); }
+
+  /// Scans all retained records in LSN order. Requires a scannable backing
+  /// (wal mode or `retain_for_recovery`); flushes first.
+  Status Scan(const std::function<void(Lsn, const LogRecord&)>& fn) {
+    return ScanFrom(0, fn);
+  }
+
+  /// Scans records with start LSN >= `from` (which must be a record
+  /// boundary — e.g. a checkpoint LSN).
+  Status ScanFrom(Lsn from,
+                  const std::function<void(Lsn, const LogRecord&)>& fn);
+
+  /// Group-commit observability: total fsyncs vs. flush requests that
+  /// piggybacked on another caller's fsync.
+  std::uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flush_requests() const {
+    return flush_requests_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Group-commit leader: drains the ring to the WAL and fsyncs once.
+  void SyncWal(Lsn lsn);
+
   LogConfig config_;
+  Status open_status_;
+  std::unique_ptr<WalStorage> wal_;
   std::unique_ptr<LogBuffer> buffer_;
+
   std::mutex retained_mu_;
   std::string retained_;  // flushed bytes, when retain_for_recovery
+  Lsn retained_base_ = 0;
+
+  // Group-commit coordinator state.
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_leader_active_ = false;
+  Lsn gc_synced_lsn_ = 0;
+
+  std::atomic<std::uint64_t> sync_count_{0};
+  std::atomic<std::uint64_t> flush_requests_{0};
 };
 
 }  // namespace plp

@@ -60,6 +60,7 @@ std::string LogRecord::Serialize() const {
   PutU64(&out, txn);
   PutU32(&out, rid.page_id);
   PutU16(&out, rid.slot);
+  PutU32(&out, table);
   PutU32(&out, static_cast<std::uint32_t>(redo.size()));
   PutU32(&out, static_cast<std::uint32_t>(undo.size()));
   out.append(redo);
@@ -81,6 +82,8 @@ bool LogRecord::Deserialize(const char* data, std::size_t size, LogRecord* out,
   p += 4;
   out->rid.slot = GetU16(p);
   p += 2;
+  out->table = GetU32(p);
+  p += 4;
   const std::uint32_t redo_len = GetU32(p);
   p += 4;
   const std::uint32_t undo_len = GetU32(p);

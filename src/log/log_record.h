@@ -24,16 +24,21 @@ enum class LogType : std::uint8_t {
 const char* LogTypeName(LogType t);
 
 /// One physiological log record: the affected page/RID plus redo and undo
-/// images. Begin/commit/abort records carry no images.
+/// images. Begin/commit/abort records carry no images. `table` names the
+/// table a heap/index op belongs to so restart recovery can route the
+/// replay to the right heap file and primary index (UINT32_MAX when the
+/// record is not table-scoped). Checkpoint records carry the serialized
+/// CheckpointImage in `redo`.
 struct LogRecord {
   LogType type = LogType::kBegin;
   TxnId txn = kInvalidTxnId;
   Rid rid;                // affected record (heap ops); invalid otherwise
+  std::uint32_t table = UINT32_MAX;  // owning table id (heap/index ops)
   std::string redo;       // after-image / inserted key or payload
   std::string undo;       // before-image / deleted key or payload
 
   /// Wire format: [u32 total][u8 type][u64 txn][u32 page][u16 slot]
-  ///              [u32 redo_len][u32 undo_len][redo][undo]
+  ///              [u32 table][u32 redo_len][u32 undo_len][redo][undo]
   std::string Serialize() const;
 
   /// Parses one record from `data` (at least `size` bytes available).
@@ -44,7 +49,7 @@ struct LogRecord {
 
   std::size_t SerializedSize() const { return kHeaderSize + redo.size() + undo.size(); }
 
-  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4 + 2 + 4 + 4;
+  static constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4 + 2 + 4 + 4 + 4;
 };
 
 }  // namespace plp

@@ -1,17 +1,19 @@
 #include "src/storage/heap_file.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace plp {
 
-HeapFile::HeapFile(BufferPool* pool, HeapMode mode)
+HeapFile::HeapFile(BufferPool* pool, HeapMode mode, std::uint32_t file_id)
     : pool_(pool),
       mode_(mode),
       latch_policy_(mode == HeapMode::kShared ? LatchPolicy::kLatched
-                                              : LatchPolicy::kNone) {}
+                                              : LatchPolicy::kNone),
+      file_id_(file_id) {}
 
-Page* HeapFile::AllocatePage(std::uint32_t owner) {
-  Page* page = pool_->NewPage(PageClass::kHeap);
+PageRef HeapFile::AllocatePage(std::uint32_t owner) {
+  PageRef page = pool_->AllocatePage(PageClass::kHeap, file_id_);
   SlottedPage::Init(page->data());
   SlottedPage(page->data()).set_owner(owner);
   if (mode_ != HeapMode::kShared) page->set_owner_tag(owner);
@@ -24,6 +26,33 @@ Page* HeapFile::AllocatePage(std::uint32_t owner) {
   }
   meta_mu_.unlock();
   return page;
+}
+
+PageRef HeapFile::FixForOp(PageId id) {
+  return pool_->AcquirePage(id, /*tracked=*/latch_policy_ ==
+                                    LatchPolicy::kLatched);
+}
+
+void HeapFile::AdoptPage(PageId id, std::uint32_t owner) {
+  meta_mu_.lock();
+  if (std::find(pages_.begin(), pages_.end(), id) == pages_.end()) {
+    pages_.push_back(id);
+    if (mode_ != HeapMode::kShared) {
+      auto& op = owners_[owner];
+      if (!op) op = std::make_unique<OwnerPages>();
+      op->pages.push_back(id);
+    }
+  }
+  meta_mu_.unlock();
+}
+
+void HeapFile::PrimeFreeSpace() {
+  if (mode_ != HeapMode::kShared) return;
+  for (PageId pid : AllPages()) {
+    PageRef page = FixForOp(pid);
+    if (!page) continue;
+    fsm_.Update(pid, SlottedPage(page->data()).TotalFreeSpace());
+  }
 }
 
 HeapFile::OwnerPages* HeapFile::GetOwnerPages(std::uint32_t owner) {
@@ -39,8 +68,8 @@ Status HeapFile::Insert(Slice record, Rid* rid) {
   assert(mode_ == HeapMode::kShared);
   for (int attempt = 0; attempt < 8; ++attempt) {
     PageId pid = fsm_.FindPageWith(record.size() + SlottedPage::kSlotSize);
-    Page* page = pid == kInvalidPageId ? nullptr : pool_->Fix(pid);
-    if (page == nullptr) {
+    PageRef page = pid == kInvalidPageId ? PageRef() : FixForOp(pid);
+    if (!page) {
       page = AllocatePage(/*owner=*/0);
     }
     LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
@@ -65,8 +94,8 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
   OwnerPages* op = GetOwnerPages(owner);
   // Try the most recently allocated page for this owner first.
   if (!op->pages.empty()) {
-    Page* page = pool_->FixUnlocked(op->pages.back());
-    if (page != nullptr) {
+    PageRef page = FixForOp(op->pages.back());
+    if (page) {
       SlottedPage sp(page->data());
       SlotId slot;
       Status st = sp.Insert(record, &slot);
@@ -78,7 +107,7 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
       if (!st.IsNoSpace()) return st;
     }
   }
-  Page* page = AllocatePage(owner);
+  PageRef page = AllocatePage(owner);
   SlottedPage sp(page->data());
   SlotId slot;
   PLP_RETURN_IF_ERROR(sp.Insert(record, &slot));
@@ -88,10 +117,8 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
 }
 
 Status HeapFile::Get(Rid rid, std::string* out) {
-  Page* page = latch_policy_ == LatchPolicy::kLatched
-                   ? pool_->Fix(rid.page_id)
-                   : pool_->FixUnlocked(rid.page_id);
-  if (page == nullptr) return Status::NotFound("no such page");
+  PageRef page = FixForOp(rid.page_id);
+  if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kShared, latch_policy_);
   Slice rec;
   PLP_RETURN_IF_ERROR(SlottedPage(page->data()).Get(rid.slot, &rec));
@@ -100,10 +127,8 @@ Status HeapFile::Get(Rid rid, std::string* out) {
 }
 
 Status HeapFile::Update(Rid rid, Slice record) {
-  Page* page = latch_policy_ == LatchPolicy::kLatched
-                   ? pool_->Fix(rid.page_id)
-                   : pool_->FixUnlocked(rid.page_id);
-  if (page == nullptr) return Status::NotFound("no such page");
+  PageRef page = FixForOp(rid.page_id);
+  if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
   PLP_RETURN_IF_ERROR(SlottedPage(page->data()).Update(rid.slot, record));
   page->MarkDirty();
@@ -111,10 +136,8 @@ Status HeapFile::Update(Rid rid, Slice record) {
 }
 
 Status HeapFile::Delete(Rid rid) {
-  Page* page = latch_policy_ == LatchPolicy::kLatched
-                   ? pool_->Fix(rid.page_id)
-                   : pool_->FixUnlocked(rid.page_id);
-  if (page == nullptr) return Status::NotFound("no such page");
+  PageRef page = FixForOp(rid.page_id);
+  if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
   SlottedPage sp(page->data());
   PLP_RETURN_IF_ERROR(sp.Delete(rid.slot));
@@ -127,8 +150,8 @@ Status HeapFile::Delete(Rid rid) {
 
 void HeapFile::Scan(const std::function<void(Rid, Slice)>& fn) {
   for (PageId pid : AllPages()) {
-    Page* page = pool_->Fix(pid);
-    if (page == nullptr) continue;
+    PageRef page = pool_->AcquirePage(pid, /*tracked=*/true);
+    if (!page) continue;
     LatchGuard g(&page->latch(), LatchMode::kShared, latch_policy_);
     SlottedPage(page->data()).ForEach([&](SlotId s, Slice rec) {
       fn(Rid{pid, s}, rec);
@@ -139,12 +162,36 @@ void HeapFile::Scan(const std::function<void(Rid, Slice)>& fn) {
 void HeapFile::ScanOwned(std::uint32_t owner,
                          const std::function<void(Rid, Slice)>& fn) {
   for (PageId pid : OwnedPages(owner)) {
-    Page* page = pool_->FixUnlocked(pid);
-    if (page == nullptr) continue;
+    PageRef page = pool_->AcquirePage(pid, /*tracked=*/false);
+    if (!page) continue;
     SlottedPage(page->data()).ForEach([&](SlotId s, Slice rec) {
       fn(Rid{pid, s}, rec);
     });
   }
+}
+
+Status HeapFile::RestoreAt(Rid rid, std::uint32_t owner, Slice record,
+                           Rid* out_rid) {
+  {
+    PageRef page = FixForOp(rid.page_id);
+    if (page) {
+      LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
+      SlottedPage sp(page->data());
+      Slice existing;
+      if (sp.Get(rid.slot, &existing).IsNotFound() &&
+          sp.PutAt(rid.slot, record).ok()) {
+        page->MarkDirty();
+        if (mode_ == HeapMode::kShared) {
+          fsm_.Update(page->id(), sp.TotalFreeSpace());
+        }
+        *out_rid = rid;
+        return Status::OK();
+      }
+    }
+  }
+  // Slot reused (or page gone): place like a fresh insert.
+  if (mode_ == HeapMode::kShared) return Insert(record, out_rid);
+  return InsertOwned(owner, record, out_rid);
 }
 
 Status HeapFile::Move(Rid from, std::uint32_t new_owner, Rid* new_rid) {
@@ -170,10 +217,11 @@ void HeapFile::RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner) {
     auto& dst = owners_[new_owner];
     if (!dst) dst = std::make_unique<OwnerPages>();
     for (PageId pid : it->second->pages) {
-      Page* page = pool_->FixUnlocked(pid);
-      if (page != nullptr) {
+      PageRef page = pool_->AcquirePage(pid, /*tracked=*/false);
+      if (page) {
         SlottedPage(page->data()).set_owner(new_owner);
         page->set_owner_tag(new_owner);
+        page->MarkDirty();
       }
       dst->pages.push_back(pid);
     }

@@ -34,13 +34,19 @@ enum class HeapMode { kShared, kPartitionOwned, kLeafOwned };
 
 class HeapFile {
  public:
-  HeapFile(BufferPool* pool, HeapMode mode);
+  /// `file_id` tags every allocated page frame (and its on-disk slot
+  /// header) with the owning heap file so page lists can be rebuilt at
+  /// restart; UINT32_MAX for throwaway in-memory files.
+  HeapFile(BufferPool* pool, HeapMode mode,
+           std::uint32_t file_id = UINT32_MAX);
 
   HeapFile(const HeapFile&) = delete;
   HeapFile& operator=(const HeapFile&) = delete;
 
   HeapMode mode() const { return mode_; }
   LatchPolicy latch_policy() const { return latch_policy_; }
+  std::uint32_t file_id() const { return file_id_; }
+  BufferPool* pool() { return pool_; }
 
   /// Shared-mode insert: picks a page via the free-space map.
   Status Insert(Slice record, Rid* rid);
@@ -65,6 +71,14 @@ class HeapFile {
   /// Returns the new RID so callers can fix up index entries.
   Status Move(Rid from, std::uint32_t new_owner, Rid* new_rid);
 
+  /// Abort-compensation for Delete: puts `record` back at its original
+  /// RID if that slot is still free, so the (unlogged) runtime undo is the
+  /// exact inverse of the logged delete and restart recovery reproduces
+  /// it from the before-image. Falls back to a fresh owned/shared
+  /// placement when the slot was reused. `out_rid` receives the final
+  /// location either way.
+  Status RestoreAt(Rid rid, std::uint32_t owner, Slice record, Rid* out_rid);
+
   /// All pages owned by `owner`, in allocation order.
   std::vector<PageId> OwnedPages(std::uint32_t owner);
 
@@ -76,17 +90,27 @@ class HeapFile {
   std::size_t num_pages() const;
   std::vector<PageId> AllPages();
 
+  /// Restart paths: registers an already-materialized page (from the data
+  /// file or from log replay) with this file's page lists. Idempotent.
+  void AdoptPage(PageId id, std::uint32_t owner);
+
+  /// Primes the free-space map from the current page contents (shared
+  /// mode; called once after restart recovery).
+  void PrimeFreeSpace();
+
  private:
   struct OwnerPages {
     std::vector<PageId> pages;
   };
 
-  Page* AllocatePage(std::uint32_t owner);
+  PageRef AllocatePage(std::uint32_t owner);
+  PageRef FixForOp(PageId id);
   OwnerPages* GetOwnerPages(std::uint32_t owner);
 
   BufferPool* pool_;
   const HeapMode mode_;
   const LatchPolicy latch_policy_;
+  const std::uint32_t file_id_;
 
   FreeSpaceMap fsm_;  // shared mode placement
 

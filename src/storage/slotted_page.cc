@@ -147,9 +147,15 @@ Status SlottedPage::Delete(SlotId slot) {
 
 Status SlottedPage::PutAt(SlotId slot, Slice record) {
   if (record.empty()) return Status::InvalidArgument("empty record");
-  // Extend the directory with free slots up to `slot`.
+  // Extend the directory with free slots up to `slot`. Redo replay onto a
+  // page whose cells were re-written leaves dead bytes but no contiguous
+  // room, so compaction must be attempted before giving up.
   while (slot_count() <= slot) {
-    if (ContiguousFreeSpace() < kSlotSize) return Status::NoSpace();
+    if (ContiguousFreeSpace() < kSlotSize) {
+      if (TotalFreeSpace() < kSlotSize) return Status::NoSpace();
+      Compact();
+      if (ContiguousFreeSpace() < kSlotSize) return Status::NoSpace();
+    }
     const std::uint16_t n = slot_count();
     SetSlot(n, 0, 0);
     set_slot_count(n + 1);

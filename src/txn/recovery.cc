@@ -1,10 +1,12 @@
 #include "src/txn/recovery.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/engine/database.h"
 #include "src/storage/slotted_page.h"
 
 namespace plp {
@@ -26,6 +28,18 @@ void RecoveryManager::DecodeIndexOp(Slice payload, std::string* key,
   value->assign(payload.data() + 2 + klen, payload.size() - 2 - klen);
 }
 
+namespace {
+
+/// Formats a freshly-materialized (zeroed) frame exactly once.
+void EnsureFormatted(Page* page) {
+  SlottedPage sp(page->data());
+  if (sp.slot_count() == 0 && sp.ContiguousFreeSpace() == 0) {
+    SlottedPage::Init(page->data());
+  }
+}
+
+}  // namespace
+
 Status RecoveryManager::Recover(BTree* index, Stats* stats) {
   Stats local;
 
@@ -33,6 +47,7 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> seen;
   PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn, const LogRecord& rec) {
+    if (rec.type == LogType::kCheckpoint) return;
     seen.insert(rec.txn);
     if (rec.type == LogType::kCommit) winners.insert(rec.txn);
   }));
@@ -40,26 +55,26 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
   local.losers = seen.size() - winners.size();
 
   // Pass 2: redo heap history; collect loser ops for undo; replay winner
-  // index ops logically.
+  // index ops logically. Also remember the newest committed write per RID
+  // so the undo pass never clobbers a committed record that reused a slot
+  // freed by a runtime abort.
   struct LoserOp {
     LogType type;
     Rid rid;
+    Lsn lsn;
     std::string undo;
   };
   std::vector<LoserOp> loser_ops;
+  std::unordered_map<Rid, Lsn> last_committed;
 
   auto heap_page = [&](PageId pid) {
     Page* page = pool_->NewPageWithId(pid, PageClass::kHeap);
-    // Freshly materialized frames are zeroed; format them once.
-    SlottedPage sp(page->data());
-    if (sp.slot_count() == 0 && sp.ContiguousFreeSpace() == 0) {
-      SlottedPage::Init(page->data());
-    }
+    EnsureFormatted(page);
     return page;
   };
 
   Status replay_status = Status::OK();
-  PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn, const LogRecord& rec) {
+  PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn lsn, const LogRecord& rec) {
     if (!replay_status.ok()) return;
     switch (rec.type) {
       case LogType::kHeapInsert:
@@ -98,12 +113,16 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
       default:
         break;
     }
-    if (replay_status.ok() && winners.count(rec.txn) == 0) {
+    if (replay_status.ok()) {
       switch (rec.type) {
         case LogType::kHeapInsert:
         case LogType::kHeapUpdate:
         case LogType::kHeapDelete:
-          loser_ops.push_back({rec.type, rec.rid, rec.undo});
+          if (winners.count(rec.txn) == 0) {
+            loser_ops.push_back({rec.type, rec.rid, lsn, rec.undo});
+          } else {
+            last_committed[rec.rid] = lsn;
+          }
           break;
         default:
           break;
@@ -114,6 +133,11 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
 
   // Pass 3: undo losers newest-first.
   for (auto it = loser_ops.rbegin(); it != loser_ops.rend(); ++it) {
+    auto committed_it = last_committed.find(it->rid);
+    if (committed_it != last_committed.end() &&
+        committed_it->second > it->lsn) {
+      continue;  // a later committed write owns this slot now
+    }
     Page* page = heap_page(it->rid.page_id);
     SlottedPage sp(page->data());
     switch (it->type) {
@@ -130,6 +154,203 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
     page->MarkDirty();
     local.undo_ops++;
   }
+
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
+                                        Lsn checkpoint_lsn,
+                                        const CheckpointImage& image,
+                                        Stats* stats) {
+  Stats local;
+
+  std::unordered_map<std::uint32_t, Table*> tables_by_id;
+  for (Table* t : db->tables()) tables_by_id[t->id()] = t;
+
+  // Load the checkpoint's primary-index snapshots.
+  if (has_checkpoint) {
+    for (const CheckpointImage::TableSnapshot& snap : image.tables) {
+      auto it = tables_by_id.find(snap.table_id);
+      if (it == tables_by_id.end()) continue;
+      MRBTree* primary = it->second->primary();
+      for (const auto& [key, value] : snap.entries) {
+        Status st = primary->Insert(key, value);
+        if (st.IsAlreadyExists()) st = primary->Update(key, value);
+        PLP_RETURN_IF_ERROR(st);
+      }
+    }
+  }
+
+  const Lsn scan_start =
+      has_checkpoint ? image.ScanStart(checkpoint_lsn) : 0;
+  local.scan_start = scan_start;
+
+  // Pass 1: analysis over [scan_start, end). Transactions active at the
+  // checkpoint are in-flight by definition; records tell us who finished.
+  std::unordered_set<TxnId> committed;
+  std::unordered_map<TxnId, Lsn> abort_lsn;
+  std::unordered_set<TxnId> seen;
+  TxnId max_txn_id = 0;
+  for (const auto& [txn, begin] : image.active_txns) seen.insert(txn);
+  PLP_RETURN_IF_ERROR(log_->ScanFrom(scan_start, [&](Lsn lsn,
+                                                     const LogRecord& rec) {
+    if (rec.type == LogType::kCheckpoint) return;
+    seen.insert(rec.txn);
+    max_txn_id = std::max(max_txn_id, rec.txn);
+    if (rec.type == LogType::kCommit) committed.insert(rec.txn);
+    if (rec.type == LogType::kAbort) abort_lsn[rec.txn] = lsn;
+  }));
+  local.winners = committed.size();
+  local.losers = seen.size() - committed.size();
+
+  // Pass 2: redo. Heap history is repeated for every transaction (value
+  // replay is idempotent against whatever page state the data file holds);
+  // index ops are applied for committed transactions only, on top of the
+  // snapshot. Loser bookkeeping feeds the undo passes below.
+  struct LoserHeapOp {
+    LogType type;
+    Rid rid;
+    Lsn lsn;
+    std::uint32_t table;
+    std::string undo;
+  };
+  struct LoserIndexOp {
+    LogType type;
+    TxnId txn;
+    Lsn lsn;
+    std::uint32_t table;
+    std::string payload;  // EncodeIndexOp(key, value)
+  };
+  std::vector<LoserHeapOp> loser_heap;
+  std::vector<LoserIndexOp> loser_index;
+  std::unordered_map<Rid, Lsn> last_committed;
+
+  auto heap_page = [&](const LogRecord& rec) {
+    const PageId pid = rec.rid.page_id;
+    Page* page = pool_->Fix(pid);  // resident or on disk
+    if (page == nullptr) {
+      page = pool_->NewPageWithId(pid, PageClass::kHeap);
+      page->set_table_tag(rec.table);
+    }
+    EnsureFormatted(page);
+    auto it = tables_by_id.find(rec.table);
+    if (it != tables_by_id.end()) {
+      it->second->heap()->AdoptPage(pid, SlottedPage(page->data()).owner());
+    }
+    return page;
+  };
+
+  Status replay_status = Status::OK();
+  PLP_RETURN_IF_ERROR(log_->ScanFrom(scan_start, [&](Lsn lsn,
+                                                     const LogRecord& rec) {
+    if (!replay_status.ok()) return;
+    switch (rec.type) {
+      case LogType::kHeapInsert:
+      case LogType::kHeapUpdate:
+      case LogType::kHeapDelete: {
+        Page* page = heap_page(rec);
+        // ARIES redo gate: a page stolen after this record already holds
+        // its effect (page_lsn from the slot header covers it); replaying
+        // anyway is not just wasted work — an old large record may no
+        // longer fit the newer image and would abort recovery.
+        if (lsn > page->page_lsn()) {
+          SlottedPage sp(page->data());
+          if (rec.type == LogType::kHeapDelete) {
+            (void)sp.Delete(rec.rid.slot);
+          } else {
+            replay_status = sp.PutAt(rec.rid.slot, rec.redo);
+          }
+          page->StampUpdate(lsn);
+          local.redo_ops++;
+        }
+        if (committed.count(rec.txn) > 0) {
+          last_committed[rec.rid] = lsn;
+        } else {
+          loser_heap.push_back({rec.type, rec.rid, lsn, rec.table, rec.undo});
+        }
+        break;
+      }
+      case LogType::kIndexInsert:
+      case LogType::kIndexDelete: {
+        auto it = tables_by_id.find(rec.table);
+        if (it == tables_by_id.end()) break;
+        if (committed.count(rec.txn) > 0) {
+          MRBTree* primary = it->second->primary();
+          std::string key, value;
+          DecodeIndexOp(rec.redo.empty() ? rec.undo : rec.redo, &key, &value);
+          if (rec.type == LogType::kIndexInsert) {
+            Status st = primary->Insert(key, value);
+            if (st.IsAlreadyExists()) st = primary->Update(key, value);
+            replay_status = st;
+          } else {
+            Status st = primary->Delete(key);
+            if (!st.IsNotFound()) replay_status = st;
+          }
+          local.index_ops++;
+        } else if (has_checkpoint && lsn < checkpoint_lsn) {
+          // A loser op baked into the index snapshot: needs reversal,
+          // unless the transaction's runtime abort (and therefore its
+          // logical compensation) happened before the snapshot was taken.
+          loser_index.push_back({rec.type, rec.txn, lsn, rec.table,
+                                 rec.redo.empty() ? rec.undo : rec.redo});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }));
+  PLP_RETURN_IF_ERROR(replay_status);
+
+  // Pass 3a: reverse loser index ops that the snapshot reflects.
+  for (auto it = loser_index.rbegin(); it != loser_index.rend(); ++it) {
+    auto ab = abort_lsn.find(it->txn);
+    if (ab != abort_lsn.end() && ab->second < checkpoint_lsn) {
+      continue;  // compensated before the snapshot; already clean
+    }
+    auto table_it = tables_by_id.find(it->table);
+    if (table_it == tables_by_id.end()) continue;
+    MRBTree* primary = table_it->second->primary();
+    std::string key, value;
+    DecodeIndexOp(it->payload, &key, &value);
+    if (it->type == LogType::kIndexInsert) {
+      (void)primary->Delete(key);
+    } else {
+      Status st = primary->Insert(key, value);
+      if (st.IsAlreadyExists()) (void)primary->Update(key, value);
+    }
+    local.index_ops++;
+  }
+
+  // Pass 3b: undo loser heap ops newest-first from before-images; a later
+  // committed write to the same RID wins.
+  for (auto it = loser_heap.rbegin(); it != loser_heap.rend(); ++it) {
+    auto committed_it = last_committed.find(it->rid);
+    if (committed_it != last_committed.end() &&
+        committed_it->second > it->lsn) {
+      continue;
+    }
+    Page* page = pool_->Fix(it->rid.page_id);
+    if (page == nullptr) continue;  // never materialized: nothing to undo
+    SlottedPage sp(page->data());
+    switch (it->type) {
+      case LogType::kHeapInsert:
+        (void)sp.Delete(it->rid.slot);
+        break;
+      case LogType::kHeapUpdate:
+      case LogType::kHeapDelete:
+        PLP_RETURN_IF_ERROR(sp.PutAt(it->rid.slot, it->undo));
+        break;
+      default:
+        break;
+    }
+    page->MarkDirty();
+    local.undo_ops++;
+  }
+
+  db->txns()->EnsureNextIdAtLeast(
+      std::max(image.next_txn_id, max_txn_id + 1));
 
   if (stats != nullptr) *stats = local;
   return Status::OK();

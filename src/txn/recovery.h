@@ -1,4 +1,4 @@
-// ARIES-lite restart recovery over the retained write-ahead log.
+// ARIES-lite restart recovery over the write-ahead log.
 //
 // Three passes, in the ARIES spirit adapted to our physiological records:
 //  1. Analysis — classify transactions into winners (committed) and losers
@@ -8,6 +8,20 @@
 //  3. Undo — roll back loser heap operations newest-first using the undo
 //     images. Index operations are replayed logically for winners only
 //     (the index is rebuilt, so physical undo is unnecessary).
+//
+// Two entry points:
+//  * Recover()          — the seed's single-index form: whole-log scan into
+//    a fresh pool (memory-resident crash simulation).
+//  * RecoverDatabase()  — durable restart: starts from the last fuzzy
+//    checkpoint (src/io/checkpoint.h), reads log segments from disk,
+//    loads index snapshots, redoes history from min(rec_lsn, active
+//    begin_lsns), and routes table-scoped records to the right heap
+//    file / primary index of a catalog-loaded Database.
+//
+// Undo is value-based (before-images), not CLR-chained: a runtime abort
+// performs logical compensation without logging it, so recovery re-undoes
+// from images; a same-RID write by a later committed transaction takes
+// precedence (the undo is skipped). CLR logging is a ROADMAP follow-on.
 #ifndef PLP_TXN_RECOVERY_H_
 #define PLP_TXN_RECOVERY_H_
 
@@ -16,9 +30,12 @@
 #include "src/buffer/buffer_pool.h"
 #include "src/common/status.h"
 #include "src/index/btree.h"
+#include "src/io/checkpoint.h"
 #include "src/log/log_manager.h"
 
 namespace plp {
+
+class Database;
 
 class RecoveryManager {
  public:
@@ -28,6 +45,7 @@ class RecoveryManager {
     std::uint64_t redo_ops = 0;
     std::uint64_t undo_ops = 0;
     std::uint64_t index_ops = 0;
+    Lsn scan_start = 0;
   };
 
   RecoveryManager(LogManager* log, BufferPool* pool)
@@ -36,6 +54,14 @@ class RecoveryManager {
   /// Rebuilds heap pages (and optionally a primary index) from the log.
   /// `index` may be null. The pool should be fresh (crash wiped memory).
   Status Recover(BTree* index, Stats* stats);
+
+  /// Durable restart over a catalog-loaded Database (tables exist, primary
+  /// indexes empty, heap page lists rebuilt from the data file).
+  /// `checkpoint_lsn`/`image` come from the master record; pass
+  /// has_checkpoint=false for a first start / pre-checkpoint crash.
+  Status RecoverDatabase(Database* db, bool has_checkpoint,
+                         Lsn checkpoint_lsn, const CheckpointImage& image,
+                         Stats* stats);
 
   /// Serialization helpers shared with the engines' logging sites.
   static std::string EncodeIndexOp(Slice key, Slice value);

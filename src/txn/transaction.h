@@ -32,6 +32,11 @@ class Transaction {
   Lsn last_lsn() const { return last_lsn_; }
   void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
 
+  /// LSN of the begin record — the undo low-water mark a fuzzy checkpoint
+  /// stores for active transactions.
+  Lsn begin_lsn() const { return begin_lsn_; }
+  void set_begin_lsn(Lsn lsn) { begin_lsn_ = lsn; }
+
   /// Locks to release at commit/abort (conventional engine only; the
   /// partitioned designs use thread-local lock state instead).
   std::vector<std::string>& held_locks() { return held_locks_; }
@@ -50,6 +55,7 @@ class Transaction {
   const TxnId id_;
   TxnState state_ = TxnState::kActive;
   Lsn last_lsn_ = kInvalidLsn;
+  Lsn begin_lsn_ = kInvalidLsn;
   std::vector<std::string> held_locks_;
   std::vector<std::function<Status()>> undo_actions_;
 };

@@ -14,7 +14,9 @@ Transaction* TxnManager::Begin() {
   LogRecord rec;
   rec.type = LogType::kBegin;
   rec.txn = id;
-  raw->set_last_lsn(log_->Append(rec));
+  const Lsn begin_lsn = log_->Append(rec);
+  raw->set_last_lsn(begin_lsn);
+  raw->set_begin_lsn(begin_lsn);
 
   table_mu_.lock();
   active_.emplace(id, std::move(txn));
@@ -67,6 +69,24 @@ std::size_t TxnManager::active_count() {
   std::size_t n = active_.size();
   table_mu_.unlock();
   return n;
+}
+
+std::vector<std::pair<TxnId, Lsn>> TxnManager::ActiveSnapshot() {
+  std::vector<std::pair<TxnId, Lsn>> out;
+  table_mu_.lock();
+  out.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    out.emplace_back(id, txn->begin_lsn());
+  }
+  table_mu_.unlock();
+  return out;
+}
+
+void TxnManager::EnsureNextIdAtLeast(TxnId id) {
+  TxnId expected = next_txn_id_.load(std::memory_order_relaxed);
+  while (expected < id && !next_txn_id_.compare_exchange_weak(
+                              expected, id, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace plp

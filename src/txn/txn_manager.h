@@ -5,6 +5,8 @@
 #include <atomic>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
@@ -40,6 +42,17 @@ class TxnManager {
   Status Abort(Transaction* txn);
 
   std::size_t active_count();
+
+  /// Snapshot of active transactions (id, begin_lsn) — the active-txn
+  /// table of a fuzzy checkpoint.
+  std::vector<std::pair<TxnId, Lsn>> ActiveSnapshot();
+
+  /// Restart path: keeps the id allocator ahead of recovered txn ids.
+  void EnsureNextIdAtLeast(TxnId id);
+
+  TxnId peek_next_id() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
+  }
   std::uint64_t committed() const {
     return committed_.load(std::memory_order_relaxed);
   }

@@ -25,15 +25,20 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   if (probe != nullptr) probe->Start();
 
   std::vector<std::thread> clients;
+  std::vector<std::vector<std::uint64_t>> latencies(
+      static_cast<std::size_t>(options.num_threads));
   clients.reserve(static_cast<std::size_t>(options.num_threads));
   for (int i = 0; i < options.num_threads; ++i) {
     clients.emplace_back([&, i] {
       Rng rng(options.seed * 1315423911u + static_cast<std::uint64_t>(i));
+      auto& local_latencies = latencies[static_cast<std::size_t>(i)];
       const std::uint64_t start = NowNanos();
       while (!stop.load(std::memory_order_relaxed)) {
         TxnRequest req = next(rng);
+        const std::uint64_t txn_start = NowNanos();
         Status st = engine->Execute(req);
         if (st.ok()) {
+          local_latencies.push_back(NowNanos() - txn_start);
           committed.fetch_add(1, std::memory_order_relaxed);
           if (probe != nullptr) probe->Tick();
         } else {
@@ -75,6 +80,12 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   result.aborted = aborted.load();
   result.thread_time_ns = thread_time.load();
   result.cs_delta = CsProfiler::Global().Collect() - before;
+  for (auto& local_latencies : latencies) {
+    result.latencies_ns.insert(result.latencies_ns.end(),
+                               local_latencies.begin(),
+                               local_latencies.end());
+  }
+  std::sort(result.latencies_ns.begin(), result.latencies_ns.end());
   return result;
 }
 }  // namespace

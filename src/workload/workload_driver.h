@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <functional>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/engine/engine.h"
@@ -26,6 +27,18 @@ struct DriverResult {
   std::uint64_t elapsed_ns = 0;       // wall time of the window
   std::uint64_t thread_time_ns = 0;   // summed across client threads
   CsCounts cs_delta;                  // profiler delta over the window
+  /// Per-transaction commit latencies (ns), sorted ascending.
+  std::vector<std::uint64_t> latencies_ns;
+
+  /// Latency percentile in microseconds (q in [0,1]); 0 when no samples.
+  double latency_us(double q) const {
+    if (latencies_ns.empty()) return 0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_ns.size() - 1));
+    return static_cast<double>(latencies_ns[idx]) / 1000.0;
+  }
+  double p50_us() const { return latency_us(0.50); }
+  double p99_us() const { return latency_us(0.99); }
 
   double ktps() const {
     return elapsed_ns == 0

@@ -1,0 +1,243 @@
+// End-to-end durability acceptance tests: populate a table whose page
+// count exceeds the buffer-pool frame budget (evictions observed), crash
+// or close the Database, reopen from the data file + WAL + checkpoint,
+// and verify committed records survive while uncommitted ones are gone.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "src/common/key_encoding.h"
+#include "src/engine/engine.h"
+
+namespace plp {
+namespace {
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  DurabilityTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plp_durability_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  ~DurabilityTest() override { std::filesystem::remove_all(dir_); }
+
+  EngineConfig MakeConfig(std::size_t frame_budget = 16) {
+    EngineConfig config;
+    config.design = SystemDesign::kConventional;
+    config.db.data_dir = dir_.string();
+    config.db.frame_budget = frame_budget;
+    config.db.txn.durable_commits = true;
+    return config;
+  }
+
+  static std::string Payload(std::uint32_t k) {
+    // ~200 bytes so a handful of records fill a page.
+    return "value-" + std::to_string(k) + "-" + std::string(192, 'p');
+  }
+
+  static Status InsertOne(Engine* engine, std::uint32_t k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    req.Add(0, "t", key, [key, k](ExecContext& ctx) {
+      return ctx.Insert(key, Payload(k));
+    });
+    return engine->Execute(req);
+  }
+
+  static std::string ReadOne(Engine* engine, std::uint32_t k) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    auto payload = std::make_shared<std::string>();
+    req.Add(0, "t", key, [key, payload](ExecContext& ctx) {
+      return ctx.Read(key, payload.get());
+    });
+    if (!engine->Execute(req).ok()) return "<not found>";
+    return *payload;
+  }
+
+  std::filesystem::path dir_;
+};
+
+constexpr std::uint32_t kRecords = 1500;
+
+TEST_F(DurabilityTest, EvictThenCrashThenRecover) {
+  {
+    auto engine = CreateEngine(MakeConfig());
+    engine->Start();
+    ASSERT_TRUE(engine->db().open_status().ok())
+        << engine->db().open_status().ToString();
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+
+    for (std::uint32_t k = 0; k < kRecords; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok()) << k;
+    }
+    // The working set must have exceeded the 16-frame budget.
+    EXPECT_GT(engine->db().pool()->num_pages(), 0u);
+    EXPECT_GT(engine->db().pool()->evictions(), 0u)
+        << "table must be larger than the frame budget";
+    EXPECT_GT(engine->db().pool()->disk_writes(), 0u);
+
+    // A transaction that aborts: its writes must not surface after
+    // restart even though some of its pages may have been stolen.
+    {
+      TxnRequest req;
+      const std::string key = KeyU32(999999);
+      req.Add(0, "t", key, [key](ExecContext& ctx) {
+        PLP_RETURN_IF_ERROR(ctx.Insert(key, "doomed"));
+        return Status::Aborted("simulated failure");
+      });
+      EXPECT_FALSE(engine->Execute(req).ok());
+    }
+    engine->Stop();
+    // Crash: the engine (and Database) are destroyed without Close().
+  }
+
+  auto engine = CreateEngine(MakeConfig());
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  // Catalog recovered the table.
+  ASSERT_NE(engine->db().GetTable("t"), nullptr);
+
+  for (std::uint32_t k = 0; k < kRecords; k += 7) {
+    EXPECT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+  EXPECT_EQ(ReadOne(engine.get(), 999999), "<not found>")
+      << "aborted transaction leaked through restart";
+
+  // The reopened pool still enforces the budget while serving reads.
+  EXPECT_GT(engine->db().pool()->disk_reads(), 0u);
+
+  // And the database stays writable after recovery.
+  ASSERT_TRUE(InsertOne(engine.get(), kRecords + 1).ok());
+  EXPECT_EQ(ReadOne(engine.get(), kRecords + 1), Payload(kRecords + 1));
+  engine->Stop();
+  ASSERT_TRUE(engine->db().Close().ok());
+}
+
+TEST_F(DurabilityTest, CleanCloseReopensWithMinimalReplay) {
+  {
+    auto engine = CreateEngine(MakeConfig());
+    engine->Start();
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    for (std::uint32_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok());
+    }
+    engine->Stop();
+    ASSERT_TRUE(engine->db().Close().ok());
+  }
+  auto engine = CreateEngine(MakeConfig());
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  // A clean close checkpointed with an empty dirty-page table, so the
+  // restart scan starts at (or after) the final checkpoint: no redo work.
+  EXPECT_EQ(engine->db().recovery_stats().redo_ops, 0u);
+  for (std::uint32_t k = 0; k < 300; k += 11) {
+    EXPECT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+  engine->Stop();
+}
+
+TEST_F(DurabilityTest, CheckpointBoundsReplayAfterCrash) {
+  Lsn scan_start_floor = 0;
+  {
+    auto engine = CreateEngine(MakeConfig());
+    engine->Start();
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    for (std::uint32_t k = 0; k < 400; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok());
+    }
+    ASSERT_TRUE(engine->db().Checkpoint().ok());
+    scan_start_floor = engine->db().log()->durable_lsn();
+    for (std::uint32_t k = 400; k < 500; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok());
+    }
+    engine->Stop();  // crash
+  }
+  auto engine = CreateEngine(MakeConfig());
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  // The restart scan began at the checkpoint's dirty-page horizon, far
+  // past the log's beginning (400 transactions came before it).
+  EXPECT_GT(engine->db().recovery_stats().scan_start, 0u);
+  for (std::uint32_t k = 0; k < 500; k += 13) {
+    EXPECT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+  engine->Stop();
+}
+
+TEST_F(DurabilityTest, UpdatesAndDeletesSurviveRestart) {
+  {
+    auto engine = CreateEngine(MakeConfig());
+    engine->Start();
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    for (std::uint32_t k = 0; k < 200; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok());
+    }
+    // Update half, delete a quarter.
+    for (std::uint32_t k = 0; k < 200; k += 2) {
+      TxnRequest req;
+      const std::string key = KeyU32(k);
+      req.Add(0, "t", key, [key, k](ExecContext& ctx) {
+        return ctx.Update(key, "updated-" + std::to_string(k));
+      });
+      ASSERT_TRUE(engine->Execute(req).ok());
+    }
+    for (std::uint32_t k = 1; k < 200; k += 4) {
+      TxnRequest req;
+      const std::string key = KeyU32(k);
+      req.Add(0, "t", key, [key](ExecContext& ctx) {
+        return ctx.Delete(key);
+      });
+      ASSERT_TRUE(engine->Execute(req).ok());
+    }
+    engine->Stop();  // crash
+  }
+  auto engine = CreateEngine(MakeConfig());
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok());
+  for (std::uint32_t k = 0; k < 200; ++k) {
+    const std::string got = ReadOne(engine.get(), k);
+    if (k % 2 == 0) {
+      EXPECT_EQ(got, "updated-" + std::to_string(k)) << k;
+    } else if (k % 4 == 1) {
+      EXPECT_EQ(got, "<not found>") << k;
+    } else {
+      EXPECT_EQ(got, Payload(k)) << k;
+    }
+  }
+  engine->Stop();
+}
+
+TEST_F(DurabilityTest, RepeatedCrashReopenCycles) {
+  // State accretes across several crash/reopen generations; every
+  // generation must see everything all earlier generations committed.
+  for (std::uint32_t gen = 0; gen < 4; ++gen) {
+    auto engine = CreateEngine(MakeConfig());
+    engine->Start();
+    ASSERT_TRUE(engine->db().open_status().ok())
+        << "gen " << gen << ": " << engine->db().open_status().ToString();
+    if (gen == 0) {
+      ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    }
+    for (std::uint32_t k = 0; k < gen * 100; k += 9) {
+      EXPECT_EQ(ReadOne(engine.get(), k), Payload(k))
+          << "gen " << gen << " key " << k;
+    }
+    for (std::uint32_t k = gen * 100; k < (gen + 1) * 100; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok());
+    }
+    if (gen % 2 == 0) {
+      ASSERT_TRUE(engine->db().Checkpoint().ok());
+    }
+    engine->Stop();  // crash every generation
+  }
+}
+
+}  // namespace
+}  // namespace plp

@@ -1,0 +1,343 @@
+// Unit tests for the durable-storage building blocks: disk manager page
+// slots, segmented WAL (including torn-tail repair), group commit, the
+// checkpoint image codec, and buffer-pool eviction mechanics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "src/buffer/buffer_pool.h"
+#include "src/io/checkpoint.h"
+#include "src/io/disk_manager.h"
+#include "src/io/wal_storage.h"
+#include "src/log/log_manager.h"
+#include "src/storage/slotted_page.h"
+
+namespace plp {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  IoTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plp_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~IoTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, DiskManagerRoundTrip) {
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+  EXPECT_FALSE(dm->Contains(1));
+  EXPECT_EQ(dm->max_page_id(), 0u);
+
+  std::vector<char> page(kPageSize, 'x');
+  PageSlotHeader h;
+  h.page_class = 1;
+  h.owner_tag = 7;
+  h.table_tag = 3;
+  h.page_lsn = 1234;
+  ASSERT_TRUE(dm->WritePage(5, h, page.data()).ok());
+  ASSERT_TRUE(dm->Sync().ok());
+  EXPECT_TRUE(dm->Contains(5));
+  EXPECT_EQ(dm->max_page_id(), 5u);
+
+  std::vector<char> readback(kPageSize);
+  PageSlotHeader rh;
+  ASSERT_TRUE(dm->ReadPage(5, &rh, readback.data()).ok());
+  EXPECT_EQ(rh.owner_tag, 7u);
+  EXPECT_EQ(rh.table_tag, 3u);
+  EXPECT_EQ(rh.page_lsn, 1234u);
+  EXPECT_EQ(std::memcmp(page.data(), readback.data(), kPageSize), 0);
+
+  EXPECT_TRUE(dm->ReadPage(4, &rh, readback.data()).IsNotFound());
+}
+
+TEST_F(IoTest, DiskManagerSurvivesReopen) {
+  {
+    std::unique_ptr<DiskManager> dm;
+    ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+    std::vector<char> page(kPageSize, 'a');
+    PageSlotHeader h;
+    h.page_lsn = 42;
+    ASSERT_TRUE(dm->WritePage(1, h, page.data()).ok());
+    ASSERT_TRUE(dm->WritePage(3, h, page.data()).ok());
+    ASSERT_TRUE(dm->FreePage(1).ok());
+    ASSERT_TRUE(dm->Sync().ok());
+  }
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+  EXPECT_FALSE(dm->Contains(1));
+  EXPECT_TRUE(dm->Contains(3));
+  EXPECT_EQ(dm->AllPages().size(), 1u);
+}
+
+LogRecord MakeRecord(TxnId txn, const std::string& redo) {
+  LogRecord rec;
+  rec.type = LogType::kHeapInsert;
+  rec.txn = txn;
+  rec.rid = Rid{1, 0};
+  rec.redo = redo;
+  return rec;
+}
+
+TEST_F(IoTest, WalSegmentsRollAndScan) {
+  std::unique_ptr<WalStorage> wal;
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), /*segment_size=*/256, &wal).ok());
+  std::vector<Lsn> lsns;
+  Lsn at = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string bytes = MakeRecord(1, "payload-" + std::to_string(i))
+                                  .Serialize();
+    ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+    lsns.push_back(at);
+    at += bytes.size();
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_GT(wal->num_segments(), 3u);  // tiny segments must have rolled
+
+  int count = 0;
+  ASSERT_TRUE(wal->ScanFrom(0, [&](Lsn lsn, const LogRecord& rec) {
+    EXPECT_EQ(lsn, lsns[static_cast<std::size_t>(count)]);
+    EXPECT_EQ(rec.redo, "payload-" + std::to_string(count));
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 50);
+
+  // Scan from a mid-stream record boundary.
+  count = 0;
+  ASSERT_TRUE(wal->ScanFrom(lsns[30], [&](Lsn, const LogRecord&) {
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 20);
+}
+
+TEST_F(IoTest, WalReopenContinuesStream) {
+  Lsn end;
+  {
+    std::unique_ptr<WalStorage> wal;
+    ASSERT_TRUE(WalStorage::Open(Path("wal"), 1u << 20, &wal).ok());
+    const std::string bytes = MakeRecord(1, "first").Serialize();
+    ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+    end = wal->end_lsn();
+  }
+  std::unique_ptr<WalStorage> wal;
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), 1u << 20, &wal).ok());
+  EXPECT_EQ(wal->end_lsn(), end);
+  const std::string bytes = MakeRecord(2, "second").Serialize();
+  ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+  int count = 0;
+  ASSERT_TRUE(wal->ScanFrom(0, [&](Lsn, const LogRecord& rec) {
+    ++count;
+    EXPECT_EQ(rec.redo, count == 1 ? "first" : "second");
+  }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(IoTest, WalTornTailRepairedOnReopen) {
+  std::string full;
+  {
+    std::unique_ptr<WalStorage> wal;
+    ASSERT_TRUE(WalStorage::Open(Path("wal"), 1u << 20, &wal).ok());
+    full = MakeRecord(1, "kept").Serialize();
+    ASSERT_TRUE(wal->Append(full.data(), full.size()).ok());
+    const std::string torn = MakeRecord(2, "torn-away").Serialize();
+    // Simulate a crash mid-write: only half the record hits the file.
+    ASSERT_TRUE(wal->Append(torn.data(), torn.size() / 2).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  std::unique_ptr<WalStorage> wal;
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), 1u << 20, &wal).ok());
+  EXPECT_EQ(wal->end_lsn(), full.size());  // torn bytes dropped
+  int count = 0;
+  ASSERT_TRUE(wal->ScanFrom(0, [&](Lsn, const LogRecord& rec) {
+    ++count;
+    EXPECT_EQ(rec.redo, "kept");
+  }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(IoTest, GroupCommitBatchesFsyncs) {
+  LogConfig config;
+  config.wal_dir = Path("wal");
+  LogManager log(config);
+  ASSERT_TRUE(log.open_status().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        LogRecord rec;
+        rec.type = LogType::kCommit;
+        rec.txn = static_cast<TxnId>(t * 1000 + i + 1);
+        const Lsn lsn = log.Append(rec);
+        log.FlushTo(lsn);  // "commit": must be durable before returning
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(log.flush_requests(), kThreads * kCommitsPerThread);
+  EXPECT_GE(log.durable_lsn(), log.next_lsn());
+  // The whole point of group commit: far fewer fsyncs than commits.
+  EXPECT_LT(log.sync_count(), log.flush_requests());
+
+  int scanned = 0;
+  ASSERT_TRUE(log.Scan([&](Lsn, const LogRecord&) { ++scanned; }).ok());
+  EXPECT_EQ(scanned, kThreads * kCommitsPerThread);
+}
+
+TEST_F(IoTest, CheckpointImageRoundTrip) {
+  CheckpointImage img;
+  img.dirty_pages = {{3, 100}, {9, 250}};
+  img.active_txns = {{11, 90}, {12, 240}};
+  img.next_txn_id = 13;
+  CheckpointImage::TableSnapshot snap;
+  snap.table_id = 0;
+  snap.entries = {{"alpha", "rid-1"}, {"beta", std::string("\0\x01", 2)}};
+  img.tables.push_back(snap);
+
+  CheckpointImage out;
+  ASSERT_TRUE(CheckpointImage::Decode(img.Encode(), &out).ok());
+  EXPECT_EQ(out.dirty_pages, img.dirty_pages);
+  EXPECT_EQ(out.active_txns, img.active_txns);
+  EXPECT_EQ(out.next_txn_id, 13u);
+  ASSERT_EQ(out.tables.size(), 1u);
+  EXPECT_EQ(out.tables[0].entries, snap.entries);
+
+  EXPECT_EQ(img.ScanStart(300), 90u);  // min of dpt/txn/checkpoint lsns
+  EXPECT_EQ(CheckpointImage{}.ScanStart(300), 300u);
+}
+
+TEST_F(IoTest, MasterRecordRoundTrip) {
+  Lsn lsn = 0;
+  EXPECT_TRUE(ReadMasterRecord(Path("CHECKPOINT"), &lsn).IsNotFound());
+  ASSERT_TRUE(WriteMasterRecord(Path("CHECKPOINT"), 777).ok());
+  ASSERT_TRUE(ReadMasterRecord(Path("CHECKPOINT"), &lsn).ok());
+  EXPECT_EQ(lsn, 777u);
+  ASSERT_TRUE(WriteMasterRecord(Path("CHECKPOINT"), 999).ok());
+  ASSERT_TRUE(ReadMasterRecord(Path("CHECKPOINT"), &lsn).ok());
+  EXPECT_EQ(lsn, 999u);
+}
+
+TEST_F(IoTest, BufferPoolEvictsCleanAndDirtyHeapPages) {
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+
+  BufferPoolConfig pc;
+  pc.frame_budget = 4;
+  pc.disk = dm.get();
+  BufferPool pool(pc);
+  ASSERT_TRUE(pool.evicting());
+
+  // Allocate more heap pages than the budget; write a recognizable
+  // payload into each so reloads can be verified.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 12; ++i) {
+    PageRef page = pool.AllocatePage(PageClass::kHeap, /*table_tag=*/0);
+    SlottedPage::Init(page->data());
+    SlotId slot;
+    ASSERT_TRUE(SlottedPage(page->data())
+                    .Insert("page-" + std::to_string(i), &slot)
+                    .ok());
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  EXPECT_GT(pool.evictions(), 0u);
+  EXPECT_GT(pool.disk_writes(), 0u);
+  EXPECT_LE(pool.num_pages(), 5u);  // soft budget
+
+  // Every page remains readable through the pool (disk read-through).
+  for (int i = 0; i < 12; ++i) {
+    PageRef page = pool.AcquirePage(ids[static_cast<std::size_t>(i)],
+                                    /*tracked=*/true);
+    ASSERT_TRUE(page) << i;
+    Slice rec;
+    ASSERT_TRUE(SlottedPage(page->data()).Get(0, &rec).ok()) << i;
+    EXPECT_EQ(rec.ToString(), "page-" + std::to_string(i));
+  }
+  EXPECT_GT(pool.disk_reads(), 0u);
+}
+
+TEST_F(IoTest, PinnedPagesAreNotEvicted) {
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+  BufferPoolConfig pc;
+  pc.frame_budget = 2;
+  pc.disk = dm.get();
+  BufferPool pool(pc);
+
+  PageRef pinned = pool.AllocatePage(PageClass::kHeap, 0);
+  SlottedPage::Init(pinned->data());
+  Page* pinned_raw = pinned.get();
+  const PageId pinned_id = pinned->id();
+  for (int i = 0; i < 8; ++i) {
+    PageRef p = pool.AllocatePage(PageClass::kHeap, 0);
+    SlottedPage::Init(p->data());
+    p->MarkDirty();
+  }
+  // The pinned frame survived the churn (same frame, still resident).
+  EXPECT_EQ(pool.FixUnlocked(pinned_id), pinned_raw);
+}
+
+TEST_F(IoTest, EvictionNotifiesPageCaches) {
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+  BufferPoolConfig pc;
+  pc.frame_budget = 2;
+  pc.disk = dm.get();
+  BufferPool pool(pc);
+  PageCache cache(&pool);
+
+  std::vector<PageId> evicted;
+  pool.RegisterEvictionListener(&evicted, [&evicted](PageId id) {
+    evicted.push_back(id);
+  });
+  for (int i = 0; i < 6; ++i) {
+    PageRef p = pool.AllocatePage(PageClass::kHeap, 0);
+    SlottedPage::Init(p->data());
+    (void)cache.Fix(p->id());
+  }
+  pool.UnregisterEvictionListener(&evicted);
+  EXPECT_FALSE(evicted.empty());
+  // Cache entries for evicted ids were dropped: a fresh Fix must go back
+  // through the pool and return the *current* frame.
+  for (PageId id : evicted) {
+    Page* via_cache = cache.Fix(id);
+    Page* via_pool = pool.FixUnlocked(id);
+    EXPECT_EQ(via_cache, via_pool);
+  }
+}
+
+TEST_F(IoTest, IndexPagesStayResident) {
+  std::unique_ptr<DiskManager> dm;
+  ASSERT_TRUE(DiskManager::Open(Path("data.db"), &dm).ok());
+  BufferPoolConfig pc;
+  pc.frame_budget = 2;
+  pc.disk = dm.get();
+  BufferPool pool(pc);
+
+  Page* index_page = pool.NewPage(PageClass::kIndex);
+  const PageId index_id = index_page->id();
+  for (int i = 0; i < 8; ++i) {
+    PageRef p = pool.AllocatePage(PageClass::kHeap, 0);
+    SlottedPage::Init(p->data());
+  }
+  EXPECT_EQ(pool.FixUnlocked(index_id), index_page);
+}
+
+}  // namespace
+}  // namespace plp
