@@ -14,7 +14,21 @@
 
 namespace plp::bench {
 
-/// Builds and starts an engine for one experiment.
+/// Builds and starts an engine for one experiment. Config errors abort
+/// the bench (they are programming errors here).
+inline std::unique_ptr<Engine> MakeEngine(const EngineConfig& config) {
+  auto created = CreateEngine(config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "CreateEngine(%s): %s\n",
+                 SystemDesignName(config.design),
+                 created.status().ToString().c_str());
+    std::abort();
+  }
+  auto engine = std::move(created).value();
+  engine->Start();
+  return engine;
+}
+
 inline std::unique_ptr<Engine> MakeEngine(SystemDesign design,
                                           int workers = 4,
                                           bool use_mrbt = false,
@@ -24,9 +38,7 @@ inline std::unique_ptr<Engine> MakeEngine(SystemDesign design,
   config.num_workers = workers;
   config.use_mrbt = use_mrbt;
   config.enable_sli = enable_sli;
-  auto engine = CreateEngine(config);
-  engine->Start();
-  return engine;
+  return MakeEngine(config);
 }
 
 /// Scales bench durations via PLP_BENCH_MS (default 300ms per window).
@@ -79,17 +91,25 @@ class JsonReporter {
 
   ~JsonReporter() { Write(); }
 
-  /// Records one experiment's result line.
-  void Add(const std::string& name, int threads, const DriverResult& r) {
-    char row[512];
+  /// Records one experiment's result line. `mode` distinguishes closed-
+  /// loop (blocking Execute) from open-loop (pipelined Submit) runs;
+  /// `inflight` is the admission-gate high-water mark over the window and
+  /// the latency percentiles are completion latencies in open-loop mode.
+  void Add(const std::string& name, int threads, const DriverResult& r,
+           const char* mode = "closed-loop") {
+    char row[640];
     std::snprintf(
         row, sizeof(row),
-        "{\"name\": \"%s\", \"threads\": %d, \"ktps\": %.3f, "
-        "\"p50_us\": %.1f, \"p99_us\": %.1f, \"committed\": %llu, "
-        "\"aborted\": %llu, \"cs_per_txn\": %.2f}",
-        name.c_str(), threads, r.ktps(), r.p50_us(), r.p99_us(),
+        "{\"name\": \"%s\", \"threads\": %d, \"mode\": \"%s\", "
+        "\"ktps\": %.3f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"committed\": %llu, \"aborted\": %llu, "
+        "\"completed_txns\": %llu, \"inflight\": %llu, "
+        "\"cs_per_txn\": %.2f}",
+        name.c_str(), threads, mode, r.ktps(), r.p50_us(), r.p99_us(),
         static_cast<unsigned long long>(r.committed),
-        static_cast<unsigned long long>(r.aborted), r.cs_per_txn());
+        static_cast<unsigned long long>(r.aborted),
+        static_cast<unsigned long long>(r.committed + r.aborted),
+        static_cast<unsigned long long>(r.peak_inflight), r.cs_per_txn());
     rows_.emplace_back(row);
   }
 

@@ -22,9 +22,7 @@ std::unique_ptr<Engine> MakeDurableEngine(const std::string& data_dir,
     config.db.frame_budget = frame_budget;
     config.db.txn.durable_commits = true;
   }
-  auto engine = CreateEngine(config);
-  engine->Start();
-  return engine;
+  return bench::MakeEngine(config);
 }
 
 void Load(Engine* engine) {
@@ -70,26 +68,37 @@ void Run() {
       {"wal-evicting", true, 128},
   };
 
-  std::printf("%-18s %8s %10s %10s %10s %10s\n", "mode", "threads", "ktps",
-              "p50us", "p99us", "fsyncs");
+  std::printf("%-18s %8s %10s %10s %10s %10s %10s\n", "mode", "threads",
+              "loop", "ktps", "p50us", "p99us", "fsyncs");
   for (const Mode& mode : modes) {
-    for (int threads : {1, 4}) {
+    // Closed-loop Execute clients, then an open-loop pipelined run:
+    // 4 clients keeping 256 submissions each in flight shows how well
+    // group commit amortizes fsyncs over a deep in-flight window.
+    struct Run {
+      int threads;
+      int depth;
+    };
+    for (const Run& run : {Run{1, 0}, Run{4, 0}, Run{4, 256}}) {
       std::filesystem::remove_all(base);
       auto engine = MakeDurableEngine(mode.durable ? base : "",
                                       mode.frame_budget);
       Load(engine.get());
       const std::uint64_t syncs_before = engine->db().log()->sync_count();
       DriverOptions options;
-      options.num_threads = threads;
+      options.num_threads = run.threads;
+      options.pipeline_depth = run.depth;
       options.duration = bench::WindowMs();
       DriverResult r = RunWorkload(engine.get(), UpdateTxn, options);
       const std::uint64_t fsyncs =
           engine->db().log()->sync_count() - syncs_before;
-      std::printf("%-18s %8d %10.1f %10.1f %10.1f %10llu\n", mode.name,
-                  threads, r.ktps(), r.p50_us(), r.p99_us(),
+      const bool open_loop = run.depth > 0;
+      std::printf("%-18s %8d %10s %10.1f %10.1f %10.1f %10llu\n", mode.name,
+                  run.threads, open_loop ? "open" : "closed", r.ktps(),
+                  r.p50_us(), r.p99_us(),
                   static_cast<unsigned long long>(fsyncs));
       std::fflush(stdout);
-      json.Add(std::string(mode.name), threads, r);
+      json.Add(std::string(mode.name) + (open_loop ? "-pipelined" : ""),
+               run.threads, r, open_loop ? "open-loop" : "closed-loop");
       engine->Stop();
       (void)engine->db().Close();
     }

@@ -19,7 +19,11 @@ void Run() {
     for (SystemDesign design :
          {SystemDesign::kConventional, SystemDesign::kLogical,
           SystemDesign::kPlpRegular, SystemDesign::kPlpLeaf}) {
-      auto engine = bench::MakeEngine(design, 4);
+      // Conventional is thread-per-transaction: size its submission pool
+      // to the widest client sweep so it never caps closed-loop
+      // concurrency below the paper's baseline.
+      auto engine = bench::MakeEngine(
+          design, design == SystemDesign::kConventional ? 8 : 4);
       TpcbConfig config;
       config.branches = 16;
       config.tellers_per_branch = 10;

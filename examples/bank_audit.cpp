@@ -18,7 +18,13 @@ int main() {
   config.design = SystemDesign::kPlpLeaf;
   config.num_workers = 4;
   config.db.log.retain_for_recovery = true;  // keep the WAL for the drill
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create engine: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(created).value();
   engine->Start();
 
   TpcbConfig tpcb_config;

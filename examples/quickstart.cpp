@@ -1,8 +1,11 @@
-// Quickstart: create a PLP engine, make a partitioned table, run a few
-// transactions, and inspect what the design eliminated.
+// Quickstart: create a PLP engine, make a partitioned table, pipeline
+// asynchronous transactions through it, and inspect what the design
+// eliminated.
 //
 //   $ ./example_quickstart
+#include <atomic>
 #include <cstdio>
+#include <vector>
 
 #include "src/common/key_encoding.h"
 #include "src/engine/engine.h"
@@ -16,7 +19,13 @@ int main() {
   EngineConfig config;
   config.design = SystemDesign::kPlpLeaf;
   config.num_workers = 4;
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  if (!created.ok()) {
+    std::fprintf(stderr, "create engine: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(created).value();
   engine->Start();
 
   // 2. Create a table partitioned into four key ranges. Each range is one
@@ -30,16 +39,30 @@ int main() {
   }
 
   // 3. Transactions are flow graphs of actions; the partition manager
-  //    routes each action to the worker owning its key range.
+  //    routes each action to the worker owning its key range. Submit()
+  //    returns a TxnHandle immediately, so this single client thread keeps
+  //    thousands of inserts in flight across the four workers; once
+  //    max_inflight transactions are pending, Submit blocks until a slot
+  //    frees (backpressure).
   CsProfiler::Global().Reset();
+  std::atomic<std::uint64_t> callback_commits{0};
+  std::vector<TxnHandle> handles;
+  handles.reserve(10000);
   for (std::uint32_t id = 1; id <= 10000; ++id) {
     TxnRequest txn;
     const std::string key = KeyU32(id);
     txn.Add(0, "accounts", key, [key](ExecContext& ctx) {
       return ctx.Insert(key, "balance=100");
     });
-    Status st = engine->Execute(txn);
-    if (!st.ok()) {
+    TxnOptions options;
+    options.on_complete = [&callback_commits](const Status& st) {
+      if (st.ok()) callback_commits.fetch_add(1, std::memory_order_relaxed);
+    };
+    handles.push_back(engine->Submit(std::move(txn), std::move(options)));
+  }
+  const std::size_t peak = engine->peak_inflight();
+  for (std::uint32_t id = 1; id <= 10000; ++id) {
+    if (Status st = handles[id - 1].Wait(); !st.ok()) {
       std::fprintf(stderr, "insert %u: %s\n", id, st.ToString().c_str());
       return 1;
     }
@@ -47,7 +70,8 @@ int main() {
 
   // A multi-step transaction: read one account, then write another —
   // possibly on a different partition worker, with a rendezvous between
-  // the two phases.
+  // the two phases. Execute() is the blocking wrapper over
+  // Submit(...).Wait() for when a caller wants the classic API.
   auto balance = std::make_shared<std::string>();
   TxnRequest transfer;
   const std::string from = KeyU32(42), to = KeyU32(9001);
@@ -62,9 +86,13 @@ int main() {
     return 1;
   }
 
-  // 4. The point of PLP: zero page latches on index and heap pages.
+  // 4. The point of PLP: zero page latches on index and heap pages — and
+  //    with the async front door, deep pipelining from one client thread.
   CsCounts counts = CsProfiler::Global().Collect();
-  std::printf("transactions committed : 10001\n");
+  std::printf("transactions committed : 10001 (%llu via callbacks)\n",
+              static_cast<unsigned long long>(callback_commits.load()));
+  std::printf("peak in-flight         : %llu (1 client thread)\n",
+              static_cast<unsigned long long>(peak));
   std::printf("index page latches     : %llu\n",
               static_cast<unsigned long long>(
                   counts.latches[static_cast<int>(PageClass::kIndex)]));

@@ -30,7 +30,13 @@ int main(int argc, char** argv) {
     EngineConfig config;
     config.design = design;
     config.num_workers = 4;
-    auto engine = CreateEngine(config);
+    auto created = CreateEngine(config);
+    if (!created.ok()) {
+      std::fprintf(stderr, "create engine: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    auto engine = std::move(created).value();
     engine->Start();
 
     TatpConfig tatp_config;

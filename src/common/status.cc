@@ -15,6 +15,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kNotSupported: return "NotSupported";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kRetry: return "Retry";
   }
   return "Unknown";
 }

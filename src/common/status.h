@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kCorruption = 7,     // on-page invariant violated
   kNotSupported = 8,
   kInternal = 9,
+  kRetry = 10,         // admission control rejected; resubmit later
 };
 
 /// Lightweight success/error result. OK carries no allocation.
@@ -53,6 +54,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Retry(std::string msg = "") {
+    return Status(StatusCode::kRetry, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -60,6 +64,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsRetry() const { return code_ == StatusCode::kRetry; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -12,13 +12,51 @@ ConventionalEngine::ConventionalEngine(EngineConfig config)
 ConventionalEngine::~ConventionalEngine() { Stop(); }
 
 void ConventionalEngine::Start() {
+  if (pool_running_.exchange(true)) return;
+  ReopenGate();
   // Conventional cleaning: cleaner threads latch arbitrary dirty pages.
   cleaner_ = std::make_unique<PageCleaner>(db_.pool());
   cleaner_->Start();
+  jobs_.Reopen();  // restart after a Stop() that closed the queue
+  pool_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    pool_.emplace_back([this] { PoolLoop(); });
+  }
 }
 
 void ConventionalEngine::Stop() {
+  if (!pool_running_.exchange(false)) {
+    if (cleaner_) cleaner_->Stop();
+    return;
+  }
+  // Let queued submissions complete before closing the pool so no
+  // TxnHandle is left unresolved.
+  DrainInflight();
+  jobs_.Close();
+  for (auto& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
   if (cleaner_) cleaner_->Stop();
+  // Drain rejected submissions only for the teardown window; once stopped,
+  // submissions run inline again (the documented pre-Start behaviour).
+  ReopenGate();
+}
+
+void ConventionalEngine::SubmitImpl(TxnRequest req, TxnToken token) {
+  if (!pool_running_.load(std::memory_order_acquire)) {
+    token.Complete(RunSync(req));
+    return;
+  }
+  jobs_.Push(Job{std::move(req), std::move(token)});
+}
+
+void ConventionalEngine::PoolLoop() {
+  for (;;) {
+    auto job = jobs_.Pop();
+    if (!job.has_value()) return;  // queue closed
+    job->token.Complete(RunSync(job->req));
+  }
 }
 
 Result<Table*> ConventionalEngine::CreateTable(
@@ -44,7 +82,7 @@ SliCache* ConventionalEngine::ThreadSli() {
   return slot.get();
 }
 
-Status ConventionalEngine::Execute(TxnRequest& req) {
+Status ConventionalEngine::RunSync(TxnRequest& req) {
   Transaction* txn = db_.txns()->Begin();
   std::vector<std::function<Status()>> undos;
   Status failure = Status::OK();

@@ -347,7 +347,11 @@ Status Database::Checkpoint() {
   rec.redo = image.Encode();
   const Lsn lsn = log_.Append(rec);
   log_.FlushTo(lsn);
-  return WriteMasterRecord(master_path(), lsn);
+  PLP_RETURN_IF_ERROR(WriteMasterRecord(master_path(), lsn));
+  // With the master record published, no future restart reads below this
+  // checkpoint's recovery floor: reclaim the log segments wholly under it.
+  log_.TruncateWalBelow(image.ScanStart(lsn));
+  return Status::OK();
 }
 
 Status Database::Close() {

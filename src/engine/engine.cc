@@ -1,0 +1,18 @@
+#include "src/engine/engine.h"
+
+namespace plp {
+
+TxnHandle Engine::Submit(TxnRequest req, TxnOptions options) {
+  auto state = std::make_shared<internal::TxnShared>();
+  state->callback = std::move(options.on_complete);
+  TxnHandle handle(state);
+  if (!gate_.Acquire(options.on_full == TxnOptions::OnFull::kBlock)) {
+    internal::ResolveTxn(state, Status::Retry("engine at max_inflight"));
+    return handle;
+  }
+  state->gate = &gate_;
+  SubmitImpl(std::move(req), TxnToken(std::move(state)));
+  return handle;
+}
+
+}  // namespace plp

@@ -1,14 +1,23 @@
 // Execution-engine interface: the five system designs of Section 4.1
 // behind one API, so workloads and benchmarks are design-agnostic.
+//
+// The primary entry point is asynchronous: Submit() enqueues a transaction
+// and returns a TxnHandle immediately, so a handful of client threads can
+// keep thousands of transactions in flight across the partition workers
+// (the open-loop mode the DORA/PLP thread-to-data architecture calls for).
+// Execute() remains as a blocking wrapper over Submit(...).Wait().
 #ifndef PLP_ENGINE_ENGINE_H_
 #define PLP_ENGINE_ENGINE_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/engine/action.h"
 #include "src/engine/database.h"
+#include "src/engine/txn_handle.h"
 
 namespace plp {
 
@@ -24,8 +33,13 @@ const char* SystemDesignName(SystemDesign d);
 
 struct EngineConfig {
   SystemDesign design = SystemDesign::kConventional;
-  /// Partition worker threads (partitioned designs).
+  /// Partition worker threads (partitioned designs) / submission-pool
+  /// threads (conventional design).
   int num_workers = 4;
+  /// Admission-control bound: the maximum number of transactions Submit
+  /// accepts concurrently before applying backpressure (TxnOptions::
+  /// on_full). Must be > 0.
+  std::size_t max_inflight = 4096;
   /// Multi-rooted primary indexes for the conventional/logical designs
   /// (Appendix B compares "Normal" vs "MRBT"). PLP designs always use the
   /// MRBTree, with one sub-tree per logical partition.
@@ -35,16 +49,48 @@ struct EngineConfig {
   DatabaseConfig db;
 };
 
+/// Per-submission options for Engine::Submit.
+struct TxnOptions {
+  /// Backpressure policy when the engine is at max_inflight.
+  enum class OnFull {
+    kBlock,  // Submit waits for an admission slot (default)
+    kRetry,  // Submit returns a handle already completed with
+             // Status::Retry(); the caller resubmits later
+  };
+  OnFull on_full = OnFull::kBlock;
+  /// Runs exactly once with the final status, on the thread that completes
+  /// the transaction (a worker/pool thread — or the submitting thread when
+  /// admission rejects with kRetry, or at engine teardown). It runs before
+  /// Wait() returns. It must not block, and in particular must not call
+  /// Submit with OnFull::kBlock (the admission slot it would wait for is
+  /// released only after the callback returns).
+  std::function<void(const Status&)> on_complete;
+};
+
 class Engine {
  public:
-  explicit Engine(EngineConfig config) : config_(config), db_(config.db) {}
+  explicit Engine(EngineConfig config)
+      : config_(config), gate_(config.max_inflight), db_(config.db) {}
   virtual ~Engine() = default;
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Runs one transaction to commit or abort.
-  virtual Status Execute(TxnRequest& req) = 0;
+  /// Submits one transaction for asynchronous execution and returns a
+  /// future-like handle (Wait/TryGet/on_complete callback). Consumes the
+  /// request. Applies admission control per `options.on_full` when
+  /// max_inflight transactions are already in flight.
+  TxnHandle Submit(TxnRequest req, TxnOptions options = {});
+
+  /// Runs one transaction to commit or abort (blocking). Wrapper over
+  /// Submit(...).Wait(); consumes `req`'s contents, leaving it empty —
+  /// re-executing the same request object runs an empty transaction, so
+  /// build a fresh TxnRequest per attempt (retry loops included).
+  Status Execute(TxnRequest& req) {
+    TxnHandle handle = Submit(std::move(req));
+    req.phases.clear();  // deterministic moved-from state
+    return handle.Wait();
+  }
 
   virtual void Start() {}
   virtual void Stop() {}
@@ -71,13 +117,33 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   SystemDesign design() const { return config_.design; }
 
+  /// Admission-gate observability (open-loop drivers report these).
+  std::size_t inflight() const { return gate_.inflight(); }
+  std::size_t peak_inflight() const { return gate_.peak(); }
+  void ResetPeakInflight() { gate_.ResetPeak(); }
+  std::uint64_t submissions_rejected() const { return gate_.rejected(); }
+
  protected:
+  /// Design-specific asynchronous execution: run `req` to commit or abort
+  /// and call token.Complete(status) exactly once from wherever the
+  /// transaction finishes.
+  virtual void SubmitImpl(TxnRequest req, TxnToken token) = 0;
+
+  /// Drains and blocks until every admitted transaction has completed
+  /// (new submissions are rejected with kRetry meanwhile). Engines call
+  /// this at the top of Stop() before tearing down worker queues, and
+  /// ReopenGate() from Start() to accept work again.
+  void DrainInflight() { gate_.WaitIdle(); }
+  void ReopenGate() { gate_.Reopen(); }
+
   EngineConfig config_;
+  AdmissionGate gate_;
   Database db_;
 };
 
-/// Builds the engine for a design.
-std::unique_ptr<Engine> CreateEngine(EngineConfig config);
+/// Builds the engine for a design. Rejects invalid configurations
+/// (num_workers <= 0, max_inflight == 0).
+Result<std::unique_ptr<Engine>> CreateEngine(EngineConfig config);
 
 }  // namespace plp
 

@@ -15,11 +15,20 @@ const char* SystemDesignName(SystemDesign d) {
   return "?";
 }
 
-std::unique_ptr<Engine> CreateEngine(EngineConfig config) {
-  if (config.design == SystemDesign::kConventional) {
-    return std::make_unique<ConventionalEngine>(config);
+Result<std::unique_ptr<Engine>> CreateEngine(EngineConfig config) {
+  if (config.num_workers <= 0) {
+    return Status::InvalidArgument("EngineConfig::num_workers must be > 0");
   }
-  return std::make_unique<PartitionedEngine>(config);
+  if (config.max_inflight == 0) {
+    return Status::InvalidArgument("EngineConfig::max_inflight must be > 0");
+  }
+  std::unique_ptr<Engine> engine;
+  if (config.design == SystemDesign::kConventional) {
+    engine = std::make_unique<ConventionalEngine>(config);
+  } else {
+    engine = std::make_unique<PartitionedEngine>(config);
+  }
+  return engine;
 }
 
 }  // namespace plp

@@ -18,6 +18,7 @@ PartitionManager::~PartitionManager() { Stop(); }
 
 void PartitionManager::Start() {
   if (running_.exchange(true)) return;
+  for (auto& w : workers_) w->queue.Reopen();  // restart after Stop()
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     workers_[i]->thread =
         std::thread([this, i] { WorkerLoop(static_cast<int>(i)); });
@@ -146,91 +147,169 @@ void PartitionManager::ResetLoad(Table* table) {
   }
 }
 
-Status PartitionManager::Execute(TxnRequest& req) {
-  Transaction* txn = db_->txns()->Begin();
+/// Per-transaction flow state, shared by the tasks of the current phase.
+/// The atomic countdowns are the only cross-worker synchronization: the
+/// worker that decrements `remaining` to zero owns the continuation.
+struct PartitionManager::TxnFlow {
+  TxnRequest req;
+  CompletionFn done;  // unset when `token` carries the completion
+  TxnToken token;
+  Transaction* txn = nullptr;
+  std::size_t phase = 0;
 
-  // Compensations collected in execution order with their owning worker.
+  // Current phase (rebuilt by DispatchPhase).
+  std::vector<ActionResult> results;
+  std::vector<int> assigned_worker;
+  std::atomic<int> remaining{0};
+
+  // Accumulated across phases: compensations in execution order with
+  // their owning worker, and the first failure seen.
   std::vector<std::pair<int, std::function<Status()>>> undo_log;
-  Status failure = Status::OK();
+  Status failure;
+  std::atomic<int> undo_remaining{0};
+};
 
-  for (Phase& phase : req.phases) {
-    if (!failure.ok()) break;
-    const int n = static_cast<int>(phase.actions.size());
-    if (n == 0) continue;
-    std::vector<ActionResult> results(static_cast<std::size_t>(n));
-    std::vector<int> assigned_worker(static_cast<std::size_t>(n));
-    CountdownEvent done(n);
+void PartitionManager::Submit(TxnRequest req, CompletionFn done) {
+  auto flow = std::make_shared<TxnFlow>();
+  flow->req = std::move(req);
+  flow->done = std::move(done);
+  flow->txn = db_->txns()->Begin();
+  DispatchPhase(flow);
+}
 
-    for (int i = 0; i < n; ++i) {
-      Action& action = phase.actions[static_cast<std::size_t>(i)];
-      Table* table = db_->GetTable(action.table);
-      assert(table != nullptr);
-      PartitionId p;
-      std::uint32_t uid;
-      int worker;
-      {
-        std::shared_lock<std::shared_mutex> lk(routing_mu_);
-        TableRouting* r = RoutingFor(table);
-        assert(r != nullptr && !r->boundaries.empty());
-        int lo = 0, hi = static_cast<int>(r->boundaries.size());
-        while (lo + 1 < hi) {
-          const int mid = (lo + hi) / 2;
-          if (Slice(r->boundaries[static_cast<std::size_t>(mid)]) <=
-              Slice(action.key)) {
-            lo = mid;
-          } else {
-            hi = mid;
-          }
+void PartitionManager::Submit(TxnRequest req, TxnToken token) {
+  auto flow = std::make_shared<TxnFlow>();
+  flow->req = std::move(req);
+  flow->token = std::move(token);
+  flow->txn = db_->txns()->Begin();
+  DispatchPhase(flow);
+}
+
+void PartitionManager::FinishTxn(const std::shared_ptr<TxnFlow>& flow,
+                                 const Status& status) {
+  if (flow->done) {
+    flow->done(status);
+  } else {
+    flow->token.Complete(status);
+  }
+}
+
+Status PartitionManager::Execute(TxnRequest& req) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool finished = false;
+  Status result;
+  Submit(std::move(req), [&](const Status& st) {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      result = st;
+      finished = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return finished; });
+  return result;
+}
+
+void PartitionManager::DispatchPhase(const std::shared_ptr<TxnFlow>& flow) {
+  while (flow->phase < flow->req.phases.size() &&
+         flow->req.phases[flow->phase].actions.empty()) {
+    ++flow->phase;
+  }
+  if (flow->phase >= flow->req.phases.size()) {
+    FinishTxn(flow, db_->txns()->Commit(flow->txn));
+    return;
+  }
+
+  Phase& phase = flow->req.phases[flow->phase];
+  const int n = static_cast<int>(phase.actions.size());
+  flow->results.assign(static_cast<std::size_t>(n), ActionResult{});
+  flow->assigned_worker.assign(static_cast<std::size_t>(n), 0);
+  flow->remaining.store(n, std::memory_order_relaxed);
+
+  for (int i = 0; i < n; ++i) {
+    Action& action = phase.actions[static_cast<std::size_t>(i)];
+    Table* table = db_->GetTable(action.table);
+    assert(table != nullptr);
+    PartitionId p;
+    std::uint32_t uid;
+    int worker;
+    {
+      std::shared_lock<std::shared_mutex> lk(routing_mu_);
+      TableRouting* r = RoutingFor(table);
+      assert(r != nullptr && !r->boundaries.empty());
+      int lo = 0, hi = static_cast<int>(r->boundaries.size());
+      while (lo + 1 < hi) {
+        const int mid = (lo + hi) / 2;
+        if (Slice(r->boundaries[static_cast<std::size_t>(mid)]) <=
+            Slice(action.key)) {
+          lo = mid;
+        } else {
+          hi = mid;
         }
-        p = static_cast<PartitionId>(lo);
-        uid = r->uids[p];
-        r->load[p]->fetch_add(1, std::memory_order_relaxed);
-        worker = worker_by_uid_[uid];
       }
-      assigned_worker[static_cast<std::size_t>(i)] = worker;
-      ActionResult* slot = &results[static_cast<std::size_t>(i)];
-      ActionFn* fn = &action.fn;
-      workers_[static_cast<std::size_t>(worker)]->queue.Push(Task{
-          [this, table, p, uid, txn, slot, fn, &done] {
-            std::vector<std::function<Status()>> undos;
-            auto ctx = factory_(table, p, uid, txn, &undos);
-            slot->status = (*fn)(*ctx);
-            slot->undos = std::move(undos);
-            done.Signal();
-          }});
+      p = static_cast<PartitionId>(lo);
+      uid = r->uids[p];
+      r->load[p]->fetch_add(1, std::memory_order_relaxed);
+      worker = worker_by_uid_[uid];
     }
-    done.Wait();
+    flow->assigned_worker[static_cast<std::size_t>(i)] = worker;
+    ActionResult* slot = &flow->results[static_cast<std::size_t>(i)];
+    ActionFn* fn = &action.fn;
+    workers_[static_cast<std::size_t>(worker)]->queue.Push(Task{
+        [this, flow, table, p, uid, slot, fn] {
+          std::vector<std::function<Status()>> undos;
+          auto ctx = factory_(table, p, uid, flow->txn, &undos);
+          slot->status = (*fn)(*ctx);
+          slot->undos = std::move(undos);
+          if (flow->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            FinishPhase(flow);
+          }
+        }});
+  }
+}
 
-    for (int i = 0; i < n; ++i) {
-      ActionResult& res = results[static_cast<std::size_t>(i)];
-      for (auto& u : res.undos) {
-        undo_log.emplace_back(assigned_worker[static_cast<std::size_t>(i)],
-                              std::move(u));
-      }
-      if (!res.status.ok() && failure.ok()) failure = res.status;
+void PartitionManager::FinishPhase(const std::shared_ptr<TxnFlow>& flow) {
+  const int n = static_cast<int>(flow->results.size());
+  for (int i = 0; i < n; ++i) {
+    ActionResult& res = flow->results[static_cast<std::size_t>(i)];
+    for (auto& u : res.undos) {
+      flow->undo_log.emplace_back(
+          flow->assigned_worker[static_cast<std::size_t>(i)], std::move(u));
     }
+    if (!res.status.ok() && flow->failure.ok()) flow->failure = res.status;
   }
+  if (!flow->failure.ok()) {
+    StartAbort(flow);
+    return;
+  }
+  ++flow->phase;
+  DispatchPhase(flow);
+}
 
-  if (failure.ok()) {
-    PLP_RETURN_IF_ERROR(db_->txns()->Commit(txn));
-    return Status::OK();
+void PartitionManager::StartAbort(const std::shared_ptr<TxnFlow>& flow) {
+  if (flow->undo_log.empty()) {
+    (void)db_->txns()->Abort(flow->txn);
+    FinishTxn(flow, flow->failure);
+    return;
   }
-
-  // Abort: run compensations newest-first on their owning workers.
-  if (!undo_log.empty()) {
-    CountdownEvent done(static_cast<int>(undo_log.size()));
-    for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
-      auto& fn = it->second;
-      workers_[static_cast<std::size_t>(it->first)]->queue.Push(Task{
-          [&fn, &done] {
-            (void)fn();
-            done.Signal();
-          }});
-    }
-    done.Wait();
+  flow->undo_remaining.store(static_cast<int>(flow->undo_log.size()),
+                             std::memory_order_relaxed);
+  // Newest-first; a worker's queue preserves the reversed order for the
+  // compensations it owns.
+  for (auto it = flow->undo_log.rbegin(); it != flow->undo_log.rend(); ++it) {
+    std::function<Status()>* fn = &it->second;
+    workers_[static_cast<std::size_t>(it->first)]->queue.Push(Task{
+        [this, flow, fn] {
+          (void)(*fn)();
+          if (flow->undo_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            (void)db_->txns()->Abort(flow->txn);
+            FinishTxn(flow, flow->failure);
+          }
+        }});
   }
-  (void)db_->txns()->Abort(txn);
-  return failure;
 }
 
 void PartitionManager::Quiesce() {

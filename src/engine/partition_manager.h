@@ -2,6 +2,14 @@
 // actions so that every piece of data is touched by exactly one thread,
 // assembles multi-partition transactions through rendezvous points, and
 // quiesces workers for repartitioning.
+//
+// Transactions run continuation-driven: no coordinator thread blocks on a
+// phase. The last action of a phase to finish (an atomic countdown on the
+// worker side) harvests the phase's results and enqueues the next phase —
+// or commits, or routes the compensation closures back to their owning
+// workers and aborts. The submitting thread only pays Begin + the first
+// phase's routing, so a handful of clients can keep thousands of
+// transactions in flight.
 #ifndef PLP_ENGINE_PARTITION_MANAGER_H_
 #define PLP_ENGINE_PARTITION_MANAGER_H_
 
@@ -18,6 +26,7 @@
 
 #include "src/engine/action.h"
 #include "src/engine/database.h"
+#include "src/engine/txn_handle.h"
 #include "src/sync/mpsc_queue.h"
 
 namespace plp {
@@ -64,9 +73,22 @@ class PartitionManager {
   /// present before keep their partition uid; new ones get fresh uids.
   void SetRouting(Table* table, std::vector<std::string> boundaries);
 
-  /// Runs a transaction: begin, dispatch phases to workers with a
-  /// rendezvous between them, then commit (or route compensations back to
-  /// the owning workers and abort).
+  /// Completion of an asynchronously submitted transaction. Runs on the
+  /// worker that finishes the transaction (or on the submitting thread for
+  /// a transaction with no actions).
+  using CompletionFn = std::function<void(const Status&)>;
+
+  /// Runs a transaction asynchronously: begin, dispatch each phase to the
+  /// partition workers with a continuation-driven rendezvous between
+  /// phases, then commit — or route compensations back to the owning
+  /// workers and abort — and fire `done` with the final status.
+  void Submit(TxnRequest req, CompletionFn done);
+
+  /// Same, completing a TxnToken instead — the engine's hot path, which
+  /// avoids type-erasing the (move-only) token into a CompletionFn.
+  void Submit(TxnRequest req, TxnToken token);
+
+  /// Blocking convenience over Submit (tests and simple callers).
   Status Execute(TxnRequest& req);
 
   /// Parks every worker (they finish in-flight actions first). Pending
@@ -83,6 +105,7 @@ class PartitionManager {
   void SubmitSystemTask(int worker, std::function<void()> task);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Routing introspection.
   PartitionId RoutePartition(Table* table, Slice key);
@@ -116,8 +139,24 @@ class PartitionManager {
     std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> load;
   };
 
+  struct TxnFlow;
+
   void WorkerLoop(int index);
   TableRouting* RoutingFor(Table* table);
+
+  /// Routes and enqueues the actions of flow->phase (skipping empty
+  /// phases); commits when no phase remains.
+  void DispatchPhase(const std::shared_ptr<TxnFlow>& flow);
+  /// Runs on the worker whose action finished a phase last: harvests
+  /// results/undos, then continues to the next phase or starts the abort.
+  void FinishPhase(const std::shared_ptr<TxnFlow>& flow);
+  /// Routes compensation closures (newest-first) to their owning workers;
+  /// the last one to run logs the abort and completes the transaction.
+  void StartAbort(const std::shared_ptr<TxnFlow>& flow);
+
+  /// Fires the flow's completion (CompletionFn or TxnToken).
+  static void FinishTxn(const std::shared_ptr<TxnFlow>& flow,
+                        const Status& status);
 
   Database* db_;
   CtxFactory factory_;

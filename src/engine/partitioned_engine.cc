@@ -24,6 +24,7 @@ PartitionedEngine::PartitionedEngine(EngineConfig config)
 PartitionedEngine::~PartitionedEngine() { Stop(); }
 
 void PartitionedEngine::Start() {
+  ReopenGate();
   pm_.Start();
   // PLP page cleaning delegates to the owning partition's system queue
   // (Appendix A.4); the logical-only design cleans conventionally.
@@ -36,8 +37,14 @@ void PartitionedEngine::Start() {
 }
 
 void PartitionedEngine::Stop() {
+  // Let in-flight submissions complete before tearing down the worker
+  // queues, so no TxnHandle is left unresolved.
+  DrainInflight();
   if (cleaner_) cleaner_->Stop();
   pm_.Stop();
+  // Past this point submissions fail fast (pm_ not running) rather than
+  // being gate-rejected, so reopen the drain-window gate.
+  ReopenGate();
 }
 
 Result<Table*> PartitionedEngine::CreateTable(

@@ -19,8 +19,6 @@ class PartitionedEngine : public Engine {
   void Start() override;
   void Stop() override;
 
-  Status Execute(TxnRequest& req) override { return pm_.Execute(req); }
-
   Result<Table*> CreateTable(const std::string& name,
                              std::vector<std::string> boundaries,
                              bool clustered = false) override;
@@ -48,6 +46,19 @@ class PartitionedEngine : public Engine {
                          const std::string& index_name, Slice prefix,
                          std::vector<std::pair<std::string, std::string>>*
                              results);
+
+ protected:
+  /// Hands the transaction to the partition manager's continuation-driven
+  /// pipeline; the token completes on the worker that finishes it. With
+  /// no workers running (before Start / after Stop) the submission fails
+  /// fast — queueing it would leave the handle unresolved forever.
+  void SubmitImpl(TxnRequest req, TxnToken token) override {
+    if (!pm_.running()) {
+      token.Complete(Status::Internal("PartitionedEngine is not started"));
+      return;
+    }
+    pm_.Submit(std::move(req), std::move(token));
+  }
 
  private:
   bool is_plp() const { return config_.design != SystemDesign::kLogical; }

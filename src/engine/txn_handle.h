@@ -1,0 +1,227 @@
+// Asynchronous-transaction plumbing for Engine::Submit: TxnHandle is the
+// client's future-like view of a submitted transaction, TxnToken is the
+// engine-internal completion obligation that travels through the worker
+// pipeline, and AdmissionGate bounds how many transactions are in flight
+// at once (EngineConfig::max_inflight backpressure).
+#ifndef PLP_ENGINE_TXN_HANDLE_H_
+#define PLP_ENGINE_TXN_HANDLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace plp {
+
+/// Counting gate that admits at most `limit` transactions at a time.
+/// Submit acquires a slot; completion releases it. Tracks the high-water
+/// mark so open-loop drivers can report sustained in-flight depth.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(std::size_t limit) : limit_(limit == 0 ? 1 : limit) {}
+
+  /// Takes one slot. With `block` waits for room; otherwise fails
+  /// immediately when the gate is full. Always fails while the gate is
+  /// draining (engine stopping), so blocked submitters cannot starve
+  /// WaitIdle forever.
+  bool Acquire(bool block) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (inflight_ >= limit_ && block && !draining_) {
+      cv_.wait(lk, [&] { return inflight_ < limit_ || draining_; });
+    }
+    if (inflight_ >= limit_ || draining_) {
+      ++rejected_;
+      return false;
+    }
+    ++inflight_;
+    ++admitted_;
+    if (inflight_ > peak_) peak_ = inflight_;
+    return true;
+  }
+
+  void Release() {
+    std::size_t now;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      now = --inflight_;
+    }
+    // One freed slot admits one waiter; the full wakeup is only needed
+    // when idle-waiters (drain) might be watching for zero.
+    if (now == 0) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+  }
+
+  /// Drains the gate: new acquisitions fail from here on (blocked ones
+  /// wake and fail), then blocks until every admitted transaction has
+  /// completed. Engines call this at the top of Stop() so no completion
+  /// is lost to teardown; Start() calls Reopen() to accept work again.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return inflight_ == 0; });
+  }
+
+  void Reopen() {
+    std::lock_guard<std::mutex> g(mu_);
+    draining_ = false;
+  }
+
+  std::size_t limit() const { return limit_; }
+  std::size_t inflight() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return inflight_;
+  }
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return peak_;
+  }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> g(mu_);
+    peak_ = inflight_;
+  }
+  std::uint64_t admitted() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return admitted_;
+  }
+  std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return rejected_;
+  }
+
+ private:
+  const std::size_t limit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool draining_ = false;
+  std::size_t inflight_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+namespace internal {
+
+/// State shared between a TxnHandle (client side) and the TxnToken that
+/// moves through the engine's completion pipeline.
+struct TxnShared {
+  std::atomic<bool> resolved{false};  // first Complete wins
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::function<void(const Status&)> callback;
+  AdmissionGate* gate = nullptr;  // slot released after completion
+};
+
+/// Resolves the transaction exactly once: runs the completion callback on
+/// the calling thread, then frees the admission slot, then releases
+/// waiters. Wait()/TryGet() therefore never report completion before the
+/// callback has finished — and once Wait() returns, the admission slot is
+/// free, so a wait-then-resubmit never bounces off this transaction's own
+/// slot.
+inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
+  if (s->resolved.exchange(true, std::memory_order_acq_rel)) return;
+  if (s->callback) s->callback(status);
+  if (s->gate != nullptr) s->gate->Release();
+  {
+    std::lock_guard<std::mutex> g(s->mu);
+    s->status = std::move(status);
+    s->done = true;
+  }
+  s->cv.notify_all();
+}
+
+}  // namespace internal
+
+/// Future-like view of a transaction submitted with Engine::Submit. Copyable
+/// and cheap; all copies observe the same completion.
+class TxnHandle {
+ public:
+  TxnHandle() = default;
+
+  /// False only for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the transaction commits or aborts; returns the final
+  /// status. The completion callback (if any) has finished by the time
+  /// this returns. Invalid handles return Internal.
+  Status Wait() {
+    if (!valid()) return Status::Internal("Wait on invalid TxnHandle");
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->done; });
+    return state_->status;
+  }
+
+  /// Non-blocking probe: true (and fills `out`) once complete.
+  bool TryGet(Status* out) {
+    if (!valid()) return false;
+    std::lock_guard<std::mutex> g(state_->mu);
+    if (!state_->done) return false;
+    if (out != nullptr) *out = state_->status;
+    return true;
+  }
+
+  bool done() {
+    return TryGet(nullptr);
+  }
+
+ private:
+  friend class Engine;
+  explicit TxnHandle(std::shared_ptr<internal::TxnShared> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<internal::TxnShared> state_;
+};
+
+/// Move-only completion obligation handed to an engine's async pipeline.
+/// Calling Complete() resolves the paired TxnHandle; dropping a pending
+/// token (e.g. a queue destroyed at shutdown) resolves it with Aborted so
+/// no submission is ever silently lost.
+class TxnToken {
+ public:
+  TxnToken() = default;
+  TxnToken(TxnToken&&) = default;
+  TxnToken& operator=(TxnToken&& other) {
+    if (this != &other) {
+      Abandon();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  TxnToken(const TxnToken&) = delete;
+  TxnToken& operator=(const TxnToken&) = delete;
+  ~TxnToken() { Abandon(); }
+
+  void Complete(Status status) {
+    if (state_ == nullptr) return;
+    internal::ResolveTxn(state_, std::move(status));
+    state_.reset();
+  }
+
+ private:
+  friend class Engine;
+  explicit TxnToken(std::shared_ptr<internal::TxnShared> state)
+      : state_(std::move(state)) {}
+
+  void Abandon() {
+    if (state_ != nullptr) {
+      internal::ResolveTxn(state_,
+                           Status::Aborted("engine stopped before execution"));
+      state_.reset();
+    }
+  }
+
+  std::shared_ptr<internal::TxnShared> state_;
+};
+
+}  // namespace plp
+
+#endif  // PLP_ENGINE_TXN_HANDLE_H_

@@ -91,7 +91,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
   Page* cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
-      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+      node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
   if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
   node = BTreeNode(cur->data());  // re-read under latch
 
@@ -100,7 +100,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
     Page* child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
-        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+        child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);
@@ -283,14 +283,14 @@ Status BTree::Update(Slice key, Slice value) {
   Page* cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
-      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+      node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
   if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
     Page* child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
-        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+        child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);
@@ -321,7 +321,7 @@ Status BTree::Delete(Slice key) {
   Page* cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
-      node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+      node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
   if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
@@ -329,7 +329,7 @@ Status BTree::Delete(Slice key) {
     Page* child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
-        child_node.is_leaf() ? LatchMode::kExclusive : LatchMode::kShared;
+        child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);

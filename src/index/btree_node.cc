@@ -1,5 +1,6 @@
 #include "src/index/btree_node.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 #include <string>
@@ -7,13 +8,28 @@
 
 namespace plp {
 
+namespace {
+std::atomic_ref<std::uint16_t> LevelRef(const char* data) {
+  return std::atomic_ref<std::uint16_t>(
+      *reinterpret_cast<std::uint16_t*>(const_cast<char*>(data) + 4));
+}
+}  // namespace
+
 void BTreeNode::Init(char* data, std::uint16_t level) {
-  std::memset(data, 0, kHeaderSize);
+  // The level field (bytes 4-5) is peeked without a latch by descending
+  // readers (is_leaf_relaxed), so every write to it must be atomic —
+  // including the zeroing a plain memset over the header would do.
+  std::memset(data, 0, 4);
+  LevelRef(data).store(level, std::memory_order_relaxed);
+  std::memset(data + 6, 0, kHeaderSize - 6);
   BTreeNode node(data);
   node.set_cell_start(static_cast<std::uint16_t>(kPageSize));
-  node.PutU16(4, level);
   node.set_next(kInvalidPageId);
   node.set_leftmost_child(kInvalidPageId);
+}
+
+bool BTreeNode::is_leaf_relaxed() const {
+  return LevelRef(data_).load(std::memory_order_relaxed) == 0;
 }
 
 std::uint16_t BTreeNode::GetU16(std::size_t off) const {

@@ -41,6 +41,12 @@ class BTreeNode {
   std::uint16_t level() const { return GetU16(4); }
   bool is_leaf() const { return level() == 0; }
 
+  /// Racy peek at is_leaf(), used to pick a latch mode before this node's
+  /// latch is held (callers re-read under the latch, so a stale answer
+  /// only costs an over-strong latch). Relaxed atomics keep the
+  /// deliberate race defined; Init stores the level field the same way.
+  bool is_leaf_relaxed() const;
+
   PageId next() const { return GetU32(8); }
   void set_next(PageId id) { PutU32(8, id); }
 

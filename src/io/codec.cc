@@ -1,5 +1,6 @@
 #include "src/io/codec.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,6 +22,16 @@ Status AtomicWriteFile(const std::string& path, const std::string& blob) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Internal("rename " + tmp + ": " + std::strerror(errno));
   }
+  // The rename is a directory operation: fsync the parent so the install
+  // is durable (callers sequence destructive steps — e.g. WAL segment
+  // deletion — after this returns).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return Status::Internal("open dir " + dir + ": " + std::strerror(errno));
+  const bool dsync = ::fsync(dfd) == 0;
+  ::close(dfd);
+  if (!dsync) return Status::Internal("fsync dir " + dir);
   return Status::OK();
 }
 

@@ -1,5 +1,7 @@
 #include "src/io/wal_storage.h"
 
+#include "src/io/checkpoint.h"
+
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -43,6 +45,27 @@ Status WalStorage::Open(const std::string& dir, std::size_t segment_size,
   }
   std::sort(wal->segments_.begin(), wal->segments_.end(),
             [](const Segment& a, const Segment& b) { return a.start < b.start; });
+
+  // A prior truncation leaves the stored head possibly mid-record (a
+  // record can straddle the boundary into a deleted segment); the FLOOR
+  // file remembers the first readable record boundary.
+  Lsn floor = 0;
+  if (ReadMasterRecord(wal->FloorPath(), &floor).ok()) {
+    wal->floor_ = floor;
+  }
+
+  // Segments wholly below the floor are truncation leftovers: a crash
+  // can persist TruncateBelow's unlinks in any order (FLOOR itself is
+  // directory-synced before them), so finish the job here rather than
+  // tripping the gap check on a partially-deleted prefix.
+  while (wal->segments_.size() > 1 &&
+         wal->segments_.front().start + wal->segments_.front().size <=
+             wal->floor_) {
+    std::error_code rm_ec;
+    std::filesystem::remove(wal->segments_.front().path, rm_ec);
+    wal->segments_.erase(wal->segments_.begin());
+  }
+
   for (std::size_t i = 1; i < wal->segments_.size(); ++i) {
     if (wal->segments_[i].start !=
         wal->segments_[i - 1].start + wal->segments_[i - 1].size) {
@@ -101,6 +124,8 @@ std::string WalStorage::SegmentPath(Lsn start) const {
   std::snprintf(name, sizeof(name), "%016lx.wal", start);
   return dir_ + "/" + name;
 }
+
+std::string WalStorage::FloorPath() const { return dir_ + "/FLOOR"; }
 
 Status WalStorage::OpenSegmentForAppend(Lsn start,
                                         std::uint64_t existing_size) {
@@ -169,10 +194,22 @@ Status WalStorage::ScanFrom(
     Lsn* valid_end) {
   std::vector<Segment> segs;
   Lsn end;
+  Lsn floor;
   {
     std::lock_guard<std::mutex> g(mu_);
     segs = segments_;
     end = end_lsn_.load(std::memory_order_acquire);
+    floor = floor_;
+  }
+
+  // A truncated prefix is gone, and the stored head itself may be the
+  // tail of a record whose start was truncated away: the scan can only
+  // start at the first readable record boundary. Restart scans always
+  // begin at a checkpoint's recovery floor, which truncation never
+  // passes.
+  if (from < floor) from = floor;
+  if (!segs.empty() && from < segs.front().start) {
+    from = segs.front().start;
   }
 
   // Stream segments through a carry buffer; records may straddle files.
@@ -232,6 +269,61 @@ Status WalStorage::ScanFrom(
 std::size_t WalStorage::num_segments() {
   std::lock_guard<std::mutex> g(mu_);
   return segments_.size();
+}
+
+Lsn WalStorage::start_lsn() {
+  std::lock_guard<std::mutex> g(mu_);
+  return segments_.empty() ? 0 : segments_.front().start;
+}
+
+Lsn WalStorage::floor_lsn() {
+  std::lock_guard<std::mutex> g(mu_);
+  return floor_;
+}
+
+std::size_t WalStorage::TruncateBelow(Lsn floor) {
+  // Serialize truncations: a racing lower-floor call must not delete
+  // files (or overwrite FLOOR) while a higher floor's persist is still
+  // in flight.
+  std::lock_guard<std::mutex> tg(truncate_mu_);
+  Lsn persisted;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (segments_.size() <= 1 ||
+        segments_.front().start + segments_.front().size > floor) {
+      return 0;  // nothing wholly below the floor
+    }
+    persisted = floor_;
+  }
+  // Durably record the floor BEFORE unlinking anything: the first
+  // surviving segment may begin mid-record (a record straddling into a
+  // deleted segment), so reopen scans must know where parsing can start.
+  // WriteMasterRecord fsyncs the directory, ordering the FLOOR install
+  // ahead of the unlinks (both are directory operations a crash could
+  // otherwise persist in either order). The I/O runs outside mu_ so
+  // appends and group-commit syncs are not stalled behind it.
+  if (floor > persisted) {
+    if (!WriteMasterRecord(FloorPath(), floor).ok()) return 0;
+    std::lock_guard<std::mutex> g(mu_);
+    floor_ = floor;
+  }
+
+  std::vector<Segment> doomed;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    while (segments_.size() > 1 &&
+           segments_.front().start + segments_.front().size <= floor) {
+      doomed.push_back(std::move(segments_.front()));
+      segments_.erase(segments_.begin());
+    }
+  }
+  std::size_t removed = 0;
+  for (const Segment& seg : doomed) {
+    std::error_code ec;
+    std::filesystem::remove(seg.path, ec);
+    if (!ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace plp

@@ -51,7 +51,26 @@ class WalStorage {
   /// Bytes durably synced.
   Lsn synced_lsn() const { return synced_lsn_.load(std::memory_order_acquire); }
 
+  /// First byte still stored (0 until TruncateBelow discards a prefix).
+  Lsn start_lsn();
+
+  /// First readable record boundary. 0 for a never-truncated stream;
+  /// after TruncateBelow it is the highest floor ever applied (persisted
+  /// in `<dir>/FLOOR`, so reopen scans never start on the mid-record
+  /// bytes a truncated-away segment may have left at the stored head).
+  Lsn floor_lsn();
+
+  /// Deletes segments that lie wholly below `floor` — every byte < floor —
+  /// which a checkpoint's recovery floor has made unreachable to any
+  /// future restart scan. `floor` must be a record boundary (a checkpoint
+  /// publishes one); it is durably recorded before any file is unlinked.
+  /// The newest segment (the append target) is never deleted. Returns the
+  /// number of segments removed.
+  std::size_t TruncateBelow(Lsn floor);
+
   /// Replays complete records whose start LSN is >= `from`, in order.
+  /// When `from` lies below the truncation floor or the first stored
+  /// byte, the scan starts at the first readable record boundary instead.
   /// A truncated record at the very tail of the stream (torn crash write)
   /// ends the scan without error; garbage anywhere else is Corruption.
   /// When `valid_end` is non-null it receives the LSN just past the last
@@ -73,6 +92,7 @@ class WalStorage {
       : dir_(std::move(dir)), segment_size_(segment_size) {}
 
   std::string SegmentPath(Lsn start) const;
+  std::string FloorPath() const;
   Status OpenSegmentForAppend(Lsn start, std::uint64_t existing_size);
   Status RollSegment();
 
@@ -83,8 +103,10 @@ class WalStorage {
   const std::string dir_;
   const std::size_t segment_size_;
 
-  std::mutex mu_;                  // guards segments_/fd_ bookkeeping
+  std::mutex mu_;                  // guards segments_/fd_/floor_ bookkeeping
+  std::mutex truncate_mu_;         // serializes TruncateBelow calls
   std::vector<Segment> segments_;  // sorted by start lsn
+  Lsn floor_ = 0;                  // first readable record boundary
   int fd_ = -1;                    // current append segment
   Lsn current_start_ = 0;
   std::uint64_t current_size_ = 0;

@@ -129,4 +129,8 @@ Status LogManager::ScanFrom(
   return Status::OK();
 }
 
+std::size_t LogManager::TruncateWalBelow(Lsn floor) {
+  return wal_ != nullptr ? wal_->TruncateBelow(floor) : 0;
+}
+
 }  // namespace plp

@@ -70,6 +70,11 @@ class LogManager {
   bool on_disk() const { return wal_ != nullptr; }
   WalStorage* wal() { return wal_.get(); }
 
+  /// Deletes WAL segments wholly below `floor` (a recovery floor published
+  /// by a checkpoint). Returns the number of segments removed; 0 for
+  /// in-memory logs.
+  std::size_t TruncateWalBelow(Lsn floor);
+
   /// Scans all retained records in LSN order. Requires a scannable backing
   /// (wal mode or `retain_for_recovery`); flushes first.
   Status Scan(const std::function<void(Lsn, const LogRecord&)>& fn) {

@@ -1,5 +1,6 @@
 #include "src/sync/cs_profiler.h"
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <vector>
@@ -79,9 +80,54 @@ CsCounts CsCounts::operator-(const CsCounts& other) const {
 namespace {
 std::atomic<bool> g_enabled{true};
 
+/// Thread-local counter block mirroring CsCounts with relaxed atomics.
+struct AtomicCounts {
+  std::array<std::atomic<std::uint64_t>, kNumCsCategories> entries{};
+  std::array<std::atomic<std::uint64_t>, kNumCsCategories> contended{};
+  std::array<std::atomic<std::uint64_t>, kNumCsCategories> wait_ns{};
+  std::array<std::atomic<std::uint64_t>, kNumPageClasses> latches{};
+  std::array<std::atomic<std::uint64_t>, kNumPageClasses> latches_contended{};
+  std::array<std::atomic<std::uint64_t>, kNumPageClasses> latch_wait_ns{};
+
+  CsCounts Snapshot() const {
+    CsCounts out;
+    for (int i = 0; i < kNumCsCategories; ++i) {
+      out.entries[i] = entries[i].load(std::memory_order_relaxed);
+      out.contended[i] = contended[i].load(std::memory_order_relaxed);
+      out.wait_ns[i] = wait_ns[i].load(std::memory_order_relaxed);
+    }
+    for (int i = 0; i < kNumPageClasses; ++i) {
+      out.latches[i] = latches[i].load(std::memory_order_relaxed);
+      out.latches_contended[i] =
+          latches_contended[i].load(std::memory_order_relaxed);
+      out.latch_wait_ns[i] = latch_wait_ns[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void Zero() {
+    for (int i = 0; i < kNumCsCategories; ++i) {
+      entries[i].store(0, std::memory_order_relaxed);
+      contended[i].store(0, std::memory_order_relaxed);
+      wait_ns[i].store(0, std::memory_order_relaxed);
+    }
+    for (int i = 0; i < kNumPageClasses; ++i) {
+      latches[i].store(0, std::memory_order_relaxed);
+      latches_contended[i].store(0, std::memory_order_relaxed);
+      latch_wait_ns[i].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+inline void Bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+  // A real RMW: Reset() may zero a live thread's counter concurrently,
+  // and a load+store pair would resurrect the pre-reset value.
+  c.fetch_add(by, std::memory_order_relaxed);
+}
+
 struct Registry {
   std::mutex mu;
-  std::vector<CsCounts*> live;
+  std::vector<AtomicCounts*> live;
   CsCounts retired;
 };
 
@@ -91,8 +137,12 @@ Registry& GetRegistry() {
 }
 }  // namespace
 
+// Per-thread counters are relaxed atomics: the owning thread is the only
+// writer (plain increments in effect), but Collect()/Reset() touch them
+// from the collector thread, so the accesses must be data-race free for
+// the ThreadSanitizer CI job that gates the async engine machinery.
 struct CsProfiler::ThreadState {
-  CsCounts counts;
+  AtomicCounts counts;
 
   ThreadState() {
     Registry& r = GetRegistry();
@@ -102,7 +152,7 @@ struct CsProfiler::ThreadState {
   ~ThreadState() {
     Registry& r = GetRegistry();
     std::lock_guard<std::mutex> g(r.mu);
-    r.retired += counts;
+    r.retired += counts.Snapshot();
     for (auto it = r.live.begin(); it != r.live.end(); ++it) {
       if (*it == &counts) {
         r.live.erase(it);
@@ -125,25 +175,25 @@ CsProfiler::ThreadState& CsProfiler::Local() {
 void CsProfiler::Record(CsCategory category, bool contended,
                         std::uint64_t wait_ns) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
-  CsCounts& c = Local().counts;
-  c.entries[static_cast<int>(category)]++;
+  AtomicCounts& c = Local().counts;
+  Bump(c.entries[static_cast<int>(category)]);
   if (contended) {
-    c.contended[static_cast<int>(category)]++;
-    c.wait_ns[static_cast<int>(category)] += wait_ns;
+    Bump(c.contended[static_cast<int>(category)]);
+    Bump(c.wait_ns[static_cast<int>(category)], wait_ns);
   }
 }
 
 void CsProfiler::RecordLatch(PageClass page_class, bool contended,
                              std::uint64_t wait_ns) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
-  CsCounts& c = Local().counts;
-  c.entries[static_cast<int>(CsCategory::kPageLatch)]++;
-  c.latches[static_cast<int>(page_class)]++;
+  AtomicCounts& c = Local().counts;
+  Bump(c.entries[static_cast<int>(CsCategory::kPageLatch)]);
+  Bump(c.latches[static_cast<int>(page_class)]);
   if (contended) {
-    c.contended[static_cast<int>(CsCategory::kPageLatch)]++;
-    c.wait_ns[static_cast<int>(CsCategory::kPageLatch)] += wait_ns;
-    c.latches_contended[static_cast<int>(page_class)]++;
-    c.latch_wait_ns[static_cast<int>(page_class)] += wait_ns;
+    Bump(c.contended[static_cast<int>(CsCategory::kPageLatch)]);
+    Bump(c.wait_ns[static_cast<int>(CsCategory::kPageLatch)], wait_ns);
+    Bump(c.latches_contended[static_cast<int>(page_class)]);
+    Bump(c.latch_wait_ns[static_cast<int>(page_class)], wait_ns);
   }
 }
 
@@ -151,7 +201,7 @@ CsCounts CsProfiler::Collect() {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> g(r.mu);
   CsCounts out = r.retired;
-  for (CsCounts* c : r.live) out += *c;
+  for (AtomicCounts* c : r.live) out += c->Snapshot();
   return out;
 }
 
@@ -159,7 +209,7 @@ void CsProfiler::Reset() {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> g(r.mu);
   r.retired = CsCounts{};
-  for (CsCounts* c : r.live) *c = CsCounts{};
+  for (AtomicCounts* c : r.live) c->Zero();
 }
 
 void CsProfiler::SetEnabled(bool enabled) {

@@ -19,7 +19,12 @@ namespace plp {
 template <typename T>
 class MpscQueue {
  public:
-  MpscQueue() = default;
+  /// `record_cs` controls whether pushes count as message-passing critical
+  /// sections. Partition input queues (the default) are the paper's
+  /// fixed-contention communication; client-dispatch queues (the
+  /// conventional engine's submission pool) pass false so the conventional
+  /// design keeps reporting zero message passing.
+  explicit MpscQueue(bool record_cs = true) : record_cs_(record_cs) {}
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
 
@@ -27,7 +32,9 @@ class MpscQueue {
     {
       bool contended = !mu_.try_lock();
       if (contended) mu_.lock();
-      CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      if (record_cs_) {
+        CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      }
       items_.push_back(std::move(item));
       mu_.unlock();
     }
@@ -40,7 +47,9 @@ class MpscQueue {
     {
       bool contended = !mu_.try_lock();
       if (contended) mu_.lock();
-      CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      if (record_cs_) {
+        CsProfiler::Record(CsCategory::kMessagePassing, contended);
+      }
       items_.push_front(std::move(item));
       mu_.unlock();
     }
@@ -75,6 +84,13 @@ class MpscQueue {
     cv_.notify_all();
   }
 
+  /// Reopens a closed queue (consumer-pool restart). The caller must have
+  /// joined every consumer that observed the close first.
+  void Reopen() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = false;
+  }
+
   bool closed() const {
     std::lock_guard<std::mutex> lk(mu_);
     return closed_;
@@ -86,6 +102,7 @@ class MpscQueue {
   }
 
  private:
+  const bool record_cs_ = true;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;

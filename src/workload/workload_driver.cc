@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -21,6 +23,7 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   std::atomic<std::uint64_t> thread_time{0};
 
   const CsCounts before = CsProfiler::Global().Collect();
+  engine->ResetPeakInflight();
   const std::uint64_t t0 = NowNanos();
   if (probe != nullptr) probe->Start();
 
@@ -33,16 +36,44 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
       Rng rng(options.seed * 1315423911u + static_cast<std::uint64_t>(i));
       auto& local_latencies = latencies[static_cast<std::size_t>(i)];
       const std::uint64_t start = NowNanos();
-      while (!stop.load(std::memory_order_relaxed)) {
-        TxnRequest req = next(rng);
-        const std::uint64_t txn_start = NowNanos();
-        Status st = engine->Execute(req);
-        if (st.ok()) {
-          local_latencies.push_back(NowNanos() - txn_start);
-          committed.fetch_add(1, std::memory_order_relaxed);
-          if (probe != nullptr) probe->Tick();
-        } else {
-          aborted.fetch_add(1, std::memory_order_relaxed);
+      if (options.pipeline_depth > 0) {
+        // Open loop: keep `pipeline_depth` transactions in flight, reaping
+        // the oldest handle whenever the window is full (and draining the
+        // window at the end of the run).
+        std::deque<std::pair<TxnHandle, std::uint64_t>> window;
+        auto reap_front = [&] {
+          auto [handle, txn_start] = std::move(window.front());
+          window.pop_front();
+          const Status st = handle.Wait();
+          if (st.ok()) {
+            local_latencies.push_back(NowNanos() - txn_start);
+            committed.fetch_add(1, std::memory_order_relaxed);
+            if (probe != nullptr) probe->Tick();
+          } else {
+            aborted.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        while (!stop.load(std::memory_order_relaxed)) {
+          TxnRequest req = next(rng);
+          const std::uint64_t txn_start = NowNanos();
+          window.emplace_back(engine->Submit(std::move(req)), txn_start);
+          if (static_cast<int>(window.size()) >= options.pipeline_depth) {
+            reap_front();
+          }
+        }
+        while (!window.empty()) reap_front();
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) {
+          TxnRequest req = next(rng);
+          const std::uint64_t txn_start = NowNanos();
+          Status st = engine->Execute(req);
+          if (st.ok()) {
+            local_latencies.push_back(NowNanos() - txn_start);
+            committed.fetch_add(1, std::memory_order_relaxed);
+            if (probe != nullptr) probe->Tick();
+          } else {
+            aborted.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
       thread_time.fetch_add(NowNanos() - start, std::memory_order_relaxed);
@@ -79,6 +110,7 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   result.committed = committed.load();
   result.aborted = aborted.load();
   result.thread_time_ns = thread_time.load();
+  result.peak_inflight = engine->peak_inflight();
   result.cs_delta = CsProfiler::Global().Collect() - before;
   for (auto& local_latencies : latencies) {
     result.latencies_ns.insert(result.latencies_ns.end(),

@@ -19,6 +19,11 @@ struct DriverOptions {
   int num_threads = 4;
   std::chrono::milliseconds duration{1000};
   std::uint64_t seed = 1;
+  /// Open-loop pipelined mode: when > 0, each client thread keeps up to
+  /// this many transactions in flight through Engine::Submit instead of
+  /// blocking on Execute, reaping the oldest handle once the window is
+  /// full. 0 keeps the classic closed loop.
+  int pipeline_depth = 0;
 };
 
 struct DriverResult {
@@ -26,8 +31,13 @@ struct DriverResult {
   std::uint64_t aborted = 0;
   std::uint64_t elapsed_ns = 0;       // wall time of the window
   std::uint64_t thread_time_ns = 0;   // summed across client threads
+  /// Engine-wide admission-gate high-water mark over the window (how many
+  /// transactions were concurrently in flight).
+  std::uint64_t peak_inflight = 0;
   CsCounts cs_delta;                  // profiler delta over the window
-  /// Per-transaction commit latencies (ns), sorted ascending.
+  /// Per-transaction latencies (ns), sorted ascending. Closed loop:
+  /// Execute() round trips. Open loop: submit-to-completion latency,
+  /// including time queued behind the pipeline window.
   std::vector<std::uint64_t> latencies_ns;
 
   /// Latency percentile in microseconds (q in [0,1]); 0 when no samples.
@@ -68,6 +78,8 @@ using TxnFactory = std::function<TxnRequest(Rng&)>;
 
 /// Runs the workload for `options.duration`. Aborted transactions are
 /// counted and the client moves on (no retry), as in the paper's drivers.
+/// With `options.pipeline_depth > 0` the clients run open-loop through
+/// Engine::Submit (see DriverOptions).
 DriverResult RunWorkload(Engine* engine, const TxnFactory& next,
                          const DriverOptions& options);
 

@@ -65,7 +65,9 @@ constexpr std::uint32_t kRecords = 1500;
 
 TEST_F(DurabilityTest, EvictThenCrashThenRecover) {
   {
-    auto engine = CreateEngine(MakeConfig());
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->db().open_status().ok())
         << engine->db().open_status().ToString();
@@ -95,7 +97,9 @@ TEST_F(DurabilityTest, EvictThenCrashThenRecover) {
     // Crash: the engine (and Database) are destroyed without Close().
   }
 
-  auto engine = CreateEngine(MakeConfig());
+  auto created = CreateEngine(MakeConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   ASSERT_TRUE(engine->db().open_status().ok())
       << engine->db().open_status().ToString();
@@ -120,7 +124,9 @@ TEST_F(DurabilityTest, EvictThenCrashThenRecover) {
 
 TEST_F(DurabilityTest, CleanCloseReopensWithMinimalReplay) {
   {
-    auto engine = CreateEngine(MakeConfig());
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
     for (std::uint32_t k = 0; k < 300; ++k) {
@@ -129,7 +135,9 @@ TEST_F(DurabilityTest, CleanCloseReopensWithMinimalReplay) {
     engine->Stop();
     ASSERT_TRUE(engine->db().Close().ok());
   }
-  auto engine = CreateEngine(MakeConfig());
+  auto created = CreateEngine(MakeConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   ASSERT_TRUE(engine->db().open_status().ok())
       << engine->db().open_status().ToString();
@@ -145,7 +153,9 @@ TEST_F(DurabilityTest, CleanCloseReopensWithMinimalReplay) {
 TEST_F(DurabilityTest, CheckpointBoundsReplayAfterCrash) {
   Lsn scan_start_floor = 0;
   {
-    auto engine = CreateEngine(MakeConfig());
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
     for (std::uint32_t k = 0; k < 400; ++k) {
@@ -158,7 +168,9 @@ TEST_F(DurabilityTest, CheckpointBoundsReplayAfterCrash) {
     }
     engine->Stop();  // crash
   }
-  auto engine = CreateEngine(MakeConfig());
+  auto created = CreateEngine(MakeConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   ASSERT_TRUE(engine->db().open_status().ok())
       << engine->db().open_status().ToString();
@@ -173,7 +185,9 @@ TEST_F(DurabilityTest, CheckpointBoundsReplayAfterCrash) {
 
 TEST_F(DurabilityTest, UpdatesAndDeletesSurviveRestart) {
   {
-    auto engine = CreateEngine(MakeConfig());
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
     for (std::uint32_t k = 0; k < 200; ++k) {
@@ -198,7 +212,9 @@ TEST_F(DurabilityTest, UpdatesAndDeletesSurviveRestart) {
     }
     engine->Stop();  // crash
   }
-  auto engine = CreateEngine(MakeConfig());
+  auto created = CreateEngine(MakeConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   ASSERT_TRUE(engine->db().open_status().ok());
   for (std::uint32_t k = 0; k < 200; ++k) {
@@ -218,7 +234,9 @@ TEST_F(DurabilityTest, RepeatedCrashReopenCycles) {
   // State accretes across several crash/reopen generations; every
   // generation must see everything all earlier generations committed.
   for (std::uint32_t gen = 0; gen < 4; ++gen) {
-    auto engine = CreateEngine(MakeConfig());
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->db().open_status().ok())
         << "gen " << gen << ": " << engine->db().open_status().ToString();

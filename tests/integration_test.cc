@@ -23,7 +23,9 @@ DesignRun RunTatp(SystemDesign design, int txns = 3000) {
   EngineConfig config;
   config.design = design;
   config.num_workers = 2;
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   TatpConfig tatp_config;
   tatp_config.subscribers = 1000;
@@ -119,7 +121,9 @@ TEST(EndToEndRecoveryTest, CommittedWorkSurvivesCrash) {
   EngineConfig config;
   config.design = SystemDesign::kConventional;
   config.db.log.retain_for_recovery = true;
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   auto result = engine->CreateTable("t", {""});
   ASSERT_TRUE(result.ok());
@@ -168,7 +172,9 @@ TEST(MrbtConventionalTest, EngineHonorsUseMrbt) {
     EngineConfig config;
     config.design = SystemDesign::kConventional;
     config.use_mrbt = use_mrbt;
-    auto engine = CreateEngine(config);
+    auto created = CreateEngine(config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     auto result =
         engine->CreateTable("t", TatpWorkload::BoundariesFor(20000, 8));

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "src/buffer/buffer_pool.h"
+#include "src/common/key_encoding.h"
+#include "src/engine/engine.h"
 #include "src/io/checkpoint.h"
 #include "src/io/disk_manager.h"
 #include "src/io/wal_storage.h"
@@ -142,6 +144,144 @@ TEST_F(IoTest, WalReopenContinuesStream) {
     EXPECT_EQ(rec.redo, count == 1 ? "first" : "second");
   }).ok());
   EXPECT_EQ(count, 2);
+}
+
+TEST_F(IoTest, WalTruncateBelowDropsWholeSegments) {
+  std::unique_ptr<WalStorage> wal;
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), /*segment_size=*/256, &wal).ok());
+  std::vector<Lsn> lsns;
+  Lsn at = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string bytes =
+        MakeRecord(1, "payload-" + std::to_string(i)).Serialize();
+    ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+    lsns.push_back(at);
+    at += bytes.size();
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  const std::size_t before = wal->num_segments();
+  ASSERT_GT(before, 3u);
+  EXPECT_EQ(wal->start_lsn(), 0u);
+
+  // A floor in the middle of the stream removes only segments that end
+  // at or below it.
+  const Lsn floor = lsns[30];
+  const std::size_t removed = wal->TruncateBelow(floor);
+  EXPECT_GT(removed, 0u);
+  EXPECT_EQ(wal->num_segments(), before - removed);
+  EXPECT_GT(wal->start_lsn(), 0u);
+  EXPECT_LE(wal->start_lsn(), floor)
+      << "a segment straddling the floor must survive";
+
+  // Records from the floor on are intact.
+  int count = 0;
+  ASSERT_TRUE(wal->ScanFrom(floor, [&](Lsn lsn, const LogRecord& rec) {
+    EXPECT_EQ(lsn, lsns[static_cast<std::size_t>(30 + count)]);
+    EXPECT_EQ(rec.redo, "payload-" + std::to_string(30 + count));
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 20);
+
+  // Truncating everything keeps the newest (append) segment.
+  wal->TruncateBelow(at);
+  EXPECT_GE(wal->num_segments(), 1u);
+
+  // Appends continue the stream, and a reopen accepts the truncated
+  // directory (no gap at the dropped prefix).
+  const std::string bytes = MakeRecord(2, "after-truncate").Serialize();
+  ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  wal.reset();
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), 256, &wal).ok());
+  bool saw_tail = false;
+  ASSERT_TRUE(wal->ScanFrom(at, [&](Lsn lsn, const LogRecord& rec) {
+    EXPECT_EQ(lsn, at);
+    EXPECT_EQ(rec.redo, "after-truncate");
+    saw_tail = true;
+  }).ok());
+  EXPECT_TRUE(saw_tail);
+}
+
+// A log record can straddle a segment boundary (the LogBuffer's flush
+// sink hands WalStorage arbitrary byte chunks). Truncation that deletes
+// the segment holding the record's head leaves the next segment starting
+// mid-record: reopen (torn-tail repair) and scans must start at the
+// persisted floor, not at the unparseable stored head.
+TEST_F(IoTest, WalTruncationSurvivesRecordStraddlingSegmentBoundary) {
+  std::unique_ptr<WalStorage> wal;
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), /*segment_size=*/256, &wal).ok());
+
+  // Fill segment 0 to just under the roll threshold, then append a
+  // straddler record in two chunks sized so the first chunk crosses the
+  // threshold: the roll happens between the chunks and the straddler's
+  // tail opens segment 1 mid-record (exactly what the LogBuffer's
+  // arbitrary flush chunking can produce).
+  Lsn at = 0;
+  const std::string filler = MakeRecord(1, "head-segment").Serialize();
+  while (at + filler.size() < 256) {
+    ASSERT_TRUE(wal->Append(filler.data(), filler.size()).ok());
+    at += filler.size();
+  }
+  const std::string straddler =
+      MakeRecord(2, "straddles-the-roll-" + std::string(64, 's')).Serialize();
+  const std::size_t head_chunk = static_cast<std::size_t>(256 - at) + 2;
+  ASSERT_LT(head_chunk, straddler.size());
+  ASSERT_TRUE(wal->Append(straddler.data(), head_chunk).ok());
+  ASSERT_EQ(wal->num_segments(), 1u);
+  ASSERT_TRUE(wal->Append(straddler.data() + head_chunk,
+                          straddler.size() - head_chunk).ok());
+  ASSERT_EQ(wal->num_segments(), 2u) << "tail chunk must open segment 1";
+  const Lsn straddler_lsn = at;
+  at += straddler.size();
+
+  // Records entirely inside segment 1, then enough to roll further.
+  std::vector<std::pair<Lsn, std::string>> tail_records;
+  for (int i = 0; i < 20; ++i) {
+    const std::string payload = "tail-" + std::to_string(i);
+    const std::string bytes = MakeRecord(3, payload).Serialize();
+    ASSERT_TRUE(wal->Append(bytes.data(), bytes.size()).ok());
+    tail_records.emplace_back(at, payload);
+    at += bytes.size();
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+
+  // Truncate below the first whole record of segment 1. Segment 0 dies;
+  // segment 1 survives but starts with the straddler's tail bytes.
+  const Lsn floor = tail_records[0].first;
+  ASSERT_GT(floor, straddler_lsn);
+  ASSERT_EQ(wal->TruncateBelow(floor), 1u);
+  EXPECT_LT(wal->start_lsn(), floor) << "segment 1 starts mid-straddler";
+  EXPECT_EQ(wal->floor_lsn(), floor);
+
+  // Scans clamp to the floor and parse cleanly.
+  int count = 0;
+  ASSERT_TRUE(wal->ScanFrom(0, [&](Lsn lsn, const LogRecord& rec) {
+    EXPECT_EQ(lsn, tail_records[static_cast<std::size_t>(count)].first);
+    EXPECT_EQ(rec.redo, tail_records[static_cast<std::size_t>(count)].second);
+    ++count;
+  }).ok());
+  EXPECT_EQ(count, 20);
+
+  // Reopen: torn-tail repair must not misparse the mid-record head and
+  // wipe the surviving segments.
+  wal.reset();
+  ASSERT_TRUE(WalStorage::Open(Path("wal"), 256, &wal).ok());
+  EXPECT_GE(wal->num_segments(), 1u) << "repair deleted live segments";
+  EXPECT_EQ(wal->floor_lsn(), floor) << "floor survives reopen";
+  count = 0;
+  ASSERT_TRUE(wal->ScanFrom(0, [&](Lsn, const LogRecord&) { ++count; }).ok());
+  EXPECT_EQ(count, 20) << "all post-floor records must survive reopen";
+
+  // The stream still appends and reads back.
+  const std::string more = MakeRecord(4, "after-reopen").Serialize();
+  ASSERT_TRUE(wal->Append(more.data(), more.size()).ok());
+  bool saw = false;
+  ASSERT_TRUE(wal->ScanFrom(at, [&](Lsn lsn, const LogRecord& rec) {
+    EXPECT_EQ(lsn, at);
+    EXPECT_EQ(rec.redo, "after-reopen");
+    saw = true;
+  }).ok());
+  EXPECT_TRUE(saw);
 }
 
 TEST_F(IoTest, WalTornTailRepairedOnReopen) {
@@ -320,6 +460,66 @@ TEST_F(IoTest, EvictionNotifiesPageCaches) {
     Page* via_pool = pool.FixUnlocked(id);
     EXPECT_EQ(via_cache, via_pool);
   }
+}
+
+// End-to-end segment reclamation: a clean shutdown (flush + checkpoint)
+// publishes a recovery floor above the old segments, which Checkpoint then
+// deletes — and a crash-style reopen of the truncated WAL still recovers
+// everything.
+TEST_F(IoTest, CheckpointTruncatesUnreachableWalSegments) {
+  EngineConfig config;
+  config.design = SystemDesign::kConventional;
+  config.db.data_dir = Path("db");
+  config.db.log.segment_size = 4096;
+  config.db.txn.durable_commits = true;
+  constexpr std::uint32_t kRecords = 300;
+  {
+    auto created = CreateEngine(config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    engine->Start();
+    ASSERT_TRUE(engine->db().open_status().ok());
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    for (std::uint32_t k = 0; k < kRecords; ++k) {
+      TxnRequest req;
+      const std::string key = KeyU32(k);
+      req.Add(0, "t", key, [key](ExecContext& ctx) {
+        return ctx.Insert(key, "payload-" + std::string(64, 'p'));
+      });
+      ASSERT_TRUE(engine->Execute(req).ok()) << k;
+    }
+    engine->Stop();
+    WalStorage* wal = engine->db().log()->wal();
+    ASSERT_NE(wal, nullptr);
+    const std::size_t before = wal->num_segments();
+    ASSERT_GT(before, 3u) << "workload must have rolled several segments";
+
+    // Close flushes every dirty page, so its checkpoint's recovery floor
+    // sits just below the checkpoint record: old segments are garbage.
+    ASSERT_TRUE(engine->db().Close().ok());
+    EXPECT_LT(wal->num_segments(), before);
+    EXPECT_GT(wal->start_lsn(), 0u);
+  }
+
+  // Crash-style reopen (the Database above was closed cleanly, but the
+  // reopen still replays master record + truncated WAL tail).
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok());
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  for (std::uint32_t k = 0; k < kRecords; k += 13) {
+    TxnRequest req;
+    const std::string key = KeyU32(k);
+    auto holder = std::make_shared<std::string>();
+    req.Add(0, "t", key, [key, holder](ExecContext& ctx) {
+      return ctx.Read(key, holder.get());
+    });
+    ASSERT_TRUE(engine->Execute(req).ok()) << k;
+    EXPECT_EQ(*holder, "payload-" + std::string(64, 'p'));
+  }
+  engine->Stop();
 }
 
 TEST_F(IoTest, IndexPagesStayResident) {

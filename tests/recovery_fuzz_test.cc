@@ -38,7 +38,9 @@ TEST_P(RecoveryFuzzTest, RecoveredStateMatchesCommittedModel) {
   EngineConfig config;
   config.design = SystemDesign::kConventional;
   config.db.log.retain_for_recovery = true;
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
 
@@ -154,7 +156,9 @@ TEST_P(DurableRecoveryFuzzTest, CommittedStateSurvivesCrashLoop) {
 
   constexpr int kGenerations = 5;
   for (int gen = 0; gen < kGenerations; ++gen) {
-    auto engine = CreateEngine(config);
+    auto created = CreateEngine(config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
     engine->Start();
     ASSERT_TRUE(engine->db().open_status().ok())
         << "gen " << gen << ": " << engine->db().open_status().ToString();

@@ -18,7 +18,9 @@ class RepartitionTest : public ::testing::TestWithParam<SystemDesign> {
     EngineConfig config;
     config.design = GetParam();
     config.num_workers = 4;
-    engine_ = CreateEngine(config);
+    auto created = CreateEngine(config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    engine_ = std::move(created).value();
     engine_->Start();
     auto result = engine_->CreateTable("t", {"", KeyU32(500)});
     ASSERT_TRUE(result.ok());

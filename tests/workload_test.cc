@@ -18,7 +18,9 @@ std::unique_ptr<Engine> MakeEngine(SystemDesign design) {
   EngineConfig config;
   config.design = design;
   config.num_workers = 2;
-  auto engine = CreateEngine(config);
+  auto created = CreateEngine(config);
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
   engine->Start();
   return engine;
 }
