@@ -22,7 +22,7 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
 BufferPool::~BufferPool() = default;
 
 void BufferPool::TrackFrame(Page* page) {
-  if (!evicting() || page->page_class() != PageClass::kHeap) return;
+  if (!evicting() || !Evictable(page->page_class())) return;
   page->SetRef();
   std::lock_guard<std::mutex> g(clock_mu_);
   clock_.push_back(page->id());
@@ -227,18 +227,64 @@ bool BufferPool::EvictOne() {
   }
   if (pid == kInvalidPageId) return false;
 
-  // Phase 2 — write a dirty victim back while it is STILL in the shard
-  // map: a concurrent Fix during the I/O must find the live frame, not
-  // fall through to a stale (or mid-write) disk image. No locks held
-  // across the WAL barrier / pwrite.
-  const Status write_status =
-      was_dirty ? WriteBackNoClean(candidate) : Status::OK();
-
-  // Phase 3 — detach, re-validating under the shard mutex: a pin taken
-  // or an update stamped during the I/O (or a write error) aborts the
-  // steal and the frame stays resident. A frame freed during the I/O
-  // (FreePage race) must not be touched at all.
+  // Phase 2 — snapshot the page under the shard mutex, then write the
+  // SNAPSHOT back. Every mutation path pins first, and pinning goes
+  // through the shard mutex, so a pin_count == 0 frame cannot change
+  // while the copy runs: the image on disk is always a consistent state
+  // as of `lsn_before` (writing from the live buffer without a latch
+  // could persist a torn, mid-mutation image under a stale page LSN —
+  // undetectable by recovery's redo gate). The frame is tentatively
+  // marked clean at snapshot time; any racing mutation re-dirties it and
+  // phase 3 then aborts the steal, leaving the change resident.
   Shard& shard = ShardFor(pid);
+  std::vector<char> image;
+  PageSlotHeader header;
+  bool snapshot_ok = false;
+  bool present_at_snapshot = false;
+  Lsn rec_lsn_before = 0;
+  {
+    std::lock_guard<std::mutex> sg(shard.mu.raw());
+    auto it = shard.pages.find(pid);
+    present_at_snapshot =
+        it != shard.pages.end() && it->second.get() == candidate;
+    snapshot_ok = present_at_snapshot && candidate->pin_count() == 0 &&
+                  candidate->page_lsn() == lsn_before;
+    if (snapshot_ok && was_dirty) {
+      rec_lsn_before = candidate->rec_lsn();
+      image.assign(candidate->data(), candidate->data() + kPageSize);
+      header.page_class = static_cast<std::uint8_t>(candidate->page_class());
+      header.owner_tag = candidate->owner_tag();
+      header.table_tag = candidate->table_tag();
+      header.page_lsn = lsn_before;
+      candidate->MarkClean();  // tentative; racing mutations re-dirty
+    }
+  }
+  if (!snapshot_ok) {
+    if (present_at_snapshot) {
+      // Raced a pin or an update since selection: the frame stays; put it
+      // back on the clock (outside the shard mutex — EvictOne nests the
+      // shard mutex inside clock_mu_, never the reverse).
+      std::lock_guard<std::mutex> g(clock_mu_);
+      clock_.push_back(pid);
+    }
+    return false;
+  }
+
+  Status write_status = Status::OK();
+  if (was_dirty) {
+    // WAL rule: the log must be durable up to the snapshot's LSN before
+    // the snapshot overwrites the disk copy. No locks held across I/O.
+    if (config_.wal_barrier) config_.wal_barrier(lsn_before);
+    write_status = config_.disk->WritePage(pid, header, image.data());
+    if (write_status.ok()) {
+      disk_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Phase 3 — detach, re-validating under the shard mutex: a pin taken,
+  // any re-dirtying mutation (logged or compensation), or a write error
+  // aborts the steal and the frame stays resident. A frame freed during
+  // the I/O (FreePage race) must not be touched at all.
   std::unique_ptr<Page> victim;
   bool still_present = false;
   {
@@ -247,12 +293,17 @@ bool BufferPool::EvictOne() {
     still_present = it != shard.pages.end() && it->second.get() == candidate;
     if (still_present && write_status.ok() &&
         candidate->pin_count() == 0 &&
-        candidate->page_lsn() == lsn_before &&
-        (was_dirty || !candidate->dirty())) {
-      candidate->MarkClean();
+        candidate->page_lsn() == lsn_before && !candidate->dirty()) {
       victim = std::move(it->second);
       shard.pages.erase(it);
     } else if (still_present) {
+      if (was_dirty && !write_status.ok()) {
+        // The tentative clean must not survive a failed write-back: the
+        // ops since the original rec_lsn are still unflushed, so put
+        // that rec_lsn back (even over one a racing mutation CAS'd in —
+        // the racing op's interval starts later than the unflushed one).
+        candidate->RestoreDirty(rec_lsn_before);
+      }
       candidate->SetRef();  // under the shard mutex: frame cannot be freed
     }
   }
@@ -306,9 +357,10 @@ Status BufferPool::FlushPage(PageId id, LatchPolicy policy) {
   PageRef ref = AcquirePage(id, /*tracked=*/false);
   if (!ref) return Status::OK();  // already evicted (hence clean)
   if (!ref->dirty()) return Status::OK();
-  if (ref->page_class() != PageClass::kHeap) {
-    // Index/catalog pages are volatile (rebuilt at restart); persisting
-    // them would only grow data.db with slots no reopen ever reads.
+  if (!Evictable(ref->page_class())) {
+    // Volatile classes (catalog; index in snapshot mode) are rebuilt at
+    // restart; persisting them would only grow data.db with slots no
+    // reopen ever reads.
     LatchGuard g(&ref->latch(), LatchMode::kShared, policy);
     ref->MarkClean();
     return Status::OK();
@@ -354,7 +406,7 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> g(shard->mu.raw());
     for (auto& [id, page] : shard->pages) {
-      if (page->dirty() && page->page_class() == PageClass::kHeap) {
+      if (page->dirty() && Evictable(page->page_class())) {
         out.emplace_back(id, page->rec_lsn());
       }
     }

@@ -9,12 +9,14 @@
 //
 // Durable mode (frame_budget > 0 and a DiskManager): the pool becomes a
 // cache over the data file. Misses read the page image back from disk;
-// when the budget is exceeded a clock sweep picks an unpinned heap-class
-// victim, honors the WAL rule (log forced durable up to the victim's
-// page_lsn before the steal), writes dirty victims back, and notifies
-// eviction listeners so thread-private PageCaches drop the frame. Index
-// and catalog frames stay resident (the index is rebuilt logically on
-// restart; see src/txn/recovery.h).
+// when the budget is exceeded a clock sweep picks an unpinned victim,
+// honors the WAL rule (log forced durable up to the victim's page_lsn
+// before the steal), writes dirty victims back, and notifies eviction
+// listeners so thread-private PageCaches drop the frame. Heap frames are
+// always candidates; index frames join them in persistent-index mode
+// (`persist_index_pages`, see src/index/persistent) and stay resident in
+// legacy snapshot mode. Catalog frames always stay resident (rebuilt on
+// restart).
 #ifndef PLP_BUFFER_BUFFER_POOL_H_
 #define PLP_BUFFER_BUFFER_POOL_H_
 
@@ -45,6 +47,13 @@ struct BufferPoolConfig {
   /// written back; must make the log durable up to that LSN. May be null
   /// (no logging, e.g. unit tests).
   std::function<void(Lsn)> wal_barrier;
+  /// Persistent-index mode: index-class frames join the eviction clock,
+  /// are written back by FlushPage, and appear in the dirty page table —
+  /// exactly like heap frames (their mutations are physiologically
+  /// logged, see src/index/persistent). When false (legacy snapshot mode)
+  /// index frames stay resident and "cleaning" them is a no-op, because
+  /// the index is rebuilt logically at restart.
+  bool persist_index_pages = false;
 };
 
 class BufferPool;
@@ -154,9 +163,10 @@ class BufferPool {
   /// Up to `limit` currently-dirty page ids (page-cleaner scan).
   std::vector<PageId> DirtyPages(std::size_t limit);
 
-  /// (page id, rec_lsn) of every dirty heap-class frame — the dirty page
-  /// table of a fuzzy checkpoint. A rec_lsn of 0 means "unknown, recover
-  /// from the log start".
+  /// (page id, rec_lsn) of every dirty persistable frame (heap, plus
+  /// index in persistent-index mode) — the dirty page table of a fuzzy
+  /// checkpoint. A rec_lsn of 0 means "unknown, recover from the log
+  /// start".
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable();
 
   /// Writes one resident page back (WAL barrier + disk write + MarkClean).
@@ -193,6 +203,13 @@ class BufferPool {
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % kNumShards]; }
+
+  /// Page classes that may be stolen / written back. Heap always;
+  /// index only in persistent-index mode; catalog never.
+  bool Evictable(PageClass c) const {
+    return c == PageClass::kHeap ||
+           (c == PageClass::kIndex && config_.persist_index_pages);
+  }
 
   /// Looks the id up in its shard; on miss in durable mode, loads the
   /// image from disk into a fresh frame. `tracked` charges the bucket

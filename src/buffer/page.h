@@ -47,6 +47,16 @@ class Page {
   /// dirty-page-table entry of a fuzzy checkpoint). 0 while clean.
   Lsn rec_lsn() const { return rec_lsn_.load(std::memory_order_relaxed); }
 
+  /// Re-dirties the frame with a saved recovery LSN after a failed
+  /// write-back undoes a tentative MarkClean (eviction). A direct store:
+  /// it must also overwrite a rec_lsn that a racing StampUpdate CAS'd in
+  /// while the frame was tentatively clean, or the dirty interval that
+  /// the failed write left unflushed would no longer be covered.
+  void RestoreDirty(Lsn saved_rec_lsn) {
+    rec_lsn_.store(saved_rec_lsn, std::memory_order_relaxed);
+    dirty_.store(true, std::memory_order_relaxed);
+  }
+
   /// Records a logged update at `lsn`: advances page_lsn, pins rec_lsn to
   /// the first update of the current dirty interval.
   void StampUpdate(Lsn lsn) {

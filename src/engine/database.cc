@@ -10,12 +10,15 @@
 
 namespace plp {
 
-Table::Table(std::uint32_t id, TableConfig config, BufferPool* pool)
+Table::Table(std::uint32_t id, TableConfig config, BufferPool* pool,
+             LogManager* log, bool log_creation)
     : id_(id), config_(std::move(config)), pool_(pool) {
+  if (log != nullptr) logger_ = std::make_unique<IndexLogger>(log, id_);
   heap_ = std::make_unique<HeapFile>(pool, config_.heap_mode, id_);
   std::unique_ptr<MRBTree> tree;
   Status st = MRBTree::Create(pool, config_.index_policy,
-                              config_.index_boundaries, &tree);
+                              config_.index_boundaries, &tree, logger_.get(),
+                              log_creation);
   // TableConfig boundaries are validated by CreateTable before we get here.
   (void)st;
   primary_ = std::move(tree);
@@ -112,6 +115,9 @@ Database::Database(DatabaseConfig config)
         BufferPoolConfig pc;
         pc.frame_budget = config_.frame_budget;
         pc.disk = disk_.get();
+        pc.persist_index_pages =
+            disk_ != nullptr &&
+            config_.index_durability == IndexDurability::kLoggedPages;
         if (disk_ != nullptr) {
           // WAL rule for dirty steals; log_ outlives every eviction.
           pc.wal_barrier = [this](Lsn lsn) { log_.FlushTo(lsn); };
@@ -176,7 +182,11 @@ Status Database::LoadDurableState() {
     pool_.EnsureNextPageIdAtLeast(max_logged + 1);
   }
 
-  // 1. Catalog: recreate tables (fresh, empty indexes).
+  // 1. Catalog: recreate tables. In snapshot mode the fresh empty indexes
+  // ARE the rebuild target; in logged-index mode they are placeholders —
+  // nothing is logged for them (restoring_) and recovery adopts the real
+  // partition layout from the checkpoint image / kPartitionTable records.
+  restoring_ = true;
   {
     std::string blob;
     FILE* f = std::fopen(catalog_path().c_str(), "rb");
@@ -238,10 +248,15 @@ Status Database::LoadDurableState() {
 
   // 3. Restart recovery (analysis / redo / undo).
   RecoveryManager rm(&log_, &pool_);
-  PLP_RETURN_IF_ERROR(rm.RecoverDatabase(this, has_checkpoint, checkpoint_lsn,
-                                         image, &recovery_stats_));
+  Status recovered = rm.RecoverDatabase(this, has_checkpoint, checkpoint_lsn,
+                                        image, &recovery_stats_);
+  restoring_ = false;
+  PLP_RETURN_IF_ERROR(recovered);
 
-  // 4. Prime free-space maps for post-restart inserts.
+  // 4. Prime free-space maps for post-restart inserts. (Owned-heap
+  // ownership re-tagging happens when the engine attaches the recovered
+  // tables — PartitionedEngine::RetagOwnedHeap — since partition uids
+  // are an engine concept.)
   for (auto& table : tables_) table->heap()->PrimeFreeSpace();
   return Status::OK();
 }
@@ -285,12 +300,19 @@ Result<Table*> Database::CreateTableInternal(TableConfig config,
     return Status::AlreadyExists("table " + config.name);
   }
   const auto id = static_cast<std::uint32_t>(tables_.size());
-  auto table = std::make_unique<Table>(id, std::move(config), &pool_);
+  auto table = std::make_unique<Table>(
+      id, std::move(config), &pool_, logged_index() ? &log_ : nullptr,
+      /*log_creation=*/!restoring_);
   Table* raw = table.get();
   tables_.push_back(std::move(table));
   by_name_.emplace(raw->name(), raw);
   catalog_mu_.unlock();
   if (persist) {
+    // Creation-before-catalog ordering (logged-index mode): the table's
+    // root images + partition record must be durable before the catalog
+    // names the table, or a crash could leave a cataloged table whose
+    // partition layout recovery can never adopt.
+    if (logged_index()) log_.FlushAll();
     PLP_RETURN_IF_ERROR(PersistCatalog());
   }
   return raw;
@@ -327,18 +349,32 @@ Status Database::Checkpoint() {
   image.next_txn_id = txns_.peek_next_id();
   image.next_page_id = pool_.peek_next_page_id();
 
-  // Primary-index snapshots. The caller must not run concurrent index
-  // writers (see src/io/checkpoint.h); readers are fine.
   catalog_mu_.lock();
-  for (auto& table : tables_) {
-    CheckpointImage::TableSnapshot snap;
-    snap.table_id = table->id();
-    (void)table->primary()->ScanFrom("", [&](Slice k, Slice v) {
-      snap.entries.emplace_back(std::string(k.data(), k.size()),
-                                std::string(v.data(), v.size()));
-      return true;
-    });
-    image.tables.push_back(std::move(snap));
+  if (logged_index()) {
+    // Persistent index: the payload records only the tiny partition-table
+    // baseline per table — page contents are covered by the dirty page
+    // table + WAL, so checkpoint cost is O(dirty + txns), independent of
+    // index size, and no quiescing is needed (truly fuzzy).
+    for (auto& table : tables_) {
+      CheckpointImage::TablePartitions parts;
+      parts.table_id = table->id();
+      parts.parts = table->primary()->PartitionEntries();
+      image.partitions.push_back(std::move(parts));
+    }
+  } else {
+    // Legacy snapshot mode: serialize every primary index. The caller
+    // must not run concurrent index writers (see src/io/checkpoint.h);
+    // readers are fine.
+    for (auto& table : tables_) {
+      CheckpointImage::TableSnapshot snap;
+      snap.table_id = table->id();
+      (void)table->primary()->ScanFrom("", [&](Slice k, Slice v) {
+        snap.entries.emplace_back(std::string(k.data(), k.size()),
+                                  std::string(v.data(), v.size()));
+        return true;
+      });
+      image.tables.push_back(std::move(snap));
+    }
   }
   catalog_mu_.unlock();
 

@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/index/btree.h"
 #include "src/index/mrbtree.h"
+#include "src/index/persistent/index_log.h"
 #include "src/io/disk_manager.h"
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
@@ -55,7 +56,12 @@ using SecondaryKeyFn = std::function<std::string(Slice key, Slice payload)>;
 
 class Table {
  public:
-  Table(std::uint32_t id, TableConfig config, BufferPool* pool);
+  /// `log` non-null enables the persistent (physiologically logged) index:
+  /// the table owns an IndexLogger and its primary MRBTree logs every page
+  /// mutation. `log_creation = false` builds restart placeholders whose
+  /// partition layout recovery adopts from the checkpoint/WAL.
+  Table(std::uint32_t id, TableConfig config, BufferPool* pool,
+        LogManager* log = nullptr, bool log_creation = true);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -66,6 +72,12 @@ class Table {
 
   HeapFile* heap() { return heap_.get(); }
   MRBTree* primary() { return primary_.get(); }
+
+  /// True when the primary index is persistent (page-backed, WAL-logged):
+  /// record ops then skip the legacy logical index records and tag the
+  /// tree's physiological records with their transaction instead.
+  bool logged_index() const { return logger_ != nullptr; }
+  IndexLogger* index_logger() { return logger_.get(); }
 
   /// Adds a (non-partition-aligned) secondary index, always accessed with
   /// conventional latching (Appendix E). Maps secondary key -> primary
@@ -85,9 +97,25 @@ class Table {
   const std::uint32_t id_;
   const TableConfig config_;
   BufferPool* pool_;
+  std::unique_ptr<IndexLogger> logger_;
   std::unique_ptr<HeapFile> heap_;
   std::unique_ptr<MRBTree> primary_;
   std::vector<std::unique_ptr<Secondary>> secondaries_;
+};
+
+/// How durable databases persist their primary indexes.
+enum class IndexDurability {
+  /// Persistent pages (default): index nodes live in evictable frames,
+  /// every mutation is physiologically WAL-logged, checkpoints carry no
+  /// index payload, and restart redoes index history from the log
+  /// (src/index/persistent, docs/persistent_index.md).
+  kLoggedPages,
+  /// Legacy: the index is volatile; each checkpoint serializes a full
+  /// logical snapshot and restart rebuilds the tree from snapshot +
+  /// logical replay. Kept for comparison benchmarks
+  /// (bench/durability_overhead.cc). A data_dir must stick with one mode
+  /// for its lifetime.
+  kSnapshot,
 };
 
 struct DatabaseConfig {
@@ -100,6 +128,8 @@ struct DatabaseConfig {
   /// Buffer-pool frame budget (0 = unlimited / never evict). Meaningful
   /// only with `data_dir`, which provides the backing store to steal to.
   std::size_t frame_budget = 0;
+  /// Primary-index durability mode (durable databases only).
+  IndexDurability index_durability = IndexDurability::kLoggedPages;
 };
 
 /// Bundles the shared-everything storage manager services: one buffer
@@ -122,6 +152,12 @@ class Database {
   std::vector<Table*> tables();
 
   bool durable() const { return disk_ != nullptr; }
+
+  /// True when durable tables run the persistent (logged) index.
+  bool logged_index() const {
+    return durable() &&
+           config_.index_durability == IndexDurability::kLoggedPages;
+  }
 
   /// Fuzzy checkpoint: logs the dirty page table + active transactions +
   /// primary-index snapshots, forces the record, publishes the master
@@ -166,6 +202,7 @@ class Database {
 
   RecoveryManager::Stats recovery_stats_;
   bool closed_ = false;
+  bool restoring_ = false;  // catalog replay in progress (suppress logging)
 };
 
 }  // namespace plp

@@ -5,6 +5,7 @@ namespace plp {
 TxnHandle Engine::Submit(TxnRequest req, TxnOptions options) {
   auto state = std::make_shared<internal::TxnShared>();
   state->callback = std::move(options.on_complete);
+  state->executor = callback_executor_.get();
   TxnHandle handle(state);
   if (!gate_.Acquire(options.on_full == TxnOptions::OnFull::kBlock)) {
     internal::ResolveTxn(state, Status::Retry("engine at max_inflight"));

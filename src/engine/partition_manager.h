@@ -69,6 +69,14 @@ class PartitionManager {
   /// fixed worker assignment.
   void RegisterTable(Table* table, std::vector<std::string> boundaries);
 
+  /// True when routing for `table` is already registered (durable reopens
+  /// recover tables from the catalog without a CreateTable call; engines
+  /// attach them at Start).
+  bool HasTable(Table* table) const {
+    std::shared_lock<std::shared_mutex> lk(routing_mu_);
+    return routing_.count(table) > 0;
+  }
+
   /// Replaces a table's routing (call between Quiesce/Resume). Boundaries
   /// present before keep their partition uid; new ones get fresh uids.
   void SetRouting(Table* table, std::vector<std::string> boundaries);

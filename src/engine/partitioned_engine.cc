@@ -25,6 +25,18 @@ PartitionedEngine::~PartitionedEngine() { Stop(); }
 
 void PartitionedEngine::Start() {
   ReopenGate();
+  // Attach tables recovered from a durable catalog: reopen does not call
+  // CreateTable, so routing/ownership wiring happens here. Boundaries come
+  // from the recovered MRBTree partition metadata, so partition
+  // assignments survive the crash intact.
+  for (Table* table : db_.tables()) {
+    if (pm_.HasTable(table)) continue;
+    pm_.RegisterTable(table, table->primary()->boundaries());
+    if (is_plp()) {
+      WirePlpTable(table);
+      RetagOwnedHeap(table);
+    }
+  }
   pm_.Start();
   // PLP page cleaning delegates to the owning partition's system queue
   // (Appendix A.4); the logical-only design cleans conventionally.
@@ -95,22 +107,66 @@ Result<Table*> PartitionedEngine::CreateTable(
 void PartitionedEngine::WirePlpTable(Table* table) {
   MRBTree* primary = table->primary();
   HeapFile* heap = table->heap();
+  LogManager* log = db_.durable() ? db_.log() : nullptr;
+  const std::uint32_t table_id = table->id();
   for (PartitionId p = 0; p < primary->num_partitions(); ++p) {
     BTree* sub = primary->subtree(p);
     sub->RetagPages(pm_.PartitionUid(table, p));
     if (table->config().heap_mode == HeapMode::kLeafOwned) {
       // Leaf splits must carry the pointed-to records along so each heap
-      // page stays owned by exactly one leaf (Section 3.3).
+      // page stays owned by exactly one leaf (Section 3.3). The tree runs
+      // the crash-safe copy -> re-point -> release protocol: this hook
+      // only copies (logging a system insert in durable mode); the
+      // release hook below deletes the old location after the index entry
+      // has been re-pointed and the re-point logged.
       sub->set_leaf_moved_hook(
-          [heap](Slice key, Slice value, PageId new_leaf) -> std::string {
+          [heap, log, table_id](Slice key, Slice value,
+                                PageId new_leaf) -> std::string {
             (void)key;
+            std::string record;
+            if (!heap->Get(RidFromBytes(value), &record).ok()) {
+              return std::string();
+            }
             Rid new_rid;
-            Status st = heap->Move(RidFromBytes(value), new_leaf, &new_rid);
+            Status st = heap->InsertOwned(
+                new_leaf, record, &new_rid,
+                SystemHeapLogHook(log, table_id, LogType::kHeapInsert,
+                                  record));
             if (!st.ok()) return std::string();
             return RidToBytes(new_rid);
           });
+      sub->set_leaf_moved_release_hook(
+          [heap, log, table_id](Slice old_value) {
+            (void)heap->Delete(
+                RidFromBytes(old_value),
+                SystemHeapLogHook(log, table_id, LogType::kHeapDelete,
+                                  std::string()));
+          });
     }
   }
+}
+
+void PartitionedEngine::RetagOwnedHeap(Table* table) {
+  // Restart path: owner tags on recovered heap pages may predate the
+  // crash's final leaf splits / repartitions, and partition uids are
+  // assigned afresh per process. Re-derive each page's rightful owner
+  // from the recovered index (ROADMAP: re-tag owned heap pages).
+  if (table->config().clustered) return;
+  const HeapMode mode = table->config().heap_mode;
+  if (mode == HeapMode::kShared) return;
+  MRBTree* primary = table->primary();
+  HeapFile* heap = table->heap();
+  std::unordered_map<PageId, std::uint32_t> owner_of;
+  for (PartitionId p = 0; p < primary->num_partitions(); ++p) {
+    BTree* sub = primary->subtree(p);
+    const std::uint32_t uid = pm_.PartitionUid(table, p);
+    sub->ForEachEntry([&](Slice key, Slice value) {
+      const Rid rid = RidFromBytes(value);
+      owner_of[rid.page_id] =
+          mode == HeapMode::kLeafOwned ? sub->LeafFor(key) : uid;
+    });
+  }
+  for (const auto& [pid, owner] : owner_of) heap->RetagPage(pid, owner);
 }
 
 Status PartitionedEngine::Repartition(
@@ -290,10 +346,21 @@ Status PartitionedEngine::FixHeapOwnership(Table* table,
         moves.push_back({key.ToString(), rid});
       }
     });
+    LogManager* log = db_.durable() ? db_.log() : nullptr;
     for (const Move& m : moves) {
+      // Crash-safe move ordering (durable mode): copy, re-point the index
+      // entry (the tree logs the update), then release the old slot.
+      std::string record;
+      PLP_RETURN_IF_ERROR(heap->Get(m.rid, &record));
       Rid new_rid;
-      PLP_RETURN_IF_ERROR(heap->Move(m.rid, uid, &new_rid));
+      PLP_RETURN_IF_ERROR(heap->InsertOwned(
+          uid, record, &new_rid,
+          SystemHeapLogHook(log, table->id(), LogType::kHeapInsert,
+                            record)));
       PLP_RETURN_IF_ERROR(sub->Update(m.key, RidToBytes(new_rid)));
+      PLP_RETURN_IF_ERROR(heap->Delete(
+          m.rid, SystemHeapLogHook(log, table->id(), LogType::kHeapDelete,
+                                   std::string())));
       ++count;
     }
   }

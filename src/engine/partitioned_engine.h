@@ -66,6 +66,10 @@ class PartitionedEngine : public Engine {
   /// Stamps index frames and installs PLP-Leaf hooks for all partitions.
   void WirePlpTable(Table* table);
 
+  /// Restart path: re-derives heap-page ownership from the recovered
+  /// index for the owned heap modes (stale owner tags / fresh uids).
+  void RetagOwnedHeap(Table* table);
+
   /// Moves heap records whose page owner no longer matches their
   /// partition's uid (PLP-Partition repartitioning cost).
   Status FixHeapOwnership(Table* table, std::uint64_t* moved);

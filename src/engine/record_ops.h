@@ -20,6 +20,15 @@ namespace plp {
 std::string RidToBytes(Rid rid);
 Rid RidFromBytes(Slice bytes);
 
+/// Builds a HeapFile::MutationHook that appends a redo-only SYSTEM heap
+/// record (txn = kInvalidTxnId) and stamps the page while it is still
+/// pinned+held. Used for heap-record moves during leaf splits and
+/// repartitioning in durable databases: recovery repeats them as history
+/// and never undoes them. `log` may be null (no-op hook, in-memory mode).
+HeapFile::MutationHook SystemHeapLogHook(LogManager* log,
+                                         std::uint32_t table_id,
+                                         LogType type, std::string image);
+
 class BaseExecContext : public ExecContext {
  public:
   /// `undo_sink` collects compensation closures; the caller decides where
@@ -54,7 +63,10 @@ class BaseExecContext : public ExecContext {
   }
 
   /// Places a new record according to the table's heap discipline.
-  Status PlaceRecord(Slice key, Slice payload, Rid* rid);
+  /// `logged` runs inside the heap op while the page is pinned+held
+  /// (latch-coupled logging).
+  Status PlaceRecord(Slice key, Slice payload, Rid* rid,
+                     const HeapFile::MutationHook& logged);
 
   /// Clustered-table variants: the payload lives in the index leaf, no
   /// heap file involved (Appendix C.2).
@@ -62,7 +74,16 @@ class BaseExecContext : public ExecContext {
   Status UpdateClustered(Slice key, Slice payload);
   Status DeleteClustered(Slice key);
 
-  void LogHeapOp(LogType type, Rid rid, Slice redo, Slice undo);
+  /// Appends a heap WAL record and stamps `page` while the caller still
+  /// holds it exclusively (invoked from a HeapFile::MutationHook, which
+  /// closes the modify->log window against eviction steals).
+  void LogHeapOpOnPage(LogType type, Page* page, Rid rid, Slice redo,
+                       Slice undo);
+  /// Builds a MutationHook that logs `type` with the given images.
+  HeapFile::MutationHook HeapLogHook(LogType type, Slice redo, Slice undo);
+  /// Logical primary-index record (legacy snapshot mode and in-memory
+  /// crash simulation). Persistent-index tables skip this: the tree logs
+  /// its own physiological records, tagged with the transaction.
   void LogIndexOp(LogType type, Slice key, Slice value);
 
   void AddUndo(std::function<Status()> fn) {

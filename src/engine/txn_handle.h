@@ -9,14 +9,75 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/common/status.h"
 
 namespace plp {
+
+/// Dedicated executor for completion callbacks
+/// (EngineConfig::dedicated_callback_thread): a worker that committed a
+/// transaction hands the user callback off instead of running it inline,
+/// so slow callbacks cannot stall partition workers or the submission
+/// pool. Completion ordering is preserved per handle: the callback still
+/// runs before Wait() observes the transaction as done.
+class CallbackExecutor {
+ public:
+  CallbackExecutor() : thread_([this] { Loop(); }) {}
+
+  ~CallbackExecutor() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    // Tasks enqueued after the loop exited (or racing the stop) still run:
+    // each task resolves a TxnHandle someone may be waiting on.
+    for (auto& task : tasks_) task();
+    tasks_.clear();
+  }
+
+  CallbackExecutor(const CallbackExecutor&) = delete;
+  CallbackExecutor& operator=(const CallbackExecutor&) = delete;
+
+  /// Enqueues a task; false when the executor is stopping (the caller
+  /// runs the task inline instead).
+  bool Post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (stopping_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty() && stopping_) return;
+      auto task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lk.unlock();
+      task();
+      lk.lock();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
 
 /// Counting gate that admits at most `limit` transactions at a time.
 /// Submit acquires a slot; completion releases it. Tracks the high-water
@@ -119,18 +180,13 @@ struct TxnShared {
   bool done = false;
   Status status;
   std::function<void(const Status&)> callback;
-  AdmissionGate* gate = nullptr;  // slot released after completion
+  AdmissionGate* gate = nullptr;      // slot released after completion
+  CallbackExecutor* executor = nullptr;  // callback off the worker thread
 };
 
-/// Resolves the transaction exactly once: runs the completion callback on
-/// the calling thread, then frees the admission slot, then releases
-/// waiters. Wait()/TryGet() therefore never report completion before the
-/// callback has finished — and once Wait() returns, the admission slot is
-/// free, so a wait-then-resubmit never bounces off this transaction's own
-/// slot.
-inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
-  if (s->resolved.exchange(true, std::memory_order_acq_rel)) return;
-  if (s->callback) s->callback(status);
+/// Second half of completion: frees the admission slot, then releases
+/// waiters. Runs after the callback (inline or on the executor).
+inline void FinishTxn(const std::shared_ptr<TxnShared>& s, Status status) {
   if (s->gate != nullptr) s->gate->Release();
   {
     std::lock_guard<std::mutex> g(s->mu);
@@ -138,6 +194,28 @@ inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
     s->done = true;
   }
   s->cv.notify_all();
+}
+
+/// Resolves the transaction exactly once: runs the completion callback
+/// (on the calling thread, or on the engine's dedicated callback executor
+/// when configured), then frees the admission slot, then releases
+/// waiters. Wait()/TryGet() therefore never report completion before the
+/// callback has finished — and once Wait() returns, the admission slot is
+/// free, so a wait-then-resubmit never bounces off this transaction's own
+/// slot.
+inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
+  if (s->resolved.exchange(true, std::memory_order_acq_rel)) return;
+  if (s->callback && s->executor != nullptr) {
+    if (s->executor->Post([s, status] {
+          s->callback(status);
+          FinishTxn(s, status);
+        })) {
+      return;
+    }
+    // Executor already stopping: fall through to inline resolution.
+  }
+  if (s->callback) s->callback(status);
+  FinishTxn(s, std::move(status));
 }
 
 }  // namespace internal

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/index/persistent/index_log.h"
+
 namespace plp {
 
 namespace {
@@ -11,29 +13,42 @@ std::string PidValue(PageId pid) {
 }
 }  // namespace
 
-BTree::BTree(BufferPool* pool, LatchPolicy policy)
-    : pool_(pool), policy_(policy) {
-  Page* root = NewNodePage(/*level=*/0);
+BTree::BTree(BufferPool* pool, LatchPolicy policy, IndexLogger* logger)
+    : pool_(pool), policy_(policy), logger_(logger) {
+  PageRef root = NewNodePage(/*level=*/0);
   root_ = root->id();
+  // The empty root must be recoverable before any mutation references it.
+  if (logger_ != nullptr) logger_->Smo({root.get()});
 }
 
-BTree::BTree(BufferPool* pool, LatchPolicy policy, PageId root)
-    : pool_(pool), policy_(policy), root_(root) {}
+BTree::BTree(BufferPool* pool, LatchPolicy policy, PageId root,
+             IndexLogger* logger)
+    : pool_(pool), policy_(policy), root_(root), logger_(logger) {}
 
-Page* BTree::FixPage(PageId id) {
-  return policy_ == LatchPolicy::kLatched ? pool_->Fix(id)
-                                          : pool_->FixUnlocked(id);
+PageRef BTree::FixPage(PageId id) {
+  // Latched mode charges the buffer-pool critical section; latch-free
+  // partitions own their pages and skip it. In durable (evicting) mode the
+  // returned ref pins the frame, which both keeps the pointer alive across
+  // the operation and closes the modify->log window: an unpinned frame
+  // could be stolen between the byte change and the WAL append.
+  return pool_->AcquirePage(id, /*tracked=*/policy_ == LatchPolicy::kLatched);
 }
 
-Page* BTree::NewNodePage(std::uint16_t level) {
-  Page* page = pool_->NewPage(PageClass::kIndex);
+PageRef BTree::NewNodePage(std::uint16_t level) {
+  PageRef page = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX);
   BTreeNode::Init(page->data(), level);
   page->set_owner_tag(owner_tag_);
   return page;
 }
 
+void BTree::LogSmoScope(SmoScope* scope) {
+  if (logger_ != nullptr && !scope->touched.empty()) {
+    logger_->Smo(scope->touched);
+  }
+}
+
 PageId BTree::LeafFor(Slice key) {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     cur = FixPage(node.ChildFor(key));
@@ -42,19 +57,31 @@ PageId BTree::LeafFor(Slice key) {
   return cur->id();
 }
 
-void BTree::ApplyLeafMovedHook(Page* right_leaf) {
+void BTree::ApplyLeafMovedHook(Page* leaf, int from, PageId new_leaf) {
   if (!leaf_moved_hook_) return;
-  BTreeNode node(right_leaf->data());
-  for (int i = 0; i < node.count(); ++i) {
-    const std::string new_value = leaf_moved_hook_(
-        node.KeyAt(i), node.ValueAt(i), right_leaf->id());
-    if (!new_value.empty()) {
-      Status st = node.SetValueAt(i, new_value);
-      assert(st.ok());
-      (void)st;
+  BTreeNode node(leaf->data());
+  for (int i = from; i < node.count(); ++i) {
+    const std::string key = node.KeyAt(i).ToString();
+    const std::string old_value = node.ValueAt(i).ToString();
+    // 1. Copy the heap record to a page owned by the new leaf (the hook
+    //    logs a system insert in durable mode).
+    const std::string new_value = leaf_moved_hook_(key, old_value, new_leaf);
+    if (new_value.empty()) continue;
+    // 2. Re-point the index entry where it currently lives, and log the
+    //    re-point before the old location can be released: every WAL
+    //    prefix keeps the record reachable (copy-only -> old RID valid;
+    //    re-point -> new RID valid; release last).
+    Status st = node.SetValueAt(i, new_value);
+    assert(st.ok());  // RID values are fixed-size: replacement fits
+    (void)st;
+    if (logger_ != nullptr) {
+      logger_->LeafUpdate(kInvalidTxnId, leaf, key, new_value, old_value);
     }
+    // 3. Release the old heap location (logged system delete in durable
+    //    mode).
+    if (leaf_moved_release_hook_) leaf_moved_release_hook_(old_value);
   }
-  right_leaf->MarkDirty();
+  leaf->MarkDirty();
 }
 
 void BTree::RetagPages(std::uint32_t owner) {
@@ -63,8 +90,8 @@ void BTree::RetagPages(std::uint32_t owner) {
     BTree* tree;
     std::uint32_t owner;
     void Walk(PageId pid) {
-      Page* page = tree->FixPage(pid);
-      if (page == nullptr) return;
+      PageRef page = tree->FixPage(pid);
+      if (!page) return;
       page->set_owner_tag(owner);
       BTreeNode node(page->data());
       if (node.is_leaf()) return;
@@ -76,19 +103,26 @@ void BTree::RetagPages(std::uint32_t owner) {
 }
 
 int BTree::height() {
-  Page* root = FixPage(root_);
+  PageRef root = FixPage(root_);
   return BTreeNode(root->data()).level() + 1;
 }
 
-Status BTree::Insert(Slice key, Slice value) {
-  bool needs_smo = false;
-  Status st = InsertOptimistic(key, value, &needs_smo);
-  if (!needs_smo) return st;
-  return InsertPessimistic(key, value);
+void BTree::RecountEntries() {
+  std::uint64_t n = 0;
+  ForEachEntry([&](Slice, Slice) { ++n; });
+  num_entries_.store(n, std::memory_order_relaxed);
 }
 
-Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
-  Page* cur = FixPage(root_);
+Status BTree::Insert(Slice key, Slice value, TxnId txn) {
+  bool needs_smo = false;
+  Status st = InsertOptimistic(key, value, txn, &needs_smo);
+  if (!needs_smo) return st;
+  return InsertPessimistic(key, value, txn);
+}
+
+Status BTree::InsertOptimistic(Slice key, Slice value, TxnId txn,
+                               bool* needs_smo) {
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -97,7 +131,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
 
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    Page* child = FixPage(node.ChildFor(key));
+    PageRef child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -105,7 +139,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);
     }
-    cur = child;
+    cur = std::move(child);
     mode = child_mode;
     node = BTreeNode(cur->data());
   }
@@ -120,6 +154,9 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
   if (st.ok()) {
     cur->MarkDirty();
     num_entries_.fetch_add(1, std::memory_order_relaxed);
+    // Latch-coupled logging: the record is appended (and the page LSN
+    // stamped) before the latch/pin are released.
+    if (logger_ != nullptr) logger_->LeafInsert(txn, cur.get(), key, value);
     if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
     return Status::OK();
   }
@@ -128,22 +165,20 @@ Status BTree::InsertOptimistic(Slice key, Slice value, bool* needs_smo) {
   return Status::OK();
 }
 
-Status BTree::InsertPessimistic(Slice key, Slice value) {
+Status BTree::InsertPessimistic(Slice key, Slice value, TxnId txn) {
   // ARIES/KVL: one SMO at a time per (sub-)tree.
   const bool latched = policy_ == LatchPolicy::kLatched;
   if (latched) smo_mu_.lock();
 
-  std::vector<Page*> path;
-  Page* cur = FixPage(root_);
-  if (latched) cur->latch().AcquireExclusive();
-  path.push_back(cur);
-  BTreeNode node(cur->data());
+  std::vector<PageRef> path;
+  path.push_back(FixPage(root_));
+  if (latched) path.back()->latch().AcquireExclusive();
+  BTreeNode node(path.back()->data());
   while (!node.is_leaf()) {
-    Page* child = FixPage(node.ChildFor(key));
+    PageRef child = FixPage(node.ChildFor(key));
     if (latched) child->latch().AcquireExclusive();
-    path.push_back(child);
-    cur = child;
-    node = BTreeNode(cur->data());
+    path.push_back(std::move(child));
+    node = BTreeNode(path.back()->data());
   }
 
   auto unlock_all = [&] {
@@ -164,61 +199,85 @@ Status BTree::InsertPessimistic(Slice key, Slice value) {
     }
   }
 
-  // Insert, splitting up the path as needed.
+  // Insert, splitting up the path as needed. The leaf-level iteration runs
+  // first, so `target_leaf` (the page that received the client key) is
+  // always set before any separator bubbles upward.
+  SmoScope scope;
+  Page* target_leaf = nullptr;
   std::string ins_key = key.ToString();
   std::string ins_val = value.ToString();
   int i = static_cast<int>(path.size()) - 1;
   while (true) {
-    Page* page = path[static_cast<std::size_t>(i)];
+    const bool at_leaf = i == static_cast<int>(path.size()) - 1;
+    Page* page = path[static_cast<std::size_t>(i)].get();
     BTreeNode n(page->data());
     const int pos = n.LowerBound(ins_key);
     if (n.InsertAt(pos, ins_key, ins_val).ok()) {
       page->MarkDirty();
+      if (at_leaf) {
+        target_leaf = page;
+      } else {
+        scope.Touch(page);  // separator landed here: part of the SMO
+      }
       break;
     }
     if (i == 0) {
       // Full root: split in place (the root page id never changes).
-      SplitRoot(page);
+      SplitRoot(page, &scope);
       BTreeNode r(page->data());
-      Page* target = FixPage(r.ChildFor(ins_key));
+      PageRef target = FixPage(r.ChildFor(ins_key));
       BTreeNode tn(target->data());
       Status st = tn.InsertAt(tn.LowerBound(ins_key), ins_key, ins_val);
       assert(st.ok());
       (void)st;
       target->MarkDirty();
+      scope.Touch(target.get());
+      if (at_leaf) target_leaf = target.get();
+      scope.refs.push_back(std::move(target));
       break;
     }
     std::string sep;
-    PageId right_pid;
-    SplitNode(page, &sep, &right_pid);
-    Page* target = Slice(ins_key).compare(sep) >= 0 ? FixPage(right_pid) : page;
+    Page* right = SplitNode(page, &sep, &scope);
+    Page* target = Slice(ins_key).compare(sep) >= 0 ? right : page;
     BTreeNode tn(target->data());
     Status st = tn.InsertAt(tn.LowerBound(ins_key), ins_key, ins_val);
     assert(st.ok());
     (void)st;
     target->MarkDirty();
+    if (at_leaf) target_leaf = target;
     // Bubble the separator into the parent.
     ins_key = sep;
-    ins_val = PidValue(right_pid);
+    ins_val = PidValue(right->id());
     --i;
   }
 
   num_entries_.fetch_add(1, std::memory_order_relaxed);
+  if (logger_ != nullptr) {
+    // Anchor first, SMO images second: a crash between them leaves the
+    // anchor replayable (tolerant no-space skip against the pre-SMO page)
+    // while the transaction — whose commit record can only follow the SMO
+    // record — is necessarily a loser. The reverse order could make an
+    // uncommitted key durable with no undo anchor.
+    assert(target_leaf != nullptr);
+    logger_->LeafInsert(txn, target_leaf, key, value);
+    LogSmoScope(&scope);
+  }
   unlock_all();
   return Status::OK();
 }
 
-void BTree::SplitNode(Page* page, std::string* sep, PageId* right_pid) {
+Page* BTree::SplitNode(Page* page, std::string* sep, SmoScope* scope) {
   BTreeNode node(page->data());
   const int mid = node.count() / 2;
-  Page* right = NewNodePage(node.level());
+  PageRef right = NewNodePage(node.level());
+  Page* right_raw = right.get();
   BTreeNode rnode(right->data());
   if (node.is_leaf()) {
+    ApplyLeafMovedHook(page, mid, right->id());
     node.MoveTail(mid, &rnode);
     *sep = rnode.KeyAt(0).ToString();
     rnode.set_next(node.next());
     node.set_next(right->id());
-    ApplyLeafMovedHook(right);
   } else {
     *sep = node.KeyAt(mid).ToString();
     rnode.set_leftmost_child(node.ChildAt(mid));
@@ -227,43 +286,48 @@ void BTree::SplitNode(Page* page, std::string* sep, PageId* right_pid) {
   }
   right->MarkDirty();
   page->MarkDirty();
-  *right_pid = right->id();
+  scope->Touch(page);
+  scope->Touch(right_raw);
+  scope->refs.push_back(std::move(right));
   smo_count_.fetch_add(1, std::memory_order_relaxed);
+  return right_raw;
 }
 
-void BTree::SplitRoot(Page* root_page) {
+void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
   BTreeNode node(root_page->data());
   // Clone the root's contents into a fresh left child, split the clone,
   // and turn the root into an internal node over the two halves.
-  Page* left = pool_->NewPage(PageClass::kIndex);
+  PageRef left = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX);
   left->set_owner_tag(owner_tag_);
   std::memcpy(left->data(), root_page->data(), kPageSize);
   std::string sep;
-  PageId right_pid;
-  SplitNode(left, &sep, &right_pid);
+  Page* right = SplitNode(left.get(), &sep, scope);
   const std::uint16_t new_level = node.level() + 1;
   BTreeNode::Init(root_page->data(), new_level);
   BTreeNode r(root_page->data());
   r.set_leftmost_child(left->id());
-  Status st = r.InsertAt(0, sep, PidValue(right_pid));
+  Status st = r.InsertAt(0, sep, PidValue(right->id()));
   assert(st.ok());
   (void)st;
   left->MarkDirty();
   root_page->MarkDirty();
+  scope->Touch(left.get());
+  scope->Touch(root_page);
+  scope->refs.push_back(std::move(left));
 }
 
 Status BTree::Probe(Slice key, std::string* value) {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    Page* child = FixPage(node.ChildFor(key));
+    PageRef child = FixPage(node.ChildFor(key));
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().AcquireShared();
       cur->latch().ReleaseShared();
     }
-    cur = child;
+    cur = std::move(child);
     node = BTreeNode(cur->data());
   }
   nodes_visited_.fetch_add(1, std::memory_order_relaxed);
@@ -279,15 +343,15 @@ Status BTree::Probe(Slice key, std::string* value) {
   return st;
 }
 
-Status BTree::Update(Slice key, Slice value) {
-  Page* cur = FixPage(root_);
+Status BTree::Update(Slice key, Slice value, TxnId txn) {
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
   if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
-    Page* child = FixPage(node.ChildFor(key));
+    PageRef child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -295,7 +359,7 @@ Status BTree::Update(Slice key, Slice value) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);
     }
-    cur = child;
+    cur = std::move(child);
     mode = child_mode;
     node = BTreeNode(cur->data());
   }
@@ -304,21 +368,27 @@ Status BTree::Update(Slice key, Slice value) {
     if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
     return Status::NotFound();
   }
+  const std::string old_value = node.ValueAt(pos).ToString();
   Status st = node.SetValueAt(pos, value);
-  if (st.ok()) cur->MarkDirty();
+  if (st.ok()) {
+    cur->MarkDirty();
+    if (logger_ != nullptr) {
+      logger_->LeafUpdate(txn, cur.get(), key, value, old_value);
+    }
+  }
   if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
   if (st.IsNoSpace()) {
     // Rare: a grown value no longer fits on the leaf. Re-insert through the
     // SMO path (delete + insert; not atomic w.r.t. concurrent readers of
     // this one key, which our single-writer-per-key workloads tolerate).
-    PLP_RETURN_IF_ERROR(Delete(key));
-    return Insert(key, value);
+    PLP_RETURN_IF_ERROR(Delete(key, txn));
+    return Insert(key, value, txn);
   }
   return st;
 }
 
-Status BTree::Delete(Slice key) {
-  Page* cur = FixPage(root_);
+Status BTree::Delete(Slice key, TxnId txn) {
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -326,7 +396,7 @@ Status BTree::Delete(Slice key) {
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    Page* child = FixPage(node.ChildFor(key));
+    PageRef child = FixPage(node.ChildFor(key));
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -334,7 +404,7 @@ Status BTree::Delete(Slice key) {
       child->latch().Acquire(child_mode);
       cur->latch().Release(mode);
     }
-    cur = child;
+    cur = std::move(child);
     mode = child_mode;
     node = BTreeNode(cur->data());
   }
@@ -344,9 +414,13 @@ Status BTree::Delete(Slice key) {
   if (pos < 0) {
     st = Status::NotFound();
   } else {
+    const std::string old_value = node.ValueAt(pos).ToString();
     node.RemoveAt(pos);
     cur->MarkDirty();
     num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    if (logger_ != nullptr) {
+      logger_->LeafDelete(txn, cur.get(), key, old_value);
+    }
   }
   if (policy_ == LatchPolicy::kLatched) cur->latch().Release(mode);
   return st;
@@ -354,16 +428,16 @@ Status BTree::Delete(Slice key) {
 
 Status BTree::ScanFrom(Slice start,
                        const std::function<bool(Slice, Slice)>& fn) {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
-    Page* child = FixPage(node.ChildFor(start));
+    PageRef child = FixPage(node.ChildFor(start));
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().AcquireShared();
       cur->latch().ReleaseShared();
     }
-    cur = child;
+    cur = std::move(child);
     node = BTreeNode(cur->data());
   }
   int pos = node.LowerBound(start);
@@ -371,13 +445,13 @@ Status BTree::ScanFrom(Slice start,
     if (pos >= node.count()) {
       const PageId next = node.next();
       if (next == kInvalidPageId) break;
-      Page* np = FixPage(next);
-      if (np == nullptr) break;
+      PageRef np = FixPage(next);
+      if (!np) break;
       if (policy_ == LatchPolicy::kLatched) {
         np->latch().AcquireShared();
         cur->latch().ReleaseShared();
       }
-      cur = np;
+      cur = std::move(np);
       node = BTreeNode(cur->data());
       pos = 0;
       continue;
@@ -390,7 +464,7 @@ Status BTree::ScanFrom(Slice start,
 }
 
 PageId BTree::LeftmostLeaf() {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const PageId child = node.count() > 0 || node.leftmost_child() != kInvalidPageId
@@ -403,7 +477,7 @@ PageId BTree::LeftmostLeaf() {
 }
 
 PageId BTree::RightmostLeaf() {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
@@ -414,25 +488,29 @@ PageId BTree::RightmostLeaf() {
   return cur->id();
 }
 
-Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out) {
+Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
+                       const PartitionPayloadFn& parts) {
   // Recursively split the spine containing `split_key`; entries (and
   // sub-trees) at or above the key move to newly allocated right-side
   // nodes (Appendix A.3.2). Runs quiesced: no latches needed.
+  SmoScope scope;
   struct Slicer {
     BTree* tree;
     plp::Slice key;
+    SmoScope* scope;
 
     PageId SlicePage(PageId pid) {
-      Page* page = tree->FixPage(pid);
+      PageRef page = tree->FixPage(pid);
       BTreeNode node(page->data());
-      Page* right = tree->NewNodePage(node.level());
+      PageRef right = tree->NewNodePage(node.level());
+      Page* right_raw = right.get();
       BTreeNode rnode(right->data());
       if (node.is_leaf()) {
         const int pos = node.LowerBound(key);
+        tree->ApplyLeafMovedHook(page.get(), pos, right_raw->id());
         node.MoveTail(pos, &rnode);
         rnode.set_next(node.next());
         node.set_next(kInvalidPageId);
-        tree->ApplyLeafMovedHook(right);
       } else {
         const int pos = node.UpperBound(key);
         const PageId child =
@@ -443,24 +521,48 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out) 
       }
       page->MarkDirty();
       right->MarkDirty();
-      return right->id();
+      scope->Touch(page.get());
+      scope->Touch(right_raw);
+      scope->refs.push_back(std::move(page));
+      scope->refs.push_back(std::move(right));
+      return right_raw->id();
     }
   };
 
-  Slicer slicer{this, split_key};
+  Slicer slicer{this, split_key, &scope};
   PageId right_root = slicer.SlicePage(root_);
 
-  // Trim degenerate right-root chains (internal nodes with no separators).
+  // Identify degenerate right-root chain pages (internal nodes with no
+  // separators). They are trimmed only AFTER the slice record is logged.
+  std::vector<PageId> trim;
   for (;;) {
-    Page* rp = FixPage(right_root);
+    PageRef rp = FixPage(right_root);
     BTreeNode rn(rp->data());
     if (rn.is_leaf() || rn.count() > 0) break;
-    const PageId only_child = rn.leftmost_child();
-    pool_->FreePage(right_root);
-    right_root = only_child;
+    trim.push_back(right_root);
+    right_root = rn.leftmost_child();
   }
 
-  auto right = std::unique_ptr<BTree>(new BTree(pool_, policy_, right_root));
+  // ONE atomic record for the whole slice: page images (trimmed empties
+  // ride along harmlessly) plus — via `parts` — the post-slice partition
+  // table, so a crash cannot separate the data movement from the routing
+  // change. Forced before returning: the repartition is durable once the
+  // caller proceeds.
+  if (logger_ != nullptr) {
+    const Lsn lsn = parts ? logger_->SmoWithPartitions(scope.touched,
+                                                       parts(right_root))
+                          : logger_->Smo(scope.touched);
+    logger_->log()->FlushTo(lsn);
+  }
+  scope.refs.clear();  // release pins before any page is freed
+
+  for (PageId pid : trim) {
+    pool_->FreePage(pid);
+    if (logger_ != nullptr) logger_->PageFree(pid);
+  }
+
+  auto right = std::unique_ptr<BTree>(
+      new BTree(pool_, policy_, right_root, logger_));
   // Recount entries on both sides (slice moves a key range wholesale).
   std::uint64_t right_count = 0;
   right->ForEachEntry([&](plp::Slice, plp::Slice) { ++right_count; });
@@ -471,26 +573,32 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out) 
   return Status::OK();
 }
 
-Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
+Status BTree::Meld(BTree* right, plp::Slice boundary_key,
+                   const PartitionPayloadFn& parts) {
+  SmoScope scope;
+  PageId to_free = kInvalidPageId;
+
   // Stitch the leaf chains first.
   {
-    Page* rl = FixPage(RightmostLeaf());
+    PageRef rl = FixPage(RightmostLeaf());
     BTreeNode rln(rl->data());
     rln.set_next(right->LeftmostLeaf());
     rl->MarkDirty();
+    scope.Touch(rl.get());
+    scope.refs.push_back(std::move(rl));
   }
 
   const int hl = height();
   const int hr = right->height();
-  Page* lroot = FixPage(root_);
-  Page* rroot = FixPage(right->root_);
+  PageRef lroot = FixPage(root_);
+  PageRef rroot = FixPage(right->root_);
   BTreeNode ln(lroot->data());
   BTreeNode rn(rroot->data());
 
   auto fallback_new_root = [&]() {
     const std::uint16_t level =
         static_cast<std::uint16_t>(std::max(hl, hr));
-    Page* nroot = NewNodePage(level);
+    PageRef nroot = NewNodePage(level);
     BTreeNode nn(nroot->data());
     nn.set_leftmost_child(root_);
     Status st = nn.InsertAt(0, boundary_key, PidValue(right->root_));
@@ -498,6 +606,8 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
     (void)st;
     nroot->MarkDirty();
     root_ = nroot->id();
+    scope.Touch(nroot.get());
+    scope.refs.push_back(std::move(nroot));
   };
 
   if (hl == hr) {
@@ -523,14 +633,15 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
     }
     if (merged) {
       lroot->MarkDirty();
-      pool_->FreePage(right->root_);
+      scope.Touch(lroot.get());
+      to_free = right->root_;
     } else {
       fallback_new_root();
     }
   } else if (hl > hr) {
     // Taller left: hang the right root off the left tree's rightmost node
     // at level hr (Appendix A.3.1, case 2).
-    Page* cur = lroot;
+    PageRef cur = FixPage(root_);
     BTreeNode node(cur->data());
     while (node.level() > hr) {
       const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
@@ -541,6 +652,8 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
     if (node.InsertAt(node.count(), boundary_key, PidValue(right->root_))
             .ok()) {
       cur->MarkDirty();
+      scope.Touch(cur.get());
+      scope.refs.push_back(std::move(cur));
     } else {
       fallback_new_root();
     }
@@ -548,7 +661,7 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
     // Taller right: hang the left tree off the right tree's leftmost node
     // at level hl (Appendix A.3.1, case 3); the merged root is the right
     // tree's root.
-    Page* cur = rroot;
+    PageRef cur = FixPage(right->root_);
     BTreeNode node(cur->data());
     while (node.level() > hl) {
       cur = FixPage(node.leftmost_child());
@@ -559,9 +672,30 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
       node.set_leftmost_child(root_);
       cur->MarkDirty();
       root_ = right->root_;
+      scope.Touch(cur.get());
+      scope.refs.push_back(std::move(cur));
     } else {
       fallback_new_root();
     }
+  }
+
+  // ONE atomic record for the meld: images plus the post-merge partition
+  // table. Forced before the absorbed root (a pre-existing page a replay
+  // of the OLD partition table would still reference) is freed — freeing
+  // a referenced disk slot before the routing change is durable would
+  // lose the right partition's keys on crash.
+  if (logger_ != nullptr) {
+    const Lsn lsn = parts ? logger_->SmoWithPartitions(scope.touched,
+                                                       parts(root_))
+                          : logger_->Smo(scope.touched);
+    logger_->log()->FlushTo(lsn);
+  }
+  scope.refs.clear();
+  lroot.Reset();
+  rroot.Reset();
+  if (to_free != kInvalidPageId) {
+    pool_->FreePage(to_free);
+    if (logger_ != nullptr) logger_->PageFree(to_free);
   }
 
   num_entries_.fetch_add(right->num_entries(), std::memory_order_relaxed);
@@ -570,7 +704,7 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key) {
 }
 
 Status BTree::ApproxMedianKey(std::string* out) {
-  Page* cur = FixPage(root_);
+  PageRef cur = FixPage(root_);
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const int mid = node.count() / 2;
@@ -586,7 +720,7 @@ Status BTree::ApproxMedianKey(std::string* out) {
 }
 
 Status BTree::MinKey(std::string* out) {
-  Page* cur = FixPage(LeftmostLeaf());
+  PageRef cur = FixPage(LeftmostLeaf());
   for (;;) {
     BTreeNode node(cur->data());
     if (node.count() > 0) {
@@ -603,7 +737,8 @@ void BTree::ForEachEntry(const std::function<void(plp::Slice, plp::Slice)>& fn) 
     BTree* tree;
     const std::function<void(plp::Slice, plp::Slice)>& fn;
     void Walk(PageId pid) {
-      Page* page = tree->FixPage(pid);
+      PageRef page = tree->FixPage(pid);
+      if (!page) return;
       BTreeNode node(page->data());
       if (node.is_leaf()) {
         for (int i = 0; i < node.count(); ++i) {
@@ -626,8 +761,8 @@ Status BTree::CheckIntegrity() {
     void Check(PageId pid, const std::string* lo, const std::string* hi,
                int expected_level) {
       if (!status.ok()) return;
-      Page* page = tree->FixPage(pid);
-      if (page == nullptr) {
+      PageRef page = tree->FixPage(pid);
+      if (!page) {
         status = Status::Corruption("dangling child pointer");
         return;
       }

@@ -10,6 +10,13 @@
 // thread, so every latch acquisition and the SMO mutex are skipped, and
 // page fixes bypass the buffer-pool critical section.
 //
+// Persistence: with an IndexLogger attached (durable databases in
+// kLoggedPages mode) every page visited by a mutation is PINNED for the
+// duration of the operation and every mutation appends a physiological
+// WAL record before the pin is released (latch-coupled logging — see
+// src/index/persistent/index_log.h). Index pages are then evictable like
+// heap pages and crash recovery redoes index history from the log.
+//
 // The same class also serves as one MRBTree sub-tree; MRBTree performs
 // slice (split off a key range) and meld (absorb a neighbor) through the
 // methods at the bottom.
@@ -32,31 +39,38 @@
 
 namespace plp {
 
+class IndexLogger;
+
 class BTree {
  public:
-  /// Creates an empty tree (root = empty leaf).
-  BTree(BufferPool* pool, LatchPolicy policy);
-  /// Adopts an existing root page (MRBTree slice/meld produce these).
-  BTree(BufferPool* pool, LatchPolicy policy, PageId root);
+  /// Creates an empty tree (root = empty leaf). With a logger the fresh
+  /// root's image is logged so restart can materialize it.
+  BTree(BufferPool* pool, LatchPolicy policy, IndexLogger* logger = nullptr);
+  /// Adopts an existing root page (MRBTree slice/meld and restart
+  /// recovery produce these). Never logs the adoption.
+  BTree(BufferPool* pool, LatchPolicy policy, PageId root,
+        IndexLogger* logger = nullptr);
 
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
 
   PageId root() const { return root_; }
   LatchPolicy latch_policy() const { return policy_; }
+  IndexLogger* logger() const { return logger_; }
 
-  /// Unique-key insert. kAlreadyExists on duplicates.
-  Status Insert(Slice key, Slice value);
+  /// Unique-key insert. kAlreadyExists on duplicates. `txn` tags the WAL
+  /// record when a logger is attached (loser-undo anchor).
+  Status Insert(Slice key, Slice value, TxnId txn = kInvalidTxnId);
 
   /// Exact-match lookup.
   Status Probe(Slice key, std::string* value);
 
   /// Replaces the value of an existing key.
-  Status Update(Slice key, Slice value);
+  Status Update(Slice key, Slice value, TxnId txn = kInvalidTxnId);
 
   /// Removes a key. Leaves underfull pages in place (no merge on delete,
   /// as in Shore-MT).
-  Status Delete(Slice key);
+  Status Delete(Slice key, TxnId txn = kInvalidTxnId);
 
   /// In-order scan starting at the first key >= `start`; stops when the
   /// callback returns false.
@@ -78,16 +92,34 @@ class BTree {
     return nodes_visited_.load(std::memory_order_relaxed);
   }
 
+  /// Recomputes num_entries from the pages (restart recovery adopts roots
+  /// whose entry population only the pages know).
+  void RecountEntries();
+
   // --- MRBTree structural support (callers quiesce the tree first) ------
+
+  /// Post-repartition partition-table provider (persistent mode): the
+  /// owning MRBTree computes the (boundary -> root) layout that will hold
+  /// once this slice/meld completes, so the tree can log ONE atomic
+  /// record carrying both the SMO page images and the routing change —
+  /// a crash can never make one durable without the other. The record is
+  /// forced before pre-existing pages are freed and before the call
+  /// returns (a repartition is durable once it completes).
+  using PartitionPayloadFn = std::function<
+      std::vector<std::pair<std::string, PageId>>(PageId new_root)>;
 
   /// Splits off all entries with key >= `split_key` into a new tree
   /// (Appendix A.3.2 "slice"). Entry counts are adjusted on both sides.
-  Status SliceOff(Slice split_key, std::unique_ptr<BTree>* right_out);
+  /// `parts` (persistent mode) receives the new right tree's root.
+  Status SliceOff(Slice split_key, std::unique_ptr<BTree>* right_out,
+                  const PartitionPayloadFn& parts = {});
 
   /// Absorbs `right`, all of whose keys are >= `boundary_key` and sort
   /// after every key in this tree (Appendix A.3.1 "meld"). On success the
   /// right tree's pages belong to this tree and `right` must be discarded.
-  Status Meld(BTree* right, Slice boundary_key);
+  /// `parts` (persistent mode) receives the merged tree's root.
+  Status Meld(BTree* right, Slice boundary_key,
+              const PartitionPayloadFn& parts = {});
 
   /// First key in the tree (kNotFound when empty).
   Status MinKey(std::string* out);
@@ -110,13 +142,23 @@ class BTree {
   /// PLP-Leaf callback: invoked for every leaf entry that migrates to a
   /// different leaf page during a split or slice. Receives (key, value,
   /// new_leaf_pid) and returns the replacement value ("" keeps the old
-  /// one). The PLP-Leaf engine uses it to move the heap record to a page
+  /// one). The PLP-Leaf engine uses it to COPY the heap record to a page
   /// owned by the new leaf and to refresh the stored RID — the storage-
-  /// manager callback mechanism of Section 3.3.
+  /// manager callback mechanism of Section 3.3. The old location is
+  /// released through the release hook below only after the index entry
+  /// has been re-pointed (and, in persistent mode, the re-point logged):
+  /// copy -> re-point -> release gives each moved entry a crash-safe
+  /// ordering where every log prefix leaves the record reachable.
   using LeafEntryMovedHook =
       std::function<std::string(Slice key, Slice value, PageId new_leaf)>;
   void set_leaf_moved_hook(LeafEntryMovedHook hook) {
     leaf_moved_hook_ = std::move(hook);
+  }
+  /// Releases the heap location a moved entry previously pointed at
+  /// (receives the old index value). See set_leaf_moved_hook.
+  using LeafEntryReleaseHook = std::function<void(Slice old_value)>;
+  void set_leaf_moved_release_hook(LeafEntryReleaseHook hook) {
+    leaf_moved_release_hook_ = std::move(hook);
   }
 
   /// Owner tag stamped on pages this tree allocates (see RetagPages).
@@ -128,31 +170,52 @@ class BTree {
   void RetagPages(std::uint32_t owner);
 
  private:
-  Page* FixPage(PageId id);
-  Page* NewNodePage(std::uint16_t level);
+  /// Pages touched by one structure modification: keeps every new page
+  /// pinned until the SMO record is logged and remembers which frames
+  /// need an after-image.
+  struct SmoScope {
+    std::vector<PageRef> refs;      // pins for pages created mid-SMO
+    std::vector<Page*> touched;     // frames mutated (deduped by Smo())
+    std::vector<PageId> freed;
+    void Touch(Page* page) { touched.push_back(page); }
+  };
 
-  Status InsertOptimistic(Slice key, Slice value, bool* needs_smo);
-  Status InsertPessimistic(Slice key, Slice value);
+  PageRef FixPage(PageId id);
+  PageRef NewNodePage(std::uint16_t level);
 
-  /// Splits `node` (already exclusively owned by the caller), returning the
-  /// separator key and new right page.
-  void SplitNode(Page* page, std::string* sep, PageId* right_pid);
+  Status InsertOptimistic(Slice key, Slice value, TxnId txn,
+                          bool* needs_smo);
+  Status InsertPessimistic(Slice key, Slice value, TxnId txn);
+
+  /// Splits `node` (already exclusively owned by the caller), returning
+  /// the new right page; `*sep` receives the separator key. The right
+  /// page's pin lives in `scope` until the SMO record is logged.
+  Page* SplitNode(Page* page, std::string* sep, SmoScope* scope);
 
   /// Handles a full root in place (the root page id never changes).
-  void SplitRoot(Page* root_page);
+  void SplitRoot(Page* root_page, SmoScope* scope);
+
+  /// Logs the scope's after-images and frees in one atomic SMO record
+  /// (no-op without a logger).
+  void LogSmoScope(SmoScope* scope);
 
   PageId LeftmostLeaf();
   PageId RightmostLeaf();
 
-  /// Applies the leaf-moved hook to every entry of a freshly-populated
-  /// right-hand leaf.
-  void ApplyLeafMovedHook(Page* right_leaf);
+  /// Runs the leaf-moved protocol (copy -> re-point -> release) for the
+  /// entries [from, count) of `leaf`, which are about to move to
+  /// `new_leaf`. Runs BEFORE the tail moves so the re-point records
+  /// target the page the entries currently live on — a crash that loses
+  /// the SMO record then still replays valid RIDs into the unsplit leaf.
+  void ApplyLeafMovedHook(Page* leaf, int from, PageId new_leaf);
 
   BufferPool* pool_;
   const LatchPolicy policy_;
   PageId root_;
   TrackedMutex smo_mu_{CsCategory::kPageLatch};
+  IndexLogger* logger_;
   LeafEntryMovedHook leaf_moved_hook_;
+  LeafEntryReleaseHook leaf_moved_release_hook_;
   std::uint32_t owner_tag_ = UINT32_MAX;
 
   std::atomic<std::uint64_t> num_entries_{0};

@@ -94,6 +94,11 @@ class BTreeNode {
   /// Rewrites cells to defragment the cell area.
   void Compact();
 
+  /// Lowest used cell byte (== kPageSize when empty, 0 only on a raw
+  /// unformatted frame). The persistent-index image codec uses it to trim
+  /// the dead middle of the page out of SMO log records.
+  std::uint16_t cell_start() const { return GetU16(2); }
+
  private:
   std::uint16_t GetU16(std::size_t off) const;
   void PutU16(std::size_t off, std::uint16_t v);
@@ -107,7 +112,6 @@ class BTreeNode {
     PutU16(kHeaderSize + static_cast<std::size_t>(i) * kSlotSize, off);
   }
 
-  std::uint16_t cell_start() const { return GetU16(2); }
   void set_cell_start(std::uint16_t v) { PutU16(2, v); }
   void set_count(std::uint16_t v) { PutU16(0, v); }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/index/persistent/index_log.h"
+
 namespace plp {
 
 MRBTree::MRBTree(BufferPool* pool, LatchPolicy policy)
@@ -9,7 +11,8 @@ MRBTree::MRBTree(BufferPool* pool, LatchPolicy policy)
 
 Status MRBTree::Create(BufferPool* pool, LatchPolicy policy,
                        std::vector<std::string> boundaries,
-                       std::unique_ptr<MRBTree>* out) {
+                       std::unique_ptr<MRBTree>* out, IndexLogger* logger,
+                       bool log_creation) {
   if (boundaries.empty() || !boundaries.front().empty()) {
     return Status::InvalidArgument(
         "boundaries[0] must be the empty (-inf) key");
@@ -20,17 +23,66 @@ Status MRBTree::Create(BufferPool* pool, LatchPolicy policy,
     }
   }
   auto tree = std::unique_ptr<MRBTree>(new MRBTree(pool, policy));
+  tree->logger_ = logger;
+  tree->placeholder_ = logger != nullptr && !log_creation;
   tree->table_ = std::make_unique<PartitionTable>(pool);
+  // Placeholder sub-trees are never logged: recovery replaces them (and
+  // frees their pages) through AdoptPartitions.
+  IndexLogger* sub_logger = tree->placeholder_ ? nullptr : logger;
   std::vector<PartitionTable::Entry> entries;
   for (auto& b : boundaries) {
-    auto sub = std::make_unique<BTree>(pool, policy);
+    auto sub = std::make_unique<BTree>(pool, policy, sub_logger);
     entries.push_back({b, sub->root()});
     tree->subtrees_.push_back(std::move(sub));
   }
   tree->boundaries_ = std::move(boundaries);
   PLP_RETURN_IF_ERROR(tree->table_->SetEntries(std::move(entries)));
+  if (sub_logger != nullptr) {
+    sub_logger->LogPartitionTable(tree->PartitionEntries());
+  }
   *out = std::move(tree);
   return Status::OK();
+}
+
+std::vector<std::pair<std::string, PageId>> MRBTree::PartitionEntries()
+    const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::vector<std::pair<std::string, PageId>> out;
+  out.reserve(subtrees_.size());
+  for (std::size_t i = 0; i < subtrees_.size(); ++i) {
+    out.emplace_back(boundaries_[i], subtrees_[i]->root());
+  }
+  return out;
+}
+
+Status MRBTree::AdoptPartitions(
+    const std::vector<std::pair<std::string, PageId>>& parts) {
+  if (parts.empty() || !parts.front().first.empty()) {
+    return Status::InvalidArgument("adopted partitions must start at -inf");
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  if (placeholder_) {
+    // First adoption on a restart placeholder: drop the never-used empty
+    // roots so they neither leak frames nor shadow recovered pages.
+    for (auto& sub : subtrees_) pool_->FreePage(sub->root());
+    placeholder_ = false;
+  }
+  boundaries_.clear();
+  subtrees_.clear();
+  std::vector<PartitionTable::Entry> entries;
+  for (const auto& [start_key, root] : parts) {
+    boundaries_.push_back(start_key);
+    subtrees_.push_back(
+        std::unique_ptr<BTree>(new BTree(pool_, policy_, root, logger_)));
+    entries.push_back({start_key, root});
+  }
+  lk.unlock();
+  return table_->SetEntries(std::move(entries));
+}
+
+void MRBTree::RecountEntries() {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  for (auto& sub : subtrees_) sub->RecountEntries();
 }
 
 BTree* MRBTree::subtree(PartitionId p) {
@@ -50,20 +102,20 @@ std::vector<std::string> MRBTree::boundaries() const {
   return boundaries_;
 }
 
-Status MRBTree::Insert(Slice key, Slice value) {
-  return subtree(table_->PartitionFor(key))->Insert(key, value);
+Status MRBTree::Insert(Slice key, Slice value, TxnId txn) {
+  return subtree(table_->PartitionFor(key))->Insert(key, value, txn);
 }
 
 Status MRBTree::Probe(Slice key, std::string* value) {
   return subtree(table_->PartitionFor(key))->Probe(key, value);
 }
 
-Status MRBTree::Update(Slice key, Slice value) {
-  return subtree(table_->PartitionFor(key))->Update(key, value);
+Status MRBTree::Update(Slice key, Slice value, TxnId txn) {
+  return subtree(table_->PartitionFor(key))->Update(key, value, txn);
 }
 
-Status MRBTree::Delete(Slice key) {
-  return subtree(table_->PartitionFor(key))->Delete(key);
+Status MRBTree::Delete(Slice key, TxnId txn) {
+  return subtree(table_->PartitionFor(key))->Delete(key, txn);
 }
 
 Status MRBTree::ScanFrom(Slice start,
@@ -94,8 +146,22 @@ Status MRBTree::Split(Slice split_key) {
   if (boundaries_[p] == split_key.view()) {
     return Status::AlreadyExists("partition already starts at split key");
   }
+  // Persistent mode: the post-slice layout travels inside the slice's
+  // atomic kIndexRepartition record (mu_ is held; the callback runs
+  // synchronously inside SliceOff on this thread).
+  BTree::PartitionPayloadFn parts;
+  if (logger_ != nullptr) {
+    parts = [&](PageId right_root) {
+      std::vector<std::pair<std::string, PageId>> out;
+      for (std::size_t i = 0; i < subtrees_.size(); ++i) {
+        out.emplace_back(boundaries_[i], subtrees_[i]->root());
+        if (i == p) out.emplace_back(split_key.ToString(), right_root);
+      }
+      return out;
+    };
+  }
   std::unique_ptr<BTree> right;
-  PLP_RETURN_IF_ERROR(subtrees_[p]->SliceOff(split_key, &right));
+  PLP_RETURN_IF_ERROR(subtrees_[p]->SliceOff(split_key, &right, parts));
   boundaries_.insert(boundaries_.begin() + p + 1, split_key.ToString());
   subtrees_.insert(subtrees_.begin() + p + 1, std::move(right));
   lk.unlock();
@@ -109,7 +175,20 @@ Status MRBTree::Merge(PartitionId p) {
   }
   BTree* left = subtrees_[p - 1].get();
   BTree* right = subtrees_[p].get();
-  PLP_RETURN_IF_ERROR(left->Meld(right, boundaries_[p]));
+  BTree::PartitionPayloadFn parts;
+  if (logger_ != nullptr) {
+    parts = [&](PageId merged_root) {
+      std::vector<std::pair<std::string, PageId>> out;
+      for (std::size_t i = 0; i < subtrees_.size(); ++i) {
+        if (i == p) continue;  // absorbed partition disappears
+        out.emplace_back(boundaries_[i], i == p - 1
+                                             ? merged_root
+                                             : subtrees_[i]->root());
+      }
+      return out;
+    };
+  }
+  PLP_RETURN_IF_ERROR(left->Meld(right, boundaries_[p], parts));
   boundaries_.erase(boundaries_.begin() + p);
   subtrees_.erase(subtrees_.begin() + p);
   lk.unlock();
@@ -123,6 +202,10 @@ Status MRBTree::PersistTable() {
   for (std::size_t i = 0; i < subtrees_.size(); ++i) {
     entries.push_back({boundaries_[i], subtrees_[i]->root()});
   }
+  lk.unlock();
+  // No WAL record here: slice/meld already logged the new layout inside
+  // their atomic kIndexRepartition record (the only callers), so the
+  // routing pages are pure in-memory bookkeeping.
   return table_->SetEntries(std::move(entries));
 }
 

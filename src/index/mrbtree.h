@@ -20,23 +20,36 @@
 
 namespace plp {
 
+class IndexLogger;
+
 class MRBTree {
  public:
   /// Creates an MRBTree whose partitions start at the given keys.
   /// `boundaries[0]` must be empty (the -inf partition); each boundary
   /// starts a new partition. One empty sub-tree is allocated per range.
+  ///
+  /// With `logger`, sub-trees log their pages physiologically and the
+  /// partition table is logically logged on create and after every
+  /// slice/meld (persistent-index mode). `log_creation = false` builds
+  /// restart placeholders: nothing is logged, and the first
+  /// AdoptPartitions() call replaces (and frees) the placeholder roots
+  /// with the recovered ones.
   static Status Create(BufferPool* pool, LatchPolicy policy,
                        std::vector<std::string> boundaries,
-                       std::unique_ptr<MRBTree>* out);
+                       std::unique_ptr<MRBTree>* out,
+                       IndexLogger* logger = nullptr,
+                       bool log_creation = true);
 
   MRBTree(const MRBTree&) = delete;
   MRBTree& operator=(const MRBTree&) = delete;
 
   // -- Record operations (route via the ranges map, then delegate) --------
-  Status Insert(Slice key, Slice value);
+  // `txn` tags the physiological WAL records in persistent-index mode
+  // (loser-undo anchors); kInvalidTxnId marks a system/compensation op.
+  Status Insert(Slice key, Slice value, TxnId txn = kInvalidTxnId);
   Status Probe(Slice key, std::string* value);
-  Status Update(Slice key, Slice value);
-  Status Delete(Slice key);
+  Status Update(Slice key, Slice value, TxnId txn = kInvalidTxnId);
+  Status Delete(Slice key, TxnId txn = kInvalidTxnId);
 
   /// Cross-partition ordered scan starting at `start`.
   Status ScanFrom(Slice start,
@@ -63,10 +76,27 @@ class MRBTree {
   /// Melds partition `p` into its left neighbor `p-1`.
   Status Merge(PartitionId p);
 
+  // -- Persistence (persistent-index mode) ---------------------------------
+
+  /// Current (boundary, sub-tree root) pairs — the logically-logged
+  /// partition metadata a checkpoint records instead of an index snapshot.
+  std::vector<std::pair<std::string, PageId>> PartitionEntries() const;
+
+  /// Restart recovery: replaces the partition layout with recovered
+  /// (boundary, root) pairs; sub-trees adopt the given roots. The first
+  /// call on a restart placeholder frees the placeholder's empty pages.
+  Status AdoptPartitions(
+      const std::vector<std::pair<std::string, PageId>>& parts);
+
+  /// Recomputes per-sub-tree entry counters from the pages (after
+  /// AdoptPartitions the counters are unknown).
+  void RecountEntries();
+
   // -- Introspection -------------------------------------------------------
   std::uint64_t num_entries() const;
   std::uint64_t smo_count() const;
   PartitionTable& table() { return *table_; }
+  IndexLogger* logger() const { return logger_; }
   Status CheckIntegrity();
 
  private:
@@ -76,6 +106,8 @@ class MRBTree {
 
   BufferPool* pool_;
   LatchPolicy policy_;
+  IndexLogger* logger_ = nullptr;
+  bool placeholder_ = false;  // restart placeholder awaiting adoption
   std::unique_ptr<PartitionTable> table_;
 
   mutable std::shared_mutex mu_;  // guards subtrees_/boundaries_ layout

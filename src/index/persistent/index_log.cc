@@ -1,0 +1,278 @@
+#include "src/index/persistent/index_log.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/index/btree_node.h"
+#include "src/io/codec.h"
+
+namespace plp {
+
+std::string EncodeIndexEntry(Slice key, Slice value) {
+  std::string out;
+  const std::uint16_t klen = static_cast<std::uint16_t>(key.size());
+  out.append(reinterpret_cast<const char*>(&klen), 2);
+  out.append(key.data(), key.size());
+  out.append(value.data(), value.size());
+  return out;
+}
+
+void DecodeIndexEntry(Slice payload, std::string* key, std::string* value) {
+  std::uint16_t klen;
+  std::memcpy(&klen, payload.data(), 2);
+  key->assign(payload.data() + 2, klen);
+  value->assign(payload.data() + 2 + klen, payload.size() - 2 - klen);
+}
+
+std::string EncodeNodeImage(const char* page_data) {
+  BTreeNode node(const_cast<char*>(page_data));
+  const std::uint16_t head_len = static_cast<std::uint16_t>(
+      BTreeNode::kHeaderSize + node.count() * BTreeNode::kSlotSize);
+  const std::uint16_t cell_start = node.cell_start();
+  std::string out;
+  out.reserve(2u + head_len + (kPageSize - cell_start));
+  out.append(reinterpret_cast<const char*>(&head_len), 2);
+  out.append(page_data, head_len);
+  out.append(page_data + cell_start, kPageSize - cell_start);
+  return out;
+}
+
+bool ApplyNodeImage(Slice image, char* page_data) {
+  if (image.size() < 2 + BTreeNode::kHeaderSize) return false;
+  std::uint16_t head_len;
+  std::memcpy(&head_len, image.data(), 2);
+  if (head_len < BTreeNode::kHeaderSize || head_len > kPageSize ||
+      image.size() < 2u + head_len) {
+    return false;
+  }
+  std::memset(page_data, 0, kPageSize);
+  std::memcpy(page_data, image.data() + 2, head_len);
+  const std::uint16_t cell_start = BTreeNode(page_data).cell_start();
+  const std::size_t cell_bytes = image.size() - 2 - head_len;
+  if (cell_start > kPageSize || cell_bytes != kPageSize - cell_start) {
+    return false;
+  }
+  std::memcpy(page_data + cell_start, image.data() + 2 + head_len,
+              cell_bytes);
+  return true;
+}
+
+std::string EncodeSmoPayload(
+    const std::vector<std::pair<PageId, std::string>>& images) {
+  std::string out;
+  io::PutU32(&out, static_cast<std::uint32_t>(images.size()));
+  for (const auto& [pid, image] : images) {
+    io::PutU32(&out, pid);
+    io::PutBytes(&out, image);
+  }
+  return out;
+}
+
+bool DecodeSmoPayload(Slice payload,
+                      std::vector<std::pair<PageId, std::string>>* out) {
+  io::Reader r(payload.data(), payload.size());
+  std::uint32_t n;
+  if (!r.U32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t pid;
+    std::string image;
+    if (!r.U32(&pid) || !r.Bytes(&image)) return false;
+    out->emplace_back(pid, std::move(image));
+  }
+  return true;
+}
+
+std::string EncodePartitionPayload(
+    const std::vector<std::pair<std::string, PageId>>& parts) {
+  std::string out;
+  io::PutU32(&out, static_cast<std::uint32_t>(parts.size()));
+  for (const auto& [start_key, root] : parts) {
+    io::PutU32(&out, root);
+    io::PutBytes(&out, start_key);
+  }
+  return out;
+}
+
+bool DecodePartitionPayload(
+    Slice payload, std::vector<std::pair<std::string, PageId>>* out) {
+  io::Reader r(payload.data(), payload.size());
+  std::uint32_t n;
+  if (!r.U32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t root;
+    std::string start_key;
+    if (!r.U32(&root) || !r.Bytes(&start_key)) return false;
+    out->emplace_back(std::move(start_key), root);
+  }
+  return true;
+}
+
+void EnsureNodeFormatted(char* page_data) {
+  // An initialized node has cell_start == kPageSize when empty and > 0
+  // always; a freshly-materialized frame is all zeroes.
+  if (BTreeNode(page_data).cell_start() == 0) {
+    BTreeNode::Init(page_data, /*level=*/0);
+  }
+}
+
+void RedoLeafInsert(char* page_data, Slice key, Slice value) {
+  EnsureNodeFormatted(page_data);
+  BTreeNode node(page_data);
+  const int pos = node.LowerBound(key);
+  if (pos < node.count() && node.KeyAt(pos) == key) return;  // applied
+  // kNoSpace is tolerated: an insert anchor logged just before its SMO
+  // record may replay against the pre-split page; the transaction cannot
+  // have committed without the SMO record also being durable.
+  (void)node.InsertAt(pos, key, value);
+}
+
+void RedoLeafDelete(char* page_data, Slice key) {
+  EnsureNodeFormatted(page_data);
+  BTreeNode node(page_data);
+  const int pos = node.Find(key);
+  if (pos >= 0) node.RemoveAt(pos);
+}
+
+void RedoLeafUpdate(char* page_data, Slice key, Slice value) {
+  EnsureNodeFormatted(page_data);
+  BTreeNode node(page_data);
+  const int pos = node.Find(key);
+  if (pos < 0) return;
+  if (node.SetValueAt(pos, value).IsNoSpace()) {
+    node.RemoveAt(pos);
+    (void)node.InsertAt(node.LowerBound(key), key, value);
+  }
+}
+
+Lsn IndexLogger::AppendLeaf(LogType type, TxnId txn, Page* page,
+                            std::string redo, std::string undo) {
+  LogRecord rec;
+  rec.type = type;
+  rec.txn = txn;
+  rec.rid.page_id = page->id();
+  rec.table = table_id_;
+  rec.redo = std::move(redo);
+  rec.undo = std::move(undo);
+  const Lsn lsn = log_->Append(rec);
+  page->StampUpdate(lsn);
+  return lsn;
+}
+
+Lsn IndexLogger::LeafInsert(TxnId txn, Page* page, Slice key, Slice value) {
+  return AppendLeaf(LogType::kIndexLeafInsert, txn, page,
+                    EncodeIndexEntry(key, value), std::string());
+}
+
+Lsn IndexLogger::LeafDelete(TxnId txn, Page* page, Slice key,
+                            Slice old_value) {
+  return AppendLeaf(LogType::kIndexLeafDelete, txn, page, std::string(),
+                    EncodeIndexEntry(key, old_value));
+}
+
+Lsn IndexLogger::LeafUpdate(TxnId txn, Page* page, Slice key,
+                            Slice new_value, Slice old_value) {
+  return AppendLeaf(LogType::kIndexLeafUpdate, txn, page,
+                    EncodeIndexEntry(key, new_value),
+                    EncodeIndexEntry(key, old_value));
+}
+
+namespace {
+
+std::vector<Page*> DedupPages(const std::vector<Page*>& pages) {
+  std::vector<Page*> unique;
+  unique.reserve(pages.size());
+  for (Page* p : pages) {
+    if (p != nullptr &&
+        std::find(unique.begin(), unique.end(), p) == unique.end()) {
+      unique.push_back(p);
+    }
+  }
+  return unique;
+}
+
+std::vector<std::pair<PageId, std::string>> ImagesOf(
+    const std::vector<Page*>& pages, PageId* max_pid) {
+  std::vector<std::pair<PageId, std::string>> images;
+  images.reserve(pages.size());
+  for (Page* p : pages) {
+    images.emplace_back(p->id(), EncodeNodeImage(p->data()));
+    *max_pid = std::max(*max_pid, p->id());
+  }
+  return images;
+}
+
+}  // namespace
+
+Lsn IndexLogger::Smo(const std::vector<Page*>& pages) {
+  const std::vector<Page*> unique = DedupPages(pages);
+  if (unique.empty()) return 0;
+  PageId max_pid = 0;
+  LogRecord rec;
+  rec.type = LogType::kIndexSmo;
+  rec.txn = kInvalidTxnId;
+  rec.table = table_id_;
+  rec.redo = EncodeSmoPayload(ImagesOf(unique, &max_pid));
+  // rid carries the highest touched pid so the restart page-id
+  // high-water-mark scan (which only looks at rid) covers every image.
+  rec.rid.page_id = max_pid;
+  const Lsn lsn = log_->Append(rec);
+  for (Page* p : unique) p->StampUpdate(lsn);
+  return lsn;
+}
+
+Lsn IndexLogger::SmoWithPartitions(
+    const std::vector<Page*>& pages,
+    const std::vector<std::pair<std::string, PageId>>& parts) {
+  const std::vector<Page*> unique = DedupPages(pages);
+  PageId max_pid = 0;
+  for (const auto& [key, root] : parts) max_pid = std::max(max_pid, root);
+  LogRecord rec;
+  rec.type = LogType::kIndexRepartition;
+  rec.txn = kInvalidTxnId;
+  rec.table = table_id_;
+  io::PutBytes(&rec.redo, EncodePartitionPayload(parts));
+  io::PutBytes(&rec.redo, EncodeSmoPayload(ImagesOf(unique, &max_pid)));
+  rec.rid.page_id = max_pid;
+  const Lsn lsn = log_->Append(rec);
+  for (Page* p : unique) p->StampUpdate(lsn);
+  return lsn;
+}
+
+bool DecodeRepartitionPayload(
+    Slice payload, std::vector<std::pair<std::string, PageId>>* parts,
+    std::vector<std::pair<PageId, std::string>>* images) {
+  io::Reader r(payload.data(), payload.size());
+  std::string parts_payload, smo_payload;
+  if (!r.Bytes(&parts_payload) || !r.Bytes(&smo_payload)) return false;
+  return DecodePartitionPayload(parts_payload, parts) &&
+         DecodeSmoPayload(smo_payload, images);
+}
+
+Lsn IndexLogger::PageFree(PageId id) {
+  LogRecord rec;
+  rec.type = LogType::kIndexPageFree;
+  rec.txn = kInvalidTxnId;
+  rec.rid.page_id = id;
+  rec.table = table_id_;
+  return log_->Append(rec);
+}
+
+Lsn IndexLogger::LogPartitionTable(
+    const std::vector<std::pair<std::string, PageId>>& parts) {
+  LogRecord rec;
+  rec.type = LogType::kPartitionTable;
+  rec.txn = kInvalidTxnId;
+  rec.table = table_id_;
+  rec.redo = EncodePartitionPayload(parts);
+  // Root pids in the HWM-visible rid field, like Smo does.
+  PageId max_pid = 0;
+  for (const auto& [key, root] : parts) max_pid = std::max(max_pid, root);
+  rec.rid.page_id = max_pid;
+  return log_->Append(rec);
+}
+
+}  // namespace plp

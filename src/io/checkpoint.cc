@@ -40,6 +40,15 @@ std::string CheckpointImage::Encode() const {
       PutBytes(&out, v);
     }
   }
+  PutU32(&out, static_cast<std::uint32_t>(partitions.size()));
+  for (const TablePartitions& t : partitions) {
+    PutU32(&out, t.table_id);
+    PutU32(&out, static_cast<std::uint32_t>(t.parts.size()));
+    for (const auto& [key, root] : t.parts) {
+      PutBytes(&out, key);
+      PutU32(&out, root);
+    }
+  }
   return out;
 }
 
@@ -91,6 +100,25 @@ Status CheckpointImage::Decode(const std::string& payload,
       t.entries.emplace_back(std::move(k), std::move(v));
     }
     img.tables.push_back(std::move(t));
+  }
+  if (!r.U32(&n)) return Status::Corruption("checkpoint: partition count");
+  img.partitions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TablePartitions t;
+    std::uint32_t parts;
+    if (!r.U32(&t.table_id) || !r.U32(&parts)) {
+      return Status::Corruption("checkpoint: partition header");
+    }
+    t.parts.reserve(parts);
+    for (std::uint32_t j = 0; j < parts; ++j) {
+      std::string key;
+      std::uint32_t root;
+      if (!r.Bytes(&key) || !r.U32(&root)) {
+        return Status::Corruption("checkpoint: partition entry");
+      }
+      t.parts.emplace_back(std::move(key), root);
+    }
+    img.partitions.push_back(std::move(t));
   }
   *out = std::move(img);
   return Status::OK();

@@ -1,22 +1,25 @@
 // Fuzzy checkpoints.
 //
 // A checkpoint is one kCheckpoint log record whose payload serializes:
-//   * the dirty page table (heap page id -> rec_lsn) — the redo scan can
-//     start at min(rec_lsn) instead of the log's beginning;
+//   * the dirty page table (page id -> rec_lsn, heap and — in
+//     persistent-index mode — index pages) — the redo scan can start at
+//     min(rec_lsn) instead of the log's beginning;
 //   * the active transaction table (txn id -> begin_lsn) — the undo
 //     low-water mark, and the seed of loser detection;
-//   * a logical snapshot of every table's primary index — the index is a
-//     volatile structure rebuilt at restart, so the snapshot bounds how
-//     much index replay a restart needs;
-//   * the transaction id allocator.
+//   * per-table MRBTree partition metadata (boundary -> sub-tree root),
+//     a few bytes per partition — the baseline restart needs because WAL
+//     truncation may have reclaimed the original kPartitionTable records;
+//   * the transaction and page id allocators.
 // After the record is forced to the WAL, the checkpoint LSN is published
 // in the master record file (atomic rename), which restart reads to find
 // where to begin.
 //
-// The heap-page part is fuzzy (dirty pages are tabulated, not flushed).
-// The index snapshot requires no concurrent index writers; Database
-// quiesces by taking its catalog mutex and expecting callers to
-// checkpoint from a barrier (the page-cleaner/TxnManager keep running).
+// In persistent-index mode the checkpoint is truly fuzzy: payload size is
+// O(dirty pages + active txns + partitions), independent of index size,
+// and no quiescing is required. In legacy snapshot mode
+// (DatabaseConfig::index_durability == kSnapshot) the payload additionally
+// carries a logical snapshot of every table's primary index, which
+// requires no concurrent index writers.
 #ifndef PLP_IO_CHECKPOINT_H_
 #define PLP_IO_CHECKPOINT_H_
 
@@ -49,7 +52,17 @@ struct CheckpointImage {
     /// Primary-index entries (key -> value) at checkpoint time.
     std::vector<std::pair<std::string, std::string>> entries;
   };
+  /// Legacy snapshot mode only; empty in persistent-index mode (the
+  /// acceptance property: no serialized index nodes in the payload).
   std::vector<TableSnapshot> tables;
+
+  struct TablePartitions {
+    std::uint32_t table_id = 0;
+    /// MRBTree partition metadata: (start_key, sub-tree root page id).
+    std::vector<std::pair<std::string, PageId>> parts;
+  };
+  /// Persistent-index mode: the partition-table baseline per table.
+  std::vector<TablePartitions> partitions;
 
   std::string Encode() const;
   static Status Decode(const std::string& payload, CheckpointImage* out);

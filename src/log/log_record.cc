@@ -15,6 +15,13 @@ const char* LogTypeName(LogType t) {
     case LogType::kIndexInsert: return "IDX_INSERT";
     case LogType::kIndexDelete: return "IDX_DELETE";
     case LogType::kCheckpoint: return "CHECKPOINT";
+    case LogType::kIndexLeafInsert: return "IDX_LEAF_INSERT";
+    case LogType::kIndexLeafDelete: return "IDX_LEAF_DELETE";
+    case LogType::kIndexLeafUpdate: return "IDX_LEAF_UPDATE";
+    case LogType::kIndexSmo: return "IDX_SMO";
+    case LogType::kIndexPageFree: return "IDX_PAGE_FREE";
+    case LogType::kPartitionTable: return "PARTITION_TABLE";
+    case LogType::kIndexRepartition: return "IDX_REPARTITION";
   }
   return "?";
 }

@@ -19,6 +19,25 @@ enum class LogType : std::uint8_t {
   kIndexInsert = 7,
   kIndexDelete = 8,
   kCheckpoint = 9,
+  // Physiological persistent-index records (src/index/persistent). Leaf
+  // records are physical-to-page (rid.page_id), logical-within-page (key):
+  // redo re-applies the op on that page; undo compensates through the
+  // tree. SMO records carry trimmed after-images of every page one
+  // structure modification touched — a single record, so a torn tail can
+  // never leave half a split durable.
+  kIndexLeafInsert = 10,
+  kIndexLeafDelete = 11,
+  kIndexLeafUpdate = 12,
+  kIndexSmo = 13,
+  kIndexPageFree = 14,
+  // Logical snapshot of one MRBTree's partition table (boundary -> root
+  // page id); appended on create so restart rebuilds the multi-rooted
+  // metadata without an index snapshot.
+  kPartitionTable = 15,
+  // One atomic record for a slice/meld: the SMO page images AND the
+  // post-repartition partition table together. A crash can never make
+  // the page moves durable without the routing change (or vice versa).
+  kIndexRepartition = 16,
 };
 
 const char* LogTypeName(LogType t);

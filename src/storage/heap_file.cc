@@ -64,7 +64,7 @@ HeapFile::OwnerPages* HeapFile::GetOwnerPages(std::uint32_t owner) {
   return raw;
 }
 
-Status HeapFile::Insert(Slice record, Rid* rid) {
+Status HeapFile::Insert(Slice record, Rid* rid, const MutationHook& logged) {
   assert(mode_ == HeapMode::kShared);
   for (int attempt = 0; attempt < 8; ++attempt) {
     PageId pid = fsm_.FindPageWith(record.size() + SlottedPage::kSlotSize);
@@ -82,6 +82,7 @@ Status HeapFile::Insert(Slice record, Rid* rid) {
     }
     PLP_RETURN_IF_ERROR(st);
     page->MarkDirty();
+    if (logged) logged(page.get(), slot);
     fsm_.Update(page->id(), sp.TotalFreeSpace());
     *rid = Rid{page->id(), slot};
     return Status::OK();
@@ -89,7 +90,8 @@ Status HeapFile::Insert(Slice record, Rid* rid) {
   return Status::NoSpace("heap insert failed after retries");
 }
 
-Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
+Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid,
+                             const MutationHook& logged) {
   assert(mode_ != HeapMode::kShared);
   OwnerPages* op = GetOwnerPages(owner);
   // Try the most recently allocated page for this owner first.
@@ -101,6 +103,7 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
       Status st = sp.Insert(record, &slot);
       if (st.ok()) {
         page->MarkDirty();
+        if (logged) logged(page.get(), slot);
         *rid = Rid{page->id(), slot};
         return st;
       }
@@ -112,6 +115,7 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid) {
   SlotId slot;
   PLP_RETURN_IF_ERROR(sp.Insert(record, &slot));
   page->MarkDirty();
+  if (logged) logged(page.get(), slot);
   *rid = Rid{page->id(), slot};
   return Status::OK();
 }
@@ -126,22 +130,24 @@ Status HeapFile::Get(Rid rid, std::string* out) {
   return Status::OK();
 }
 
-Status HeapFile::Update(Rid rid, Slice record) {
+Status HeapFile::Update(Rid rid, Slice record, const MutationHook& logged) {
   PageRef page = FixForOp(rid.page_id);
   if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
   PLP_RETURN_IF_ERROR(SlottedPage(page->data()).Update(rid.slot, record));
   page->MarkDirty();
+  if (logged) logged(page.get(), rid.slot);
   return Status::OK();
 }
 
-Status HeapFile::Delete(Rid rid) {
+Status HeapFile::Delete(Rid rid, const MutationHook& logged) {
   PageRef page = FixForOp(rid.page_id);
   if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
   SlottedPage sp(page->data());
   PLP_RETURN_IF_ERROR(sp.Delete(rid.slot));
   page->MarkDirty();
+  if (logged) logged(page.get(), rid.slot);
   if (mode_ == HeapMode::kShared) {
     fsm_.Update(page->id(), sp.TotalFreeSpace());
   }
@@ -171,7 +177,7 @@ void HeapFile::ScanOwned(std::uint32_t owner,
 }
 
 Status HeapFile::RestoreAt(Rid rid, std::uint32_t owner, Slice record,
-                           Rid* out_rid) {
+                           Rid* out_rid, const MutationHook& logged) {
   {
     PageRef page = FixForOp(rid.page_id);
     if (page) {
@@ -181,6 +187,7 @@ Status HeapFile::RestoreAt(Rid rid, std::uint32_t owner, Slice record,
       if (sp.Get(rid.slot, &existing).IsNotFound() &&
           sp.PutAt(rid.slot, record).ok()) {
         page->MarkDirty();
+        if (logged) logged(page.get(), rid.slot);
         if (mode_ == HeapMode::kShared) {
           fsm_.Update(page->id(), sp.TotalFreeSpace());
         }
@@ -190,8 +197,8 @@ Status HeapFile::RestoreAt(Rid rid, std::uint32_t owner, Slice record,
     }
   }
   // Slot reused (or page gone): place like a fresh insert.
-  if (mode_ == HeapMode::kShared) return Insert(record, out_rid);
-  return InsertOwned(owner, record, out_rid);
+  if (mode_ == HeapMode::kShared) return Insert(record, out_rid, logged);
+  return InsertOwned(owner, record, out_rid, logged);
 }
 
 Status HeapFile::Move(Rid from, std::uint32_t new_owner, Rid* new_rid) {
@@ -208,6 +215,28 @@ std::vector<PageId> HeapFile::OwnedPages(std::uint32_t owner) {
   if (it != owners_.end()) out = it->second->pages;
   meta_mu_.unlock();
   return out;
+}
+
+void HeapFile::RetagPage(PageId id, std::uint32_t new_owner) {
+  meta_mu_.lock();
+  for (auto& [owner, op] : owners_) {
+    if (owner == new_owner) continue;
+    auto it = std::find(op->pages.begin(), op->pages.end(), id);
+    if (it != op->pages.end()) op->pages.erase(it);
+  }
+  auto& dst = owners_[new_owner];
+  if (!dst) dst = std::make_unique<OwnerPages>();
+  if (std::find(dst->pages.begin(), dst->pages.end(), id) ==
+      dst->pages.end()) {
+    dst->pages.push_back(id);
+  }
+  meta_mu_.unlock();
+  PageRef page = pool_->AcquirePage(id, /*tracked=*/false);
+  if (page) {
+    SlottedPage(page->data()).set_owner(new_owner);
+    page->set_owner_tag(new_owner);
+    page->MarkDirty();
+  }
 }
 
 void HeapFile::RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner) {

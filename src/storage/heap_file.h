@@ -48,16 +48,23 @@ class HeapFile {
   std::uint32_t file_id() const { return file_id_; }
   BufferPool* pool() { return pool_; }
 
+  /// Latch-coupled logging hook: runs after a mutation while the page is
+  /// still pinned and exclusively held, so the caller can append the WAL
+  /// record and stamp the page LSN before an eviction could steal the
+  /// frame (the modify->log window is closed; see docs/durability.md).
+  using MutationHook = std::function<void(Page*, SlotId)>;
+
   /// Shared-mode insert: picks a page via the free-space map.
-  Status Insert(Slice record, Rid* rid);
+  Status Insert(Slice record, Rid* rid, const MutationHook& logged = {});
 
   /// Owned-mode insert: places the record on a page owned by `owner`
   /// (a partition id or a leaf page id), allocating one if needed.
-  Status InsertOwned(std::uint32_t owner, Slice record, Rid* rid);
+  Status InsertOwned(std::uint32_t owner, Slice record, Rid* rid,
+                     const MutationHook& logged = {});
 
   Status Get(Rid rid, std::string* out);
-  Status Update(Rid rid, Slice record);
-  Status Delete(Rid rid);
+  Status Update(Rid rid, Slice record, const MutationHook& logged = {});
+  Status Delete(Rid rid, const MutationHook& logged = {});
 
   /// Full scan in page order. Under PLP this is distributed across
   /// partition workers by the engine; the heap file itself just iterates.
@@ -66,18 +73,22 @@ class HeapFile {
   /// Scans only pages owned by `owner` (owned modes).
   void ScanOwned(std::uint32_t owner, const std::function<void(Rid, Slice)>& fn);
 
-  /// Moves one record to a page owned by `new_owner`; used during
-  /// repartitioning (PLP-Partition/Leaf) and leaf splits (PLP-Leaf).
-  /// Returns the new RID so callers can fix up index entries.
+  /// Moves one record to a page owned by `new_owner`. Unlogged: durable
+  /// callers (leaf splits, repartitioning) instead run the logged
+  /// copy -> re-point -> release sequence through InsertOwned/Delete
+  /// with SystemHeapLogHook.
   Status Move(Rid from, std::uint32_t new_owner, Rid* new_rid);
 
   /// Abort-compensation for Delete: puts `record` back at its original
-  /// RID if that slot is still free, so the (unlogged) runtime undo is the
-  /// exact inverse of the logged delete and restart recovery reproduces
-  /// it from the before-image. Falls back to a fresh owned/shared
+  /// RID if that slot is still free; falls back to a fresh owned/shared
   /// placement when the slot was reused. `out_rid` receives the final
-  /// location either way.
-  Status RestoreAt(Rid rid, std::uint32_t owner, Slice record, Rid* out_rid);
+  /// location either way. `logged` must append a system (redo-only) WAL
+  /// record in durable databases: the fallback places the record at a RID
+  /// recovery could not otherwise reproduce — the paired index re-point
+  /// is logged, so an unlogged restore would leave a committed key
+  /// dangling after a crash.
+  Status RestoreAt(Rid rid, std::uint32_t owner, Slice record, Rid* out_rid,
+                   const MutationHook& logged = {});
 
   /// All pages owned by `owner`, in allocation order.
   std::vector<PageId> OwnedPages(std::uint32_t owner);
@@ -93,6 +104,12 @@ class HeapFile {
   /// Restart paths: registers an already-materialized page (from the data
   /// file or from log replay) with this file's page lists. Idempotent.
   void AdoptPage(PageId id, std::uint32_t owner);
+
+  /// Restart re-tagging (owned modes): moves `id` to `new_owner`'s page
+  /// list and restamps the page + frame owner tags. Used after recovery
+  /// when the rightful owner is re-derived from the primary index (owner
+  /// tags on disk may predate the crash's last structure modifications).
+  void RetagPage(PageId id, std::uint32_t new_owner);
 
   /// Primes the free-space map from the current page contents (shared
   /// mode; called once after restart recovery).

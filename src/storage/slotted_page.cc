@@ -117,15 +117,20 @@ Status SlottedPage::Update(SlotId slot, Slice record) {
     SetSlot(slot, SlotOffset(slot), static_cast<std::uint16_t>(record.size()));
     return Status::OK();
   }
-  // Grow: free the old cell, allocate a new one on this page.
+  // Grow: re-allocate the record's cell on this page. The no-space check
+  // runs BEFORE the old cell is freed (counting it as reclaimable): a
+  // failed update must leave the record untouched — freeing first would
+  // destroy committed data on the NoSpace path, unlogged and unundoable
+  // (found by the durable SMO crash-loop fuzz).
+  if (TotalFreeSpace() + SlotLen(slot) < record.size()) {
+    return Status::NoSpace();
+  }
   SetSlot(slot, 0, 0);
   set_live_count(live_count() - 1);
   if (ContiguousFreeSpace() < record.size()) {
-    if (TotalFreeSpace() < record.size()) {
-      return Status::NoSpace();
-    }
+    // Cannot fail: after compaction the contiguous region equals the
+    // total free space, which the guard above already covered.
     Compact();
-    if (ContiguousFreeSpace() < record.size()) return Status::NoSpace();
   }
   const std::uint16_t new_start =
       static_cast<std::uint16_t>(cell_start() - record.size());

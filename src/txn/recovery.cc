@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/engine/database.h"
+#include "src/index/persistent/index_log.h"
 #include "src/storage/slotted_page.h"
 
 namespace plp {
@@ -47,7 +48,7 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> seen;
   PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn, const LogRecord& rec) {
-    if (rec.type == LogType::kCheckpoint) return;
+    if (rec.type == LogType::kCheckpoint || rec.txn == kInvalidTxnId) return;
     seen.insert(rec.txn);
     if (rec.type == LogType::kCommit) winners.insert(rec.txn);
   }));
@@ -76,9 +77,15 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
   Status replay_status = Status::OK();
   PLP_RETURN_IF_ERROR(log_->Scan([&](Lsn lsn, const LogRecord& rec) {
     if (!replay_status.ok()) return;
+    const bool heap_loser =
+        (rec.type == LogType::kHeapInsert ||
+         rec.type == LogType::kHeapUpdate ||
+         rec.type == LogType::kHeapDelete) &&
+        rec.txn != kInvalidTxnId && winners.count(rec.txn) == 0;
     switch (rec.type) {
       case LogType::kHeapInsert:
       case LogType::kHeapUpdate: {
+        if (heap_loser) break;  // not redone; see RecoverDatabase
         Page* page = heap_page(rec.rid.page_id);
         replay_status = SlottedPage(page->data()).PutAt(rec.rid.slot, rec.redo);
         page->MarkDirty();
@@ -86,6 +93,7 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
         break;
       }
       case LogType::kHeapDelete: {
+        if (heap_loser) break;
         Page* page = heap_page(rec.rid.page_id);
         // Idempotent: deleting an already-free slot is fine.
         (void)SlottedPage(page->data()).Delete(rec.rid.slot);
@@ -118,7 +126,9 @@ Status RecoveryManager::Recover(BTree* index, Stats* stats) {
         case LogType::kHeapInsert:
         case LogType::kHeapUpdate:
         case LogType::kHeapDelete:
-          if (winners.count(rec.txn) == 0) {
+          // System records (txn == kInvalidTxnId, e.g. logged abort
+          // compensations) are repeat-history-only: treated like winners.
+          if (rec.txn != kInvalidTxnId && winners.count(rec.txn) == 0) {
             loser_ops.push_back({rec.type, rec.rid, lsn, rec.undo});
           } else {
             last_committed[rec.rid] = lsn;
@@ -164,12 +174,22 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
                                         const CheckpointImage& image,
                                         Stats* stats) {
   Stats local;
+  const bool logged_index = db->logged_index();
 
   std::unordered_map<std::uint32_t, Table*> tables_by_id;
   for (Table* t : db->tables()) tables_by_id[t->id()] = t;
 
-  // Load the checkpoint's primary-index snapshots.
-  if (has_checkpoint) {
+  if (logged_index) {
+    // Persistent index: the checkpoint carries only the partition-table
+    // baseline; page contents replay physically below. Newer
+    // kPartitionTable records seen during redo re-adopt.
+    for (const CheckpointImage::TablePartitions& parts : image.partitions) {
+      auto it = tables_by_id.find(parts.table_id);
+      if (it == tables_by_id.end()) continue;
+      PLP_RETURN_IF_ERROR(it->second->primary()->AdoptPartitions(parts.parts));
+    }
+  } else if (has_checkpoint) {
+    // Legacy snapshot mode: load the checkpoint's primary-index snapshots.
     for (const CheckpointImage::TableSnapshot& snap : image.tables) {
       auto it = tables_by_id.find(snap.table_id);
       if (it == tables_by_id.end()) continue;
@@ -188,6 +208,8 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
 
   // Pass 1: analysis over [scan_start, end). Transactions active at the
   // checkpoint are in-flight by definition; records tell us who finished.
+  // System records (txn == kInvalidTxnId: SMOs, partition tables, logged
+  // heap moves, compensations) are repeat-history-only — never losers.
   std::unordered_set<TxnId> committed;
   std::unordered_map<TxnId, Lsn> abort_lsn;
   std::unordered_set<TxnId> seen;
@@ -195,7 +217,7 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
   for (const auto& [txn, begin] : image.active_txns) seen.insert(txn);
   PLP_RETURN_IF_ERROR(log_->ScanFrom(scan_start, [&](Lsn lsn,
                                                      const LogRecord& rec) {
-    if (rec.type == LogType::kCheckpoint) return;
+    if (rec.type == LogType::kCheckpoint || rec.txn == kInvalidTxnId) return;
     seen.insert(rec.txn);
     max_txn_id = std::max(max_txn_id, rec.txn);
     if (rec.type == LogType::kCommit) committed.insert(rec.txn);
@@ -204,10 +226,15 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
   local.winners = committed.size();
   local.losers = seen.size() - committed.size();
 
-  // Pass 2: redo. Heap history is repeated for every transaction (value
-  // replay is idempotent against whatever page state the data file holds);
-  // index ops are applied for committed transactions only, on top of the
-  // snapshot. Loser bookkeeping feeds the undo passes below.
+  auto is_winner_or_system = [&](TxnId txn) {
+    return txn == kInvalidTxnId || committed.count(txn) > 0;
+  };
+
+  // Pass 2: redo. Heap and index-page history is repeated for every
+  // transaction (page-LSN-gated, so replay against whatever state the
+  // data file holds is idempotent); legacy logical index ops are applied
+  // for committed transactions only, on top of the snapshot. Loser
+  // bookkeeping feeds the undo passes below.
   struct LoserHeapOp {
     LogType type;
     Rid rid;
@@ -220,11 +247,21 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
     TxnId txn;
     Lsn lsn;
     std::uint32_t table;
-    std::string payload;  // EncodeIndexOp(key, value)
+    std::string payload;  // EncodeIndexEntry(key, value-for-undo)
   };
   std::vector<LoserHeapOp> loser_heap;
-  std::vector<LoserIndexOp> loser_index;
+  std::vector<LoserIndexOp> loser_index;     // snapshot mode (pass 3a)
+  std::vector<LoserIndexOp> loser_anchors;   // logged mode (pass 3a')
   std::unordered_map<Rid, Lsn> last_committed;
+  // Key-level precedence for logged-mode index undo: the newest op on a
+  // (table, key) by a winner or a system/compensation record wins over an
+  // older loser op.
+  std::unordered_map<std::string, Lsn> index_key_winner;
+  auto index_key = [](std::uint32_t table, const std::string& key) {
+    std::string k(reinterpret_cast<const char*>(&table), 4);
+    k += key;
+    return k;
+  };
 
   auto heap_page = [&](const LogRecord& rec) {
     const PageId pid = rec.rid.page_id;
@@ -241,6 +278,15 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
     return page;
   };
 
+  auto index_page = [&](PageId pid) {
+    Page* page = pool_->Fix(pid);  // resident or on disk
+    if (page == nullptr) {
+      page = pool_->NewPageWithId(pid, PageClass::kIndex);
+    }
+    EnsureNodeFormatted(page->data());
+    return page;
+  };
+
   Status replay_status = Status::OK();
   PLP_RETURN_IF_ERROR(log_->ScanFrom(scan_start, [&](Lsn lsn,
                                                      const LogRecord& rec) {
@@ -249,6 +295,17 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
       case LogType::kHeapInsert:
       case LogType::kHeapUpdate:
       case LogType::kHeapDelete: {
+        if (!is_winner_or_system(rec.txn)) {
+          // Loser heap ops are NOT redone: heap replay is slot-addressed
+          // and value-based, so skipping them leaves each slot with its
+          // winner value directly (the undo images below cover delete/
+          // update restores). Redoing them would transiently overcommit
+          // pages — at runtime the space they held was returned by
+          // unlogged abort compensations mid-stream, which replay cannot
+          // interleave — and a committed record's PutAt could then fail.
+          loser_heap.push_back({rec.type, rec.rid, lsn, rec.table, rec.undo});
+          break;
+        }
         Page* page = heap_page(rec);
         // ARIES redo gate: a page stolen after this record already holds
         // its effect (page_lsn from the slot header covers it); replaying
@@ -264,15 +321,110 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
           page->StampUpdate(lsn);
           local.redo_ops++;
         }
-        if (committed.count(rec.txn) > 0) {
-          last_committed[rec.rid] = lsn;
-        } else {
-          loser_heap.push_back({rec.type, rec.rid, lsn, rec.table, rec.undo});
+        last_committed[rec.rid] = lsn;
+        break;
+      }
+      case LogType::kIndexLeafInsert:
+      case LogType::kIndexLeafDelete:
+      case LogType::kIndexLeafUpdate: {
+        std::string key, value;
+        const std::string& payload =
+            rec.type == LogType::kIndexLeafDelete ? rec.undo : rec.redo;
+        DecodeIndexEntry(payload, &key, &value);
+        Page* page = index_page(rec.rid.page_id);
+        if (lsn > page->page_lsn()) {
+          if (rec.type == LogType::kIndexLeafInsert) {
+            RedoLeafInsert(page->data(), key, value);
+          } else if (rec.type == LogType::kIndexLeafDelete) {
+            RedoLeafDelete(page->data(), key);
+          } else {
+            RedoLeafUpdate(page->data(), key, value);
+          }
+          page->StampUpdate(lsn);
+          local.index_ops++;
         }
+        if (is_winner_or_system(rec.txn)) {
+          // A SYSTEM leaf UPDATE is a re-point (leaf-moved hook,
+          // repartitioning): the key's existence is still owed to
+          // whoever inserted it, so it must not shield a loser's insert
+          // from being undone. Committed updates and all inserts/deletes
+          // do take precedence over older loser ops.
+          if (rec.type != LogType::kIndexLeafUpdate ||
+              rec.txn != kInvalidTxnId) {
+            index_key_winner[index_key(rec.table, key)] = lsn;
+          }
+        } else {
+          // Undo needs the before-image: the deleted/overwritten value
+          // for delete/update, the key alone for insert.
+          loser_anchors.push_back(
+              {rec.type, rec.txn, lsn, rec.table,
+               rec.type == LogType::kIndexLeafInsert ? rec.redo : rec.undo});
+        }
+        break;
+      }
+      case LogType::kIndexSmo: {
+        std::vector<std::pair<PageId, std::string>> images;
+        if (!DecodeSmoPayload(rec.redo, &images)) {
+          replay_status = Status::Corruption("bad SMO payload");
+          break;
+        }
+        for (const auto& [pid, img] : images) {
+          Page* page = index_page(pid);
+          if (lsn > page->page_lsn()) {
+            if (!ApplyNodeImage(img, page->data())) {
+              replay_status = Status::Corruption("bad SMO page image");
+              break;
+            }
+            page->StampUpdate(lsn);
+            local.index_ops++;
+          }
+        }
+        break;
+      }
+      case LogType::kIndexPageFree: {
+        pool_->FreePage(rec.rid.page_id);
+        break;
+      }
+      case LogType::kPartitionTable: {
+        auto it = tables_by_id.find(rec.table);
+        if (it == tables_by_id.end()) break;
+        std::vector<std::pair<std::string, PageId>> parts;
+        if (!DecodePartitionPayload(rec.redo, &parts)) {
+          replay_status = Status::Corruption("bad partition-table payload");
+          break;
+        }
+        replay_status = it->second->primary()->AdoptPartitions(parts);
+        break;
+      }
+      case LogType::kIndexRepartition: {
+        // Atomic slice/meld: SMO page images + the new partition table in
+        // one record (either the whole repartition replays or none of it).
+        std::vector<std::pair<std::string, PageId>> parts;
+        std::vector<std::pair<PageId, std::string>> images;
+        if (!DecodeRepartitionPayload(rec.redo, &parts, &images)) {
+          replay_status = Status::Corruption("bad repartition payload");
+          break;
+        }
+        for (const auto& [pid, img] : images) {
+          Page* page = index_page(pid);
+          if (lsn > page->page_lsn()) {
+            if (!ApplyNodeImage(img, page->data())) {
+              replay_status = Status::Corruption("bad repartition image");
+              break;
+            }
+            page->StampUpdate(lsn);
+            local.index_ops++;
+          }
+        }
+        if (!replay_status.ok()) break;
+        auto it = tables_by_id.find(rec.table);
+        if (it == tables_by_id.end()) break;
+        replay_status = it->second->primary()->AdoptPartitions(parts);
         break;
       }
       case LogType::kIndexInsert:
       case LogType::kIndexDelete: {
+        if (logged_index) break;  // legacy records; absent in logged mode
         auto it = tables_by_id.find(rec.table);
         if (it == tables_by_id.end()) break;
         if (committed.count(rec.txn) > 0) {
@@ -303,7 +455,8 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
   }));
   PLP_RETURN_IF_ERROR(replay_status);
 
-  // Pass 3a: reverse loser index ops that the snapshot reflects.
+  // Pass 3a (snapshot mode): reverse loser index ops the snapshot
+  // reflects.
   for (auto it = loser_index.rbegin(); it != loser_index.rend(); ++it) {
     auto ab = abort_lsn.find(it->txn);
     if (ab != abort_lsn.end() && ab->second < checkpoint_lsn) {
@@ -323,8 +476,46 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
     local.index_ops++;
   }
 
+  // Pass 3a' (logged mode): compensate loser leaf ops logically through
+  // the recovered trees, newest-first. The compensations go through the
+  // normal mutation paths, so they are themselves logged (as system
+  // records) and survive a crash during recovery. A later op on the same
+  // key by a winner or a system record takes precedence.
+  for (auto it = loser_anchors.rbegin(); it != loser_anchors.rend(); ++it) {
+    auto table_it = tables_by_id.find(it->table);
+    if (table_it == tables_by_id.end()) continue;
+    std::string key, value;
+    DecodeIndexEntry(it->payload, &key, &value);
+    auto winner = index_key_winner.find(index_key(it->table, key));
+    if (winner != index_key_winner.end() && winner->second > it->lsn) {
+      continue;
+    }
+    MRBTree* primary = table_it->second->primary();
+    switch (it->type) {
+      case LogType::kIndexLeafInsert:
+        (void)primary->Delete(key);  // NotFound: compensated pre-crash
+        break;
+      case LogType::kIndexLeafDelete: {
+        Status st = primary->Insert(key, value);
+        (void)st;  // AlreadyExists: a later insert owns the key now
+        break;
+      }
+      case LogType::kIndexLeafUpdate:
+        (void)primary->Update(key, value);  // NotFound: deleted later
+        break;
+      default:
+        break;
+    }
+    local.undo_ops++;
+  }
+
   // Pass 3b: undo loser heap ops newest-first from before-images; a later
-  // committed write to the same RID wins.
+  // committed write to the same RID wins. The undone pages are flushed at
+  // the end: these writes are UNLOGGED, so nothing in the WAL could
+  // reproduce them after a second crash — persisting them (with a clean
+  // dirty bit) is what makes crash-during-normal-operation-after-restart
+  // safe.
+  std::unordered_set<PageId> undone_pages;
   for (auto it = loser_heap.rbegin(); it != loser_heap.rend(); ++it) {
     auto committed_it = last_committed.find(it->rid);
     if (committed_it != last_committed.end() &&
@@ -346,7 +537,16 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
         break;
     }
     page->MarkDirty();
+    undone_pages.insert(it->rid.page_id);
     local.undo_ops++;
+  }
+  for (PageId pid : undone_pages) {
+    PLP_RETURN_IF_ERROR(pool_->FlushPage(pid, LatchPolicy::kNone));
+  }
+
+  if (logged_index) {
+    // Adopted sub-trees learned their entry populations from pages only.
+    for (auto& [id, table] : tables_by_id) table->primary()->RecountEntries();
   }
 
   db->txns()->EnsureNextIdAtLeast(

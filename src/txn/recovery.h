@@ -1,27 +1,35 @@
 // ARIES-lite restart recovery over the write-ahead log.
 //
-// Three passes, in the ARIES spirit adapted to our physiological records:
+// Three passes, in the ARIES spirit adapted to our records:
 //  1. Analysis — classify transactions into winners (committed) and losers
-//     (active or aborted at the crash).
-//  2. Redo — repeat history for heap operations, reproducing exact RIDs
-//     via SlottedPage::PutAt and BufferPool::NewPageWithId.
-//  3. Undo — roll back loser heap operations newest-first using the undo
-//     images. Index operations are replayed logically for winners only
-//     (the index is rebuilt, so physical undo is unnecessary).
+//     (active or aborted at the crash). System records (txn ==
+//     kInvalidTxnId: SMO images, partition tables, logged compensations,
+//     heap moves) are repeat-history-only.
+//  2. Redo — repeat winner/system history: heap operations by exact RID
+//     (SlottedPage::PutAt, LSN-gated per page; loser heap records are
+//     skipped — the undo pass covers them and redoing them could
+//     transiently overcommit pages), index operations physiologically
+//     (leaf records + SMO/repartition page images; see
+//     docs/persistent_index.md). Legacy snapshot mode replays logical
+//     index ops for winners on top of the checkpoint snapshot.
+//  3. Undo — compensate loser index anchors logically through the
+//     recovered trees (logged, crash-safe) and roll back loser heap
+//     operations newest-first from before-images; the undone heap pages
+//     are flushed before the database opens (those writes are unlogged).
 //
 // Two entry points:
 //  * Recover()          — the seed's single-index form: whole-log scan into
 //    a fresh pool (memory-resident crash simulation).
 //  * RecoverDatabase()  — durable restart: starts from the last fuzzy
 //    checkpoint (src/io/checkpoint.h), reads log segments from disk,
-//    loads index snapshots, redoes history from min(rec_lsn, active
-//    begin_lsns), and routes table-scoped records to the right heap
-//    file / primary index of a catalog-loaded Database.
+//    adopts the MRBTree partition baseline (or loads index snapshots in
+//    legacy mode), redoes history from min(rec_lsn, active begin_lsns),
+//    and routes table-scoped records to the right heap file / primary
+//    index of a catalog-loaded Database.
 //
-// Undo is value-based (before-images), not CLR-chained: a runtime abort
-// performs logical compensation without logging it, so recovery re-undoes
-// from images; a same-RID write by a later committed transaction takes
-// precedence (the undo is skipped). CLR logging is a ROADMAP follow-on.
+// Runtime aborts log their compensations as system records; recovery-time
+// undo remains value-based (full CLR chains are a ROADMAP follow-on). A
+// same-RID write by a later winner takes precedence over a loser's undo.
 #ifndef PLP_TXN_RECOVERY_H_
 #define PLP_TXN_RECOVERY_H_
 

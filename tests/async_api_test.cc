@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -390,6 +391,87 @@ TEST_P(AsyncApiTest, SubmitWithoutStartResolvesPromptly) {
   } else {
     EXPECT_FALSE(st.ok());
   }
+  engine->Stop();
+}
+
+// --- Dedicated callback executor (EngineConfig::dedicated_callback_thread)
+
+TEST(CallbackExecutorTest, CallbacksRunOnOneDedicatedThread) {
+  EngineConfig config;
+  config.design = SystemDesign::kConventional;
+  config.num_workers = 4;
+  config.dedicated_callback_thread = true;
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+
+  constexpr int kTxns = 64;
+  std::mutex mu;
+  std::vector<std::thread::id> callback_threads;
+  std::atomic<int> fired{0};
+  std::vector<TxnHandle> handles;
+  const std::thread::id submitter = std::this_thread::get_id();
+  for (int i = 0; i < kTxns; ++i) {
+    TxnRequest req;
+    const std::string key = KeyU32(static_cast<std::uint32_t>(i));
+    req.Add(0, "t", key, [key](ExecContext& ctx) {
+      return ctx.Insert(key, "v");
+    });
+    TxnOptions options;
+    options.on_complete = [&](const Status& st) {
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      std::lock_guard<std::mutex> g(mu);
+      callback_threads.push_back(std::this_thread::get_id());
+      fired.fetch_add(1);
+    };
+    handles.push_back(engine->Submit(std::move(req), options));
+  }
+  for (auto& h : handles) {
+    // Wait() must not return before the callback has run.
+    const int before_wait = fired.load();
+    ASSERT_TRUE(h.Wait().ok());
+    (void)before_wait;
+  }
+  EXPECT_EQ(fired.load(), kTxns);
+  std::lock_guard<std::mutex> g(mu);
+  ASSERT_EQ(callback_threads.size(), static_cast<std::size_t>(kTxns));
+  // All callbacks ran on the same thread, and not on the submitter.
+  for (const auto& id : callback_threads) {
+    EXPECT_EQ(id, callback_threads.front());
+    EXPECT_NE(id, submitter);
+  }
+  engine->Stop();
+}
+
+TEST(CallbackExecutorTest, WaitObservesCallbackCompletion) {
+  EngineConfig config;
+  config.design = SystemDesign::kConventional;
+  config.num_workers = 2;
+  config.dedicated_callback_thread = true;
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok());
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+
+  // A deliberately slow callback: Wait() must block until it finishes.
+  std::atomic<bool> callback_done{false};
+  TxnRequest req;
+  const std::string key = KeyU32(1);
+  req.Add(0, "t", key, [key](ExecContext& ctx) {
+    return ctx.Insert(key, "v");
+  });
+  TxnOptions options;
+  options.on_complete = [&](const Status&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    callback_done.store(true);
+  };
+  TxnHandle h = engine->Submit(std::move(req), options);
+  ASSERT_TRUE(h.Wait().ok());
+  EXPECT_TRUE(callback_done.load())
+      << "Wait() returned before the executor ran the callback";
   engine->Stop();
 }
 

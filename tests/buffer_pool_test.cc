@@ -1,11 +1,15 @@
 // Tests for the buffer pool and page cleaner.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "src/buffer/buffer_pool.h"
 #include "src/buffer/page_cleaner.h"
+#include "src/io/disk_manager.h"
 #include "src/sync/cs_profiler.h"
 
 namespace plp {
@@ -125,6 +129,89 @@ TEST(PageCleanerTest, DeclinedDelegationFallsBackToDirectClean) {
   PageCleaner cleaner(&pool, [](PageId) { return false; });
   EXPECT_EQ(cleaner.RunOnce(), 1u);
   EXPECT_FALSE(a->dirty());
+}
+
+// Persistent-index mode: index-class frames are eviction candidates and
+// read back from disk with class and content intact, under concurrent
+// mixed fix/allocate load (the eviction-vs-pin races the pins must win).
+TEST(BufferPoolTest, IndexFramesEvictUnderLoadAndReadBack) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("plp_bp_index_evict_" + std::to_string(::getpid()) +
+                     ".db");
+  std::filesystem::remove(path);
+  std::unique_ptr<DiskManager> disk;
+  ASSERT_TRUE(DiskManager::Open(path.string(), &disk).ok());
+
+  BufferPoolConfig config;
+  config.frame_budget = 8;
+  config.disk = disk.get();
+  config.persist_index_pages = true;
+  BufferPool pool(config);
+
+  constexpr int kPages = 48;
+  std::vector<PageId> ids;
+  for (int i = 0; i < kPages; ++i) {
+    PageRef page = pool.AllocatePage(PageClass::kIndex, UINT32_MAX);
+    std::memset(page->data(), 'a' + (i % 26), kPageSize);
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  // Far more index pages than frames: evictions must have happened.
+  EXPECT_GT(pool.evictions(), 0u);
+  EXPECT_GT(pool.disk_writes(), 0u);
+  EXPECT_LE(pool.num_pages(), static_cast<std::size_t>(kPages));
+
+  // Concurrent readers re-fix random pages (forcing read-through and more
+  // evictions) while verifying every byte pattern and the page class.
+  constexpr int kThreads = 4, kIters = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        const int i = (t * 31 + it * 7) % kPages;
+        PageRef page = pool.AcquirePage(ids[static_cast<std::size_t>(i)],
+                                        /*tracked=*/true);
+        if (!page || page->page_class() != PageClass::kIndex ||
+            page->data()[0] != static_cast<char>('a' + (i % 26)) ||
+            page->data()[kPageSize - 1] != static_cast<char>('a' + (i % 26))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(pool.disk_reads(), 0u);
+  std::filesystem::remove(path);
+}
+
+// Legacy snapshot mode keeps index frames resident: only heap frames are
+// clock candidates.
+TEST(BufferPoolTest, IndexFramesStayResidentWithoutPersistIndex) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("plp_bp_index_resident_" + std::to_string(::getpid()) +
+                     ".db");
+  std::filesystem::remove(path);
+  std::unique_ptr<DiskManager> disk;
+  ASSERT_TRUE(DiskManager::Open(path.string(), &disk).ok());
+
+  BufferPoolConfig config;
+  config.frame_budget = 4;
+  config.disk = disk.get();
+  BufferPool pool(config);
+
+  std::vector<PageId> ids;
+  for (int i = 0; i < 16; ++i) {
+    PageRef page = pool.AllocatePage(PageClass::kIndex, UINT32_MAX);
+    page->MarkDirty();
+    ids.push_back(page->id());
+  }
+  for (PageId id : ids) {
+    EXPECT_NE(pool.Fix(id), nullptr) << "index frame was evicted";
+  }
+  EXPECT_EQ(pool.evictions(), 0u);
+  std::filesystem::remove(path);
 }
 
 TEST(PageTest, OwnerTagDefaultsUnowned) {

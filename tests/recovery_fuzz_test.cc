@@ -17,14 +17,69 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "src/common/key_encoding.h"
 #include "src/common/rng.h"
 #include "src/engine/engine.h"
+#include "src/index/persistent/index_log.h"
+#include "src/io/disk_manager.h"
 #include "src/txn/recovery.h"
 
 namespace plp {
 namespace {
+
+
+// Debug forensics: on a mismatch, dump every WAL record touching the key
+// or its rid, with txn resolution markers.
+void DumpKeyHistory(Database* db, std::uint32_t k, Rid rid) {
+  fprintf(stderr,
+          "KEYCTX scan_start=%llu redo=%llu undo=%llu idx=%llu\n",
+          (unsigned long long)db->recovery_stats().scan_start,
+          (unsigned long long)db->recovery_stats().redo_ops,
+          (unsigned long long)db->recovery_stats().undo_ops,
+          (unsigned long long)db->recovery_stats().index_ops);
+  if (db->disk() != nullptr) {
+    PageSlotHeader hdr;
+    std::vector<char> img(kPageSize);
+    if (db->disk()->ReadPage(rid.page_id, &hdr, img.data()).ok()) {
+      fprintf(stderr, "KEYCTX disk page=%u page_lsn=%llu\n", rid.page_id,
+              (unsigned long long)hdr.page_lsn);
+    }
+  }
+  const std::string key = KeyU32(k);
+  std::map<TxnId, char> resolution;  // C=commit, A=abort
+  (void)db->log()->ScanFrom(0, [&](Lsn, const LogRecord& rec) {
+    if (rec.type == LogType::kCommit) resolution[rec.txn] = 'C';
+    if (rec.type == LogType::kAbort) resolution[rec.txn] = 'A';
+  });
+  (void)db->log()->ScanFrom(0, [&](Lsn lsn, const LogRecord& rec) {
+    bool heap_match =
+        (rec.type == LogType::kHeapInsert ||
+         rec.type == LogType::kHeapUpdate ||
+         rec.type == LogType::kHeapDelete) &&
+        rec.rid.page_id == rid.page_id && rec.rid.slot == rid.slot;
+    bool idx_match = false;
+    if (rec.type == LogType::kIndexLeafInsert ||
+        rec.type == LogType::kIndexLeafDelete ||
+        rec.type == LogType::kIndexLeafUpdate) {
+      std::string rkey, rval;
+      DecodeIndexEntry(
+          rec.type == LogType::kIndexLeafDelete ? rec.undo : rec.redo, &rkey,
+          &rval);
+      idx_match = rkey == key;
+    }
+    if (!heap_match && !idx_match) return;
+    char res = rec.txn == kInvalidTxnId ? 'S'
+               : resolution.count(rec.txn) ? resolution[rec.txn]
+                                           : '?';
+    fprintf(stderr,
+            "KEYHIST lsn=%llu type=%s txn=%llu(%c) rid=%u/%u redo=%zu undo=%zu\n",
+            (unsigned long long)lsn, LogTypeName(rec.type),
+            (unsigned long long)rec.txn, res, rec.rid.page_id,
+            (unsigned)rec.rid.slot, rec.redo.size(), rec.undo.size());
+  });
+}
 
 class RecoveryFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -181,6 +236,19 @@ TEST_P(DurableRecoveryFuzzTest, CommittedStateSurvivesCrashLoop) {
       if (it != model.end()) {
         ASSERT_TRUE(found) << "gen " << gen << ": committed key " << k
                            << " lost in the crash";
+        if (found && *payload != it->second) {
+          Table* t2 = engine->db().GetTable("t");
+          std::string v;
+          if (t2->primary()->Probe(key, &v).ok() && v.size() >= 6) {
+            Rid rid;
+            memcpy(&rid.page_id, v.data(), 4);
+            memcpy(&rid.slot, v.data() + 4, 2);
+            fprintf(stderr, "MISMATCH gen=%d key=%u rid=%u/%u got=%s want=%s\n",
+                    gen, k, rid.page_id, (unsigned)rid.slot, payload->c_str(),
+                    it->second.c_str());
+            DumpKeyHistory(&engine->db(), k, rid);
+          }
+        }
         EXPECT_EQ(*payload, it->second) << "gen " << gen << " key " << k;
       } else {
         EXPECT_FALSE(found) << "gen " << gen << ": uncommitted key " << k
@@ -253,6 +321,179 @@ TEST_P(DurableRecoveryFuzzTest, CommittedStateSurvivesCrashLoop) {
       // Occasionally shut down cleanly; most generations crash.
       ASSERT_TRUE(engine->db().Close().ok());
     }
+  }
+}
+
+// Crash-loop fuzz over persistent-index STRUCTURE modifications: a PLP
+// engine (latch-free MRBTree) runs random transactions that split leaves,
+// plus explicit repartitions (MRBTree slice/meld — the multi-page SMOs),
+// then crashes at a random point. Every reopen must recover the index
+// purely from WAL redo — committed records reachable with exact payloads,
+// partition boundaries intact, structural invariants holding.
+class DurableSmoFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  DurableSmoFuzzTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plp_smo_fuzz_" + std::to_string(::getpid()) + "_" +
+            std::to_string(GetParam()));
+    std::filesystem::remove_all(dir_);
+  }
+  ~DurableSmoFuzzTest() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DurableSmoFuzzTest,
+                         ::testing::Values(3, 17, 4242),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+TEST_P(DurableSmoFuzzTest, SplitsAndMergesSurviveCrashLoop) {
+  constexpr std::uint32_t kKeySpace = 300;
+  Rng rng(GetParam());
+  std::map<std::uint32_t, std::string> model;  // committed state only
+  std::vector<std::string> expected_boundaries = {"", KeyU32(kKeySpace / 2)};
+
+  EngineConfig config;
+  config.design = SystemDesign::kPlpRegular;
+  config.num_workers = 2;
+  config.db.data_dir = dir_.string();
+  config.db.frame_budget = 24;  // evict index and heap pages mid-workload
+  config.db.txn.durable_commits = true;
+
+  constexpr int kGenerations = 4;
+  for (int gen = 0; gen < kGenerations; ++gen) {
+    auto created = CreateEngine(config);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    engine->Start();
+    ASSERT_TRUE(engine->db().open_status().ok())
+        << "gen " << gen << ": " << engine->db().open_status().ToString();
+    if (gen == 0) {
+      ASSERT_TRUE(engine->CreateTable("t", expected_boundaries).ok());
+    }
+    Table* table = engine->db().GetTable("t");
+    ASSERT_NE(table, nullptr);
+
+    // Partition assignments must have survived the previous crash.
+    EXPECT_EQ(table->primary()->boundaries(), expected_boundaries)
+        << "gen " << gen << ": partition metadata lost in the crash";
+    ASSERT_TRUE(table->primary()->CheckIntegrity().ok())
+        << "gen " << gen << ": recovered tree violates invariants";
+
+    // Full-key-space verification against the committed-only model.
+    for (std::uint32_t k = 0; k < kKeySpace; ++k) {
+      TxnRequest req;
+      const std::string key = KeyU32(k);
+      auto payload = std::make_shared<std::string>();
+      req.Add(0, "t", key, [key, payload](ExecContext& ctx) {
+        return ctx.Read(key, payload.get());
+      });
+      const bool found = engine->Execute(req).ok();
+      auto it = model.find(k);
+      if (it != model.end()) {
+        ASSERT_TRUE(found) << "gen " << gen << ": committed key " << k
+                           << " unreachable after crash";
+        if (found && *payload != it->second) {
+          std::string v;
+          if (table->primary()->Probe(key, &v).ok() && v.size() >= 6) {
+            Rid rid;
+            memcpy(&rid.page_id, v.data(), 4);
+            memcpy(&rid.slot, v.data() + 4, 2);
+            fprintf(stderr, "MISMATCH gen=%d key=%u rid=%u/%u got=%s want=%s\n",
+                    gen, k, rid.page_id, (unsigned)rid.slot, payload->c_str(),
+                    it->second.c_str());
+            DumpKeyHistory(&engine->db(), k, rid);
+          }
+        }
+        EXPECT_EQ(*payload, it->second) << "gen " << gen << " key " << k;
+      } else {
+        EXPECT_FALSE(found) << "gen " << gen << ": uncommitted key " << k
+                            << " leaked through recovery";
+      }
+    }
+
+    const int txns = static_cast<int>(rng.Range(60, 160));
+    for (int txn_no = 0; txn_no < txns; ++txn_no) {
+      const bool doomed = rng.Percent(20);
+      const int ops = static_cast<int>(rng.Range(1, 4));
+      std::map<std::uint32_t, std::string> staged = model;
+      TxnRequest req;
+      bool expect_ok = true;
+      for (int op = 0; op < ops; ++op) {
+        const auto k = static_cast<std::uint32_t>(rng.Uniform(kKeySpace));
+        const std::string key = KeyU32(k);
+        // Bulky values split leaves quickly (crash points land mid-SMO
+        // history: between anchors, SMO records, and commits).
+        const std::string value = "v" + std::to_string(gen) + "-" +
+                                  std::to_string(txn_no) + "-" +
+                                  std::string(120, 'x');
+        if (rng.Percent(60)) {
+          const bool exists = staged.count(k) > 0;
+          req.Add(0, "t", key, [key, value](ExecContext& ctx) {
+            return ctx.Insert(key, value);
+          });
+          if (exists) {
+            expect_ok = false;
+          } else {
+            staged[k] = value;
+          }
+        } else if (rng.Percent(50)) {
+          const bool exists = staged.count(k) > 0;
+          req.Add(0, "t", key, [key, value](ExecContext& ctx) {
+            Status st = ctx.Update(key, value);
+            return st.IsNotFound() ? Status::OK() : st;
+          });
+          if (exists) staged[k] = value;
+        } else {
+          const bool exists = staged.count(k) > 0;
+          req.Add(0, "t", key, [key](ExecContext& ctx) {
+            Status st = ctx.Delete(key);
+            return st.IsNotFound() ? Status::OK() : st;
+          });
+          if (exists) staged.erase(k);
+        }
+      }
+      if (doomed) {
+        req.Add(1, "t", KeyU32(0), [](ExecContext&) {
+          return Status::Aborted("fuzz-induced abort");
+        });
+      }
+      Status st = engine->Execute(req);
+      if (doomed || !expect_ok) {
+        EXPECT_FALSE(st.ok());
+      } else if (st.ok()) {
+        model = std::move(staged);
+      }
+
+      // Random repartitions: MRBTree slice/meld are the multi-page SMOs
+      // whose atomicity the kIndexSmo record must guarantee across the
+      // crash at the end of this generation.
+      if (rng.Percent(4)) {
+        std::vector<std::string> next = {""};
+        const int parts = static_cast<int>(rng.Range(1, 4));
+        std::set<std::uint32_t> cuts;
+        for (int c = 0; c < parts; ++c) {
+          cuts.insert(
+              static_cast<std::uint32_t>(rng.Range(1, kKeySpace - 1)));
+        }
+        for (std::uint32_t c : cuts) next.push_back(KeyU32(c));
+        ASSERT_TRUE(engine->Repartition("t", next).ok())
+            << "gen " << gen << " txn " << txn_no;
+        expected_boundaries = next;
+      }
+      if (rng.Percent(3)) {
+        ASSERT_TRUE(engine->db().Checkpoint().ok());
+      }
+    }
+
+    engine->Stop();
+    if (rng.Percent(20)) {
+      ASSERT_TRUE(engine->db().Close().ok());
+    }
+    // Otherwise: crash (destroy without Close) — possibly with the last
+    // repartition's records still unflushed in the WAL tail.
   }
 }
 
