@@ -95,8 +95,12 @@ class JsonReporter {
   /// loop (blocking Execute) from open-loop (pipelined Submit) runs;
   /// `inflight` is the admission-gate high-water mark over the window and
   /// the latency percentiles are completion latencies in open-loop mode.
+  /// `metrics_json` (optional) is a serialized engine stats snapshot —
+  /// StatsSnapshot::ToJson() — attached to the row as a "metrics" object
+  /// so perf regressions can be attributed to specific subsystem counters.
   void Add(const std::string& name, int threads, const DriverResult& r,
-           const char* mode = "closed-loop") {
+           const char* mode = "closed-loop",
+           const std::string& metrics_json = "") {
     char row[640];
     std::snprintf(
         row, sizeof(row),
@@ -104,13 +108,18 @@ class JsonReporter {
         "\"ktps\": %.3f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
         "\"committed\": %llu, \"aborted\": %llu, "
         "\"completed_txns\": %llu, \"inflight\": %llu, "
-        "\"cs_per_txn\": %.2f}",
+        "\"cs_per_txn\": %.2f",
         name.c_str(), threads, mode, r.ktps(), r.p50_us(), r.p99_us(),
         static_cast<unsigned long long>(r.committed),
         static_cast<unsigned long long>(r.aborted),
         static_cast<unsigned long long>(r.committed + r.aborted),
         static_cast<unsigned long long>(r.peak_inflight), r.cs_per_txn());
-    rows_.emplace_back(row);
+    std::string full(row);
+    if (!metrics_json.empty()) {
+      full += ", \"metrics\": " + metrics_json;
+    }
+    full += "}";
+    rows_.push_back(std::move(full));
   }
 
   /// Records a scalar metric (for benches without a driver window).

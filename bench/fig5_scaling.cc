@@ -38,6 +38,7 @@ void Run() {
       DriverOptions options;
       options.num_threads = threads;
       options.duration = bench::WindowMs();
+      engine->metrics()->Reset();  // per-row attribution window
       DriverResult r = RunWorkload(
           engine.get(),
           [&](Rng& rng) {
@@ -46,7 +47,8 @@ void Run() {
           options);
       std::printf(" %10.1f", r.ktps());
       std::fflush(stdout);
-      json.Add(SystemDesignName(design), threads, r);
+      json.Add(SystemDesignName(design), threads, r, "closed-loop",
+               engine->GetStats().ToJson());
       // Unscalable communication per transaction: lock manager, page
       // latching and buffer pool (Section 2.1's taxonomy) — this is what
       // determines the scaling curve on parallel hardware.
@@ -95,6 +97,7 @@ void Run() {
     options.num_threads = 4;
     options.pipeline_depth = 1024;
     options.duration = bench::WindowMs();
+    engine->metrics()->Reset();  // per-row attribution window
     DriverResult r = RunWorkload(
         engine.get(),
         [&](Rng& rng) {
@@ -114,7 +117,7 @@ void Run() {
                 r.p99_us());
     std::fflush(stdout);
     json.Add(std::string(SystemDesignName(design)) + "-pipelined", 4, r,
-             "open-loop");
+             "open-loop", engine->GetStats().ToJson());
     engine->Stop();
   }
 

@@ -3,8 +3,10 @@
 // eliminated.
 //
 //   $ ./example_quickstart
+//   $ PLP_STATS_INTERVAL_MS=100 ./example_quickstart   # periodic [stats] JSON
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "src/common/key_encoding.h"
@@ -19,6 +21,12 @@ int main() {
   EngineConfig config;
   config.design = SystemDesign::kPlpLeaf;
   config.num_workers = 4;
+  // Optional background stats reporter: with PLP_STATS_INTERVAL_MS set,
+  // the engine prints a `[stats] {...}` JSON snapshot of every metric at
+  // that cadence (plus a final one at shutdown).
+  if (const char* ms = std::getenv("PLP_STATS_INTERVAL_MS")) {
+    config.stats_interval = std::chrono::milliseconds(std::atoi(ms));
+  }
   auto created = CreateEngine(config);
   if (!created.ok()) {
     std::fprintf(stderr, "create engine: %s\n",
@@ -107,6 +115,16 @@ int main() {
                   CsCategory::kMessagePassing)]));
   std::printf("index integrity        : %s\n",
               table.value()->primary()->CheckIntegrity().ToString().c_str());
+
+  // 5. Engine-wide observability: GetStats() snapshots every registered
+  //    counter/gauge/histogram (see docs/observability.md for the catalog).
+  const StatsSnapshot stats = engine->GetStats();
+  std::printf("txn.commits            : %llu\n",
+              static_cast<unsigned long long>(stats.counter("txn.commits")));
+  std::printf("partition.cross_site   : %llu of %llu routed txns\n",
+              static_cast<unsigned long long>(
+                  stats.counter("partition.cross_site_txns")),
+              static_cast<unsigned long long>(stats.counter("partition.txns")));
 
   engine->Stop();
   return 0;

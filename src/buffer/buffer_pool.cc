@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/clock.h"
 #include "src/io/disk_manager.h"
 
 namespace plp {
@@ -17,9 +18,35 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
     next_page_id_.store(config_.disk->max_page_id() + 1,
                         std::memory_order_relaxed);
   }
+  metrics_ = config_.metrics;
+  MetricsRegistry* m =
+      metrics_ != nullptr ? metrics_ : MetricsRegistry::Scratch();
+  hits_metric_ = m->counter("buffer_pool.hits");
+  misses_metric_ = m->counter("buffer_pool.misses");
+  evictions_metric_ = m->counter("buffer_pool.evictions");
+  eviction_writebacks_metric_ = m->counter("buffer_pool.eviction_writebacks");
+  flush_writebacks_metric_ = m->counter("buffer_pool.flush_writebacks");
+  leaked_index_slots_metric_ = m->counter("buffer_pool.leaked_index_slots");
+  miss_stall_us_metric_ = m->histogram("buffer_pool.miss_stall_us");
+  writeback_stall_us_metric_ = m->histogram("buffer_pool.writeback_stall_us");
+  if (metrics_ != nullptr) {
+    metrics_->RegisterGaugeProvider(this, [this](const GaugeSink& sink) {
+      sink("buffer_pool.resident_pages",
+           static_cast<std::int64_t>(num_pages()));
+      sink("buffer_pool.frame_budget",
+           static_cast<std::int64_t>(config_.frame_budget));
+      sink("buffer_pool.dirty_pages",
+           static_cast<std::int64_t>(DirtyPageTable().size()));
+      sink("buffer_pool.disk_reads", static_cast<std::int64_t>(disk_reads()));
+      sink("buffer_pool.disk_writes",
+           static_cast<std::int64_t>(disk_writes()));
+    });
+  }
 }
 
-BufferPool::~BufferPool() = default;
+BufferPool::~BufferPool() {
+  if (metrics_ != nullptr) metrics_->UnregisterGaugeProvider(this);
+}
 
 void BufferPool::TrackFrame(Page* page) {
   if (!evicting() || !Evictable(page->page_class())) return;
@@ -127,8 +154,17 @@ Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
     p = it == shard.pages.end() ? nullptr : it->second.get();
     if (p != nullptr && pin) p->Pin();
   }
+  if (p != nullptr) hits_metric_->Increment();
   if (p == nullptr && config_.disk != nullptr) {
+    // Miss: the faulting thread pays EnsureBudget (possibly a full
+    // eviction round trip) plus the disk read — the stall the
+    // miss_stall_us histogram charges to wal-evicting configurations.
+    const std::uint64_t miss_start = NowNanos();
     p = LoadFromDisk(id, shard);
+    if (p != nullptr) {
+      misses_metric_->Increment();
+      miss_stall_us_metric_->Record((NowNanos() - miss_start) / 1000);
+    }
     if (p != nullptr && pin) {
       // Benign race: the freshly loaded frame could be evicted before this
       // pin lands; re-fix in that case.
@@ -159,9 +195,11 @@ PageRef BufferPool::AcquirePage(PageId id, bool tracked) {
 }
 
 PageRef BufferPool::AllocatePage(PageClass page_class,
-                                 std::uint32_t table_tag) {
+                                 std::uint32_t table_tag,
+                                 bool volatile_index) {
   Page* p = NewPage(page_class);
   p->set_table_tag(table_tag);
+  if (volatile_index) p->set_volatile_index(true);
   if (evicting()) {
     p->Pin();
     return PageRef(p, /*pinned=*/true);
@@ -196,6 +234,7 @@ bool BufferPool::EvictOne() {
   Page* candidate = nullptr;
   Lsn lsn_before = 0;
   bool was_dirty = false;
+  bool volatile_index = false;
   {
     std::lock_guard<std::mutex> g(clock_mu_);
     // Up to two sweeps: the first pass clears reference bits, the second
@@ -220,6 +259,7 @@ bool BufferPool::EvictOne() {
       candidate = page;
       lsn_before = page->page_lsn();
       was_dirty = page->dirty();
+      volatile_index = page->volatile_index();
       clock_.erase(clock_.begin() + static_cast<std::ptrdiff_t>(idx));
       if (clock_hand_ > 0) --clock_hand_;  // slot vanished under the hand
       break;
@@ -274,10 +314,19 @@ bool BufferPool::EvictOne() {
   if (was_dirty) {
     // WAL rule: the log must be durable up to the snapshot's LSN before
     // the snapshot overwrites the disk copy. No locks held across I/O.
+    const std::uint64_t steal_start = NowNanos();
+    const bool fresh_slot = !config_.disk->Contains(pid);
     if (config_.wal_barrier) config_.wal_barrier(lsn_before);
     write_status = config_.disk->WritePage(pid, header, image.data());
     if (write_status.ok()) {
       disk_writes_.fetch_add(1, std::memory_order_relaxed);
+      eviction_writebacks_metric_->Increment();
+      writeback_stall_us_metric_->Record((NowNanos() - steal_start) / 1000);
+      if (fresh_slot && volatile_index) {
+        // First disk slot for an unlogged (secondary) index page: no
+        // reopen will ever read it — the known leak, made observable.
+        leaked_index_slots_metric_->Increment();
+      }
     }
   }
 
@@ -318,11 +367,14 @@ bool BufferPool::EvictOne() {
   }
   num_pages_.fetch_sub(1, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
+  evictions_metric_->Increment();
   NotifyEvicted(pid);
   return true;
 }
 
 Status BufferPool::WriteBackNoClean(Page* page) {
+  const std::uint64_t write_start = NowNanos();
+  const bool fresh_slot = !config_.disk->Contains(page->id());
   // WAL rule: every log record describing this page must be durable
   // before the page image overwrites the disk copy (no-steal of unlogged
   // state). page_lsn covers the newest update.
@@ -335,6 +387,13 @@ Status BufferPool::WriteBackNoClean(Page* page) {
   PLP_RETURN_IF_ERROR(
       config_.disk->WritePage(page->id(), header, page->data()));
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  flush_writebacks_metric_->Increment();
+  writeback_stall_us_metric_->Record((NowNanos() - write_start) / 1000);
+  if (fresh_slot && page->volatile_index()) {
+    // First disk slot for an unlogged (secondary) index page: no reopen
+    // will ever read it — the known leak, made observable.
+    leaked_index_slots_metric_->Increment();
+  }
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 #include "src/buffer/page.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/metrics/registry.h"
 #include "src/sync/latch.h"
 #include "src/sync/spinlock.h"
 
@@ -54,6 +55,10 @@ struct BufferPoolConfig {
   /// index frames stay resident and "cleaning" them is a no-op, because
   /// the index is rebuilt logically at restart.
   bool persist_index_pages = false;
+  /// Registry for the buffer_pool.* metrics (hit/miss counters, stall
+  /// histograms, residency gauges); nullptr records into
+  /// MetricsRegistry::Scratch() and registers no gauge provider.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class BufferPool;
@@ -150,7 +155,12 @@ class BufferPool {
   /// eviction may run concurrently. `tracked` selects Fix vs FixUnlocked
   /// critical-section accounting.
   PageRef AcquirePage(PageId id, bool tracked);
-  PageRef AllocatePage(PageClass page_class, std::uint32_t table_tag);
+  /// `volatile_index` marks index pages of unlogged (secondary) trees:
+  /// rebuilt from scratch on reopen, so any data.db slot a write-back
+  /// allocates for them is dead weight — counted by the
+  /// buffer_pool.leaked_index_slots metric (known leak, see ROADMAP).
+  PageRef AllocatePage(PageClass page_class, std::uint32_t table_tag,
+                       bool volatile_index = false);
 
   /// Returns the frame to the pool (and frees the disk slot). The caller
   /// must guarantee no other thread holds a reference.
@@ -253,6 +263,17 @@ class BufferPool {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> disk_reads_{0};
   std::atomic<std::uint64_t> disk_writes_{0};
+
+  // Registry metrics (cached pointers; see BufferPoolConfig::metrics).
+  MetricsRegistry* metrics_ = nullptr;  // non-null only when bound
+  Counter* hits_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* evictions_metric_ = nullptr;
+  Counter* eviction_writebacks_metric_ = nullptr;
+  Counter* flush_writebacks_metric_ = nullptr;
+  Counter* leaked_index_slots_metric_ = nullptr;
+  Histogram* miss_stall_us_metric_ = nullptr;
+  Histogram* writeback_stall_us_metric_ = nullptr;
 };
 
 /// Thread-private id->frame cache for partition workers (PLP): repeated

@@ -97,6 +97,17 @@ class Page {
     owner_tag_.store(tag, std::memory_order_relaxed);
   }
 
+  /// Index page of an unlogged (volatile secondary) tree: rebuilt from
+  /// scratch on reopen, so a write-back that allocates it a disk slot
+  /// leaks that slot (tracked by buffer_pool.leaked_index_slots). Set once
+  /// at allocation; never persisted.
+  bool volatile_index() const {
+    return volatile_index_.load(std::memory_order_relaxed);
+  }
+  void set_volatile_index(bool v) {
+    volatile_index_.store(v, std::memory_order_relaxed);
+  }
+
  private:
   const PageId id_;
   const PageClass page_class_;
@@ -108,6 +119,7 @@ class Page {
   std::atomic<bool> ref_{false};
   std::atomic<std::uint32_t> owner_tag_{UINT32_MAX};
   std::atomic<std::uint32_t> table_tag_{UINT32_MAX};
+  std::atomic<bool> volatile_index_{false};
   alignas(64) char data_[kPageSize];
 };
 

@@ -45,7 +45,9 @@ void ConventionalEngine::Stop() {
 
 void ConventionalEngine::SubmitImpl(TxnRequest req, TxnToken token) {
   if (!pool_running_.load(std::memory_order_acquire)) {
-    token.Complete(RunSync(req));
+    TxnTimeline* trace = token.trace();
+    if (trace != nullptr) TxnTimeline::Stamp(trace->execute_ns, NowNanos());
+    token.Complete(RunSync(req, trace));
     return;
   }
   jobs_.Push(Job{std::move(req), std::move(token)});
@@ -55,7 +57,9 @@ void ConventionalEngine::PoolLoop() {
   for (;;) {
     auto job = jobs_.Pop();
     if (!job.has_value()) return;  // queue closed
-    job->token.Complete(RunSync(job->req));
+    TxnTimeline* trace = job->token.trace();
+    if (trace != nullptr) TxnTimeline::Stamp(trace->execute_ns, NowNanos());
+    job->token.Complete(RunSync(job->req, trace));
   }
 }
 
@@ -82,8 +86,9 @@ SliCache* ConventionalEngine::ThreadSli() {
   return slot.get();
 }
 
-Status ConventionalEngine::RunSync(TxnRequest& req) {
+Status ConventionalEngine::RunSync(TxnRequest& req, TxnTimeline* trace) {
   Transaction* txn = db_.txns()->Begin();
+  txn->set_trace(trace);
   std::vector<std::function<Status()>> undos;
   Status failure = Status::OK();
 

@@ -45,7 +45,9 @@ class ConventionalEngine : public Engine {
   };
 
   /// Runs one transaction to commit or abort on the calling thread.
-  Status RunSync(TxnRequest& req);
+  /// `trace` (when the submission was traced) is handed to the Transaction
+  /// so Commit stamps the log-append / fsync-durable stages.
+  Status RunSync(TxnRequest& req, TxnTimeline* trace = nullptr);
   void PoolLoop();
 
   /// Per-executor-thread SLI cache, owned by the engine (so caches cannot

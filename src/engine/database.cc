@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "src/common/clock.h"
 #include "src/io/codec.h"
 #include "src/storage/slotted_page.h"
 
@@ -98,11 +99,13 @@ std::unique_ptr<DiskManager> OpenDisk(const DatabaseConfig& config,
   return disk;
 }
 
-LogConfig MakeLogConfig(const DatabaseConfig& config) {
+LogConfig MakeLogConfig(const DatabaseConfig& config,
+                        MetricsRegistry* metrics) {
   LogConfig log = config.log;
   if (!config.data_dir.empty() && log.wal_dir.empty()) {
     log.wal_dir = config.data_dir + "/wal";
   }
+  log.metrics = metrics;
   return log;
 }
 
@@ -115,6 +118,7 @@ Database::Database(DatabaseConfig config)
         BufferPoolConfig pc;
         pc.frame_budget = config_.frame_budget;
         pc.disk = disk_.get();
+        pc.metrics = &metrics_;
         pc.persist_index_pages =
             disk_ != nullptr &&
             config_.index_durability == IndexDurability::kLoggedPages;
@@ -124,8 +128,9 @@ Database::Database(DatabaseConfig config)
         }
         return pc;
       }()),
-      log_(MakeLogConfig(config_)),
-      txns_(&log_, &locks_, config_.txn) {
+      log_(MakeLogConfig(config_, &metrics_)),
+      locks_(&metrics_),
+      txns_(&log_, &locks_, config_.txn, &metrics_) {
   if (!open_status_.ok()) return;
   if (!log_.open_status().ok()) {
     open_status_ = log_.open_status();
@@ -247,11 +252,20 @@ Status Database::LoadDurableState() {
   }
 
   // 3. Restart recovery (analysis / redo / undo).
+  const std::uint64_t recovery_start = NowNanos();
   RecoveryManager rm(&log_, &pool_);
   Status recovered = rm.RecoverDatabase(this, has_checkpoint, checkpoint_lsn,
                                         image, &recovery_stats_);
   restoring_ = false;
   PLP_RETURN_IF_ERROR(recovered);
+  metrics_.counter("recovery.runs")->Increment();
+  metrics_.counter("recovery.redo_ops")->Add(recovery_stats_.redo_ops);
+  metrics_.counter("recovery.undo_ops")->Add(recovery_stats_.undo_ops);
+  metrics_.counter("recovery.index_ops")->Add(recovery_stats_.index_ops);
+  metrics_.counter("recovery.winners")->Add(recovery_stats_.winners);
+  metrics_.counter("recovery.losers")->Add(recovery_stats_.losers);
+  metrics_.gauge("recovery.last_duration_us")
+      ->Set(static_cast<std::int64_t>((NowNanos() - recovery_start) / 1000));
 
   // 4. Prime free-space maps for post-restart inserts. (Owned-heap
   // ownership re-tagging happens when the engine attaches the recovered
@@ -339,6 +353,7 @@ Status Database::Checkpoint() {
   if (!durable()) {
     return Status::NotSupported("checkpoint requires a durable database");
   }
+  const std::uint64_t checkpoint_start = NowNanos();
   CheckpointImage image;
   // begin_checkpoint first: anything that happens while the tables below
   // are collected (a clean page dirtied, a txn begun) is then covered by
@@ -387,6 +402,10 @@ Status Database::Checkpoint() {
   // With the master record published, no future restart reads below this
   // checkpoint's recovery floor: reclaim the log segments wholly under it.
   log_.TruncateWalBelow(image.ScanStart(lsn));
+  metrics_.counter("checkpoint.count")->Increment();
+  metrics_.counter("checkpoint.payload_bytes")->Add(rec.redo.size());
+  metrics_.histogram("checkpoint.duration_us")
+      ->Record((NowNanos() - checkpoint_start) / 1000);
   return Status::OK();
 }
 

@@ -30,6 +30,7 @@
 #include "src/io/disk_manager.h"
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
+#include "src/metrics/registry.h"
 #include "src/storage/heap_file.h"
 #include "src/txn/recovery.h"
 #include "src/txn/txn_manager.h"
@@ -179,6 +180,10 @@ class Database {
   LockManager* locks() { return &locks_; }
   TxnManager* txns() { return &txns_; }
   DiskManager* disk() { return disk_.get(); }
+  /// Registry every storage service records into; Engine::GetStats()
+  /// snapshots it. One registry per Database, so concurrent engines (and
+  /// tests) never share metric state.
+  MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   Result<Table*> CreateTableInternal(TableConfig config, bool persist);
@@ -190,6 +195,10 @@ class Database {
 
   DatabaseConfig config_;
   Status open_status_;
+  // Declared before every storage service: they cache metric pointers and
+  // register gauge providers, so the registry must be the last member
+  // destroyed.
+  MetricsRegistry metrics_;
   std::unique_ptr<DiskManager> disk_;  // before pool_ (pool caches the ptr)
   BufferPool pool_;
   LogManager log_;

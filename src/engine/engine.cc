@@ -1,15 +1,79 @@
 #include "src/engine/engine.h"
 
+#include <cstdio>
+
+#include "src/common/clock.h"
+
 namespace plp {
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      gate_(config.max_inflight),
+      db_(config.db),
+      trace_sinks_(db_.metrics()) {
+  MetricsRegistry* m = db_.metrics();
+  gate_.BindMetrics(m->counter("admission.blocked"),
+                    m->histogram("admission.wait_us"));
+  m->RegisterGaugeProvider(this, [this](const GaugeSink& sink) {
+    sink("admission.inflight", static_cast<std::int64_t>(gate_.inflight()));
+    sink("admission.peak_inflight",
+         static_cast<std::int64_t>(gate_.peak()));
+    sink("admission.limit", static_cast<std::int64_t>(gate_.limit()));
+    sink("admission.admitted", static_cast<std::int64_t>(gate_.admitted()));
+    sink("admission.rejected", static_cast<std::int64_t>(gate_.rejected()));
+  });
+  if (config_.dedicated_callback_thread) {
+    callback_executor_ = std::make_unique<CallbackExecutor>();
+  }
+  if (config_.stats_interval.count() > 0) {
+    stats_thread_ = std::thread([this] { StatsReporterLoop(); });
+  }
+}
+
+Engine::~Engine() {
+  if (stats_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      stats_stop_ = true;
+    }
+    stats_cv_.notify_all();
+    stats_thread_.join();
+  }
+  db_.metrics()->UnregisterGaugeProvider(this);
+}
+
+void Engine::StatsReporterLoop() {
+  std::unique_lock<std::mutex> lk(stats_mu_);
+  for (;;) {
+    const bool stopped = stats_cv_.wait_for(lk, config_.stats_interval,
+                                            [&] { return stats_stop_; });
+    lk.unlock();
+    // A final snapshot is always emitted on the way out, so even programs
+    // shorter than one interval produce a [stats] line.
+    const std::string json = db_.metrics()->Snapshot().ToJson();
+    std::printf("[stats] %s\n", json.c_str());
+    std::fflush(stdout);
+    if (stopped) return;
+    lk.lock();
+  }
+}
 
 TxnHandle Engine::Submit(TxnRequest req, TxnOptions options) {
   auto state = std::make_shared<internal::TxnShared>();
   state->callback = std::move(options.on_complete);
   state->executor = callback_executor_.get();
+  if (options.trace) {
+    state->trace = std::make_unique<TxnTimeline>();
+    state->trace_sinks = &trace_sinks_;
+    state->trace->submit_ns.store(NowNanos(), std::memory_order_relaxed);
+  }
   TxnHandle handle(state);
   if (!gate_.Acquire(options.on_full == TxnOptions::OnFull::kBlock)) {
     internal::ResolveTxn(state, Status::Retry("engine at max_inflight"));
     return handle;
+  }
+  if (state->trace != nullptr) {
+    state->trace->admitted_ns.store(NowNanos(), std::memory_order_relaxed);
   }
   state->gate = &gate_;
   SubmitImpl(std::move(req), TxnToken(std::move(state)));

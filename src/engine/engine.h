@@ -9,8 +9,10 @@
 #ifndef PLP_ENGINE_ENGINE_H_
 #define PLP_ENGINE_ENGINE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "src/engine/action.h"
 #include "src/engine/database.h"
 #include "src/engine/txn_handle.h"
+#include "src/metrics/registry.h"
 
 namespace plp {
 
@@ -52,6 +55,10 @@ struct EngineConfig {
   /// Completion ordering is unchanged: the callback still finishes before
   /// Wait() returns and before the admission slot frees.
   bool dedicated_callback_thread = false;
+  /// When > 0, a background reporter thread prints one `[stats] {json}`
+  /// line (the full StatsSnapshot) to stdout every interval, plus a final
+  /// line at engine destruction. 0 disables the reporter.
+  std::chrono::milliseconds stats_interval{0};
   DatabaseConfig db;
 };
 
@@ -64,6 +71,13 @@ struct TxnOptions {
              // Status::Retry(); the caller resubmits later
   };
   OnFull on_full = OnFull::kBlock;
+  /// Stamp a per-stage timeline (submit -> admitted -> queued -> execute ->
+  /// log-append -> fsync-durable -> callback) onto the transaction,
+  /// readable via TxnHandle::timeline() after completion and rolled into
+  /// the engine's trace.* stage histograms. Costs one small allocation and
+  /// a few clock reads per traced transaction; untraced submissions pay a
+  /// null check.
+  bool trace = false;
   /// Runs exactly once with the final status, on the thread that completes
   /// the transaction (a worker/pool thread — or the submitting thread when
   /// admission rejects with kRetry, or at engine teardown). It runs before
@@ -75,13 +89,8 @@ struct TxnOptions {
 
 class Engine {
  public:
-  explicit Engine(EngineConfig config)
-      : config_(config), gate_(config.max_inflight), db_(config.db) {
-    if (config_.dedicated_callback_thread) {
-      callback_executor_ = std::make_unique<CallbackExecutor>();
-    }
-  }
-  virtual ~Engine() = default;
+  explicit Engine(EngineConfig config);
+  virtual ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -127,6 +136,17 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   SystemDesign design() const { return config_.design; }
 
+  /// Point-in-time snapshot of every registered metric (counters, gauges
+  /// including the admission-gate and per-partition providers, stage/
+  /// latency histograms). Never blocks record paths; see
+  /// docs/observability.md for the metric catalog.
+  StatsSnapshot GetStats() { return db_.metrics()->Snapshot(); }
+
+  /// The engine's metrics registry, for callers that bind their own
+  /// instruments (the workload driver's throughput probe) or Reset()
+  /// between measurement windows.
+  MetricsRegistry* metrics() { return db_.metrics(); }
+
   /// Admission-gate observability (open-loop drivers report these).
   std::size_t inflight() const { return gate_.inflight(); }
   std::size_t peak_inflight() const { return gate_.peak(); }
@@ -149,9 +169,20 @@ class Engine {
   EngineConfig config_;
   AdmissionGate gate_;
   Database db_;
+  /// Stage-histogram pointers for traced transactions (resolved once here
+  /// so completion never touches the registry mutex).
+  TxnTraceSinks trace_sinks_;
   // Declared last: destroyed first, so straggling callbacks (which touch
   // the gate and may touch db state) run while both are still alive.
   std::unique_ptr<CallbackExecutor> callback_executor_;
+
+ private:
+  void StatsReporterLoop();
+
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
+  std::thread stats_thread_;
 };
 
 /// Builds the engine for a design. Rejects invalid configurations

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/buffer/page_cleaner.h"
+#include "src/common/clock.h"
 
 namespace plp {
 
@@ -12,9 +13,38 @@ PartitionManager::PartitionManager(Database* db, int num_workers,
   for (int i = 0; i < num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
+  MetricsRegistry* m = db_->metrics();
+  txns_metric_ = m->counter("partition.txns");
+  single_site_metric_ = m->counter("partition.single_site_txns");
+  cross_site_metric_ = m->counter("partition.cross_site_txns");
+  actions_metric_ = m->counter("partition.actions");
+  phases_metric_ = m->counter("partition.phases");
+  undo_actions_metric_ = m->counter("partition.undo_actions");
+  // Queue depths are sampled, not counted: workers drain them far too fast
+  // for per-push accounting to mean anything. Sum + max keeps the gauge set
+  // bounded regardless of worker count.
+  m->RegisterGaugeProvider(this, [this](const GaugeSink& sink) {
+    std::size_t total = 0, deepest = 0, partitions = 0;
+    for (const auto& w : workers_) {
+      const std::size_t d = w->queue.size();
+      total += d;
+      if (d > deepest) deepest = d;
+    }
+    {
+      std::shared_lock<std::shared_mutex> lk(routing_mu_);
+      for (const auto& [table, r] : routing_) partitions += r->uids.size();
+    }
+    sink("partition.queue_depth", static_cast<std::int64_t>(total));
+    sink("partition.max_queue_depth", static_cast<std::int64_t>(deepest));
+    sink("partition.count", static_cast<std::int64_t>(partitions));
+    sink("partition.workers", static_cast<std::int64_t>(workers_.size()));
+  });
 }
 
-PartitionManager::~PartitionManager() { Stop(); }
+PartitionManager::~PartitionManager() {
+  Stop();
+  db_->metrics()->UnregisterGaugeProvider(this);
+}
 
 void PartitionManager::Start() {
   if (running_.exchange(true)) return;
@@ -167,6 +197,12 @@ struct PartitionManager::TxnFlow {
   std::vector<std::pair<int, std::function<Status()>>> undo_log;
   Status failure;
   std::atomic<int> undo_remaining{0};
+
+  // Cross-partition tracking: the first partition uid any action routed
+  // to, and whether a later action landed elsewhere. Only touched by the
+  // single thread that owns the current phase transition.
+  std::uint32_t first_uid = UINT32_MAX;
+  bool cross_site = false;
 };
 
 void PartitionManager::Submit(TxnRequest req, CompletionFn done) {
@@ -182,6 +218,9 @@ void PartitionManager::Submit(TxnRequest req, TxnToken token) {
   flow->req = std::move(req);
   flow->token = std::move(token);
   flow->txn = db_->txns()->Begin();
+  // Hand the token's stage timeline (if traced) to the Transaction so
+  // Commit can stamp log-append and fsync-durable.
+  flow->txn->set_trace(flow->token.trace());
   DispatchPhase(flow);
 }
 
@@ -191,6 +230,16 @@ void PartitionManager::FinishTxn(const std::shared_ptr<TxnFlow>& flow,
     flow->done(status);
   } else {
     flow->token.Complete(status);
+  }
+}
+
+void PartitionManager::TallyFlow(const TxnFlow& flow) {
+  txns_metric_->Increment();
+  if (flow.first_uid == UINT32_MAX) return;  // no routed actions
+  if (flow.cross_site) {
+    cross_site_metric_->Increment();
+  } else {
+    single_site_metric_->Increment();
   }
 }
 
@@ -218,12 +267,15 @@ void PartitionManager::DispatchPhase(const std::shared_ptr<TxnFlow>& flow) {
     ++flow->phase;
   }
   if (flow->phase >= flow->req.phases.size()) {
+    TallyFlow(*flow);
     FinishTxn(flow, db_->txns()->Commit(flow->txn));
     return;
   }
 
   Phase& phase = flow->req.phases[flow->phase];
   const int n = static_cast<int>(phase.actions.size());
+  phases_metric_->Increment();
+  actions_metric_->Add(static_cast<std::uint64_t>(n));
   flow->results.assign(static_cast<std::size_t>(n), ActionResult{});
   flow->assigned_worker.assign(static_cast<std::size_t>(n), 0);
   flow->remaining.store(n, std::memory_order_relaxed);
@@ -254,11 +306,21 @@ void PartitionManager::DispatchPhase(const std::shared_ptr<TxnFlow>& flow) {
       r->load[p]->fetch_add(1, std::memory_order_relaxed);
       worker = worker_by_uid_[uid];
     }
+    if (flow->first_uid == UINT32_MAX) {
+      flow->first_uid = uid;
+    } else if (uid != flow->first_uid) {
+      flow->cross_site = true;
+    }
     flow->assigned_worker[static_cast<std::size_t>(i)] = worker;
     ActionResult* slot = &flow->results[static_cast<std::size_t>(i)];
     ActionFn* fn = &action.fn;
     workers_[static_cast<std::size_t>(worker)]->queue.Push(Task{
         [this, flow, table, p, uid, slot, fn] {
+          // First action to run stamps partition-execute (CAS from zero,
+          // so later actions of a multi-action txn are no-ops).
+          if (TxnTimeline* tl = flow->token.trace()) {
+            TxnTimeline::Stamp(tl->execute_ns, NowNanos());
+          }
           std::vector<std::function<Status()>> undos;
           auto ctx = factory_(table, p, uid, flow->txn, &undos);
           slot->status = (*fn)(*ctx);
@@ -289,11 +351,13 @@ void PartitionManager::FinishPhase(const std::shared_ptr<TxnFlow>& flow) {
 }
 
 void PartitionManager::StartAbort(const std::shared_ptr<TxnFlow>& flow) {
+  TallyFlow(*flow);
   if (flow->undo_log.empty()) {
     (void)db_->txns()->Abort(flow->txn);
     FinishTxn(flow, flow->failure);
     return;
   }
+  undo_actions_metric_->Add(flow->undo_log.size());
   flow->undo_remaining.store(static_cast<int>(flow->undo_log.size()),
                              std::memory_order_relaxed);
   // Newest-first; a worker's queue preserves the reversed order for the

@@ -27,6 +27,7 @@
 #include "src/engine/action.h"
 #include "src/engine/database.h"
 #include "src/engine/txn_handle.h"
+#include "src/metrics/registry.h"
 #include "src/sync/mpsc_queue.h"
 
 namespace plp {
@@ -166,8 +167,20 @@ class PartitionManager {
   static void FinishTxn(const std::shared_ptr<TxnFlow>& flow,
                         const Status& status);
 
+  /// Counts a finished flow: total txns plus the single- vs cross-partition
+  /// split (the paper's multisite ratio; Section 5).
+  void TallyFlow(const TxnFlow& flow);
+
   Database* db_;
   CtxFactory factory_;
+
+  // Registry metrics, cached at construction (see docs/observability.md).
+  Counter* txns_metric_ = nullptr;
+  Counter* single_site_metric_ = nullptr;
+  Counter* cross_site_metric_ = nullptr;
+  Counter* actions_metric_ = nullptr;
+  Counter* phases_metric_ = nullptr;
+  Counter* undo_actions_metric_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> running_{false};
 

@@ -16,7 +16,9 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/status.h"
+#include "src/metrics/txn_trace.h"
 
 namespace plp {
 
@@ -93,7 +95,14 @@ class AdmissionGate {
   bool Acquire(bool block) {
     std::unique_lock<std::mutex> lk(mu_);
     if (inflight_ >= limit_ && block && !draining_) {
+      // Metrics only on the contended path: the uncontended Acquire never
+      // reads the clock.
+      const std::uint64_t t0 = NowNanos();
+      if (blocked_metric_ != nullptr) blocked_metric_->Increment();
       cv_.wait(lk, [&] { return inflight_ < limit_ || draining_; });
+      if (wait_metric_ != nullptr) {
+        wait_metric_->Record((NowNanos() - t0) / 1000);
+      }
     }
     if (inflight_ >= limit_ || draining_) {
       ++rejected_;
@@ -158,6 +167,14 @@ class AdmissionGate {
     return rejected_;
   }
 
+  /// Wires the contended-acquire metrics (admission.blocked counter and
+  /// admission.wait_us histogram). Called once from the Engine constructor
+  /// body, before any submission can reach the gate.
+  void BindMetrics(Counter* blocked, Histogram* wait_us) {
+    blocked_metric_ = blocked;
+    wait_metric_ = wait_us;
+  }
+
  private:
   const std::size_t limit_;
   mutable std::mutex mu_;
@@ -167,6 +184,8 @@ class AdmissionGate {
   std::size_t peak_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  Counter* blocked_metric_ = nullptr;
+  Histogram* wait_metric_ = nullptr;
 };
 
 namespace internal {
@@ -182,6 +201,10 @@ struct TxnShared {
   std::function<void(const Status&)> callback;
   AdmissionGate* gate = nullptr;      // slot released after completion
   CallbackExecutor* executor = nullptr;  // callback off the worker thread
+  /// Stage timeline, allocated only when TxnOptions::trace is set; the
+  /// sinks roll the stamped stages into registry histograms at resolution.
+  std::unique_ptr<TxnTimeline> trace;
+  const TxnTraceSinks* trace_sinks = nullptr;
 };
 
 /// Second half of completion: frees the admission slot, then releases
@@ -205,6 +228,10 @@ inline void FinishTxn(const std::shared_ptr<TxnShared>& s, Status status) {
 /// slot.
 inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
   if (s->resolved.exchange(true, std::memory_order_acq_rel)) return;
+  if (s->trace != nullptr) {
+    TxnTimeline::Stamp(s->trace->complete_ns, NowNanos());
+    if (s->trace_sinks != nullptr) s->trace_sinks->Record(*s->trace);
+  }
   if (s->callback && s->executor != nullptr) {
     if (s->executor->Post([s, status] {
           s->callback(status);
@@ -252,6 +279,13 @@ class TxnHandle {
     return TryGet(nullptr);
   }
 
+  /// Stage timeline when the transaction was submitted with
+  /// TxnOptions::trace; nullptr otherwise. Stamps are nanosecond
+  /// NowNanos() readings; all stamps are final once Wait() returns.
+  const TxnTimeline* timeline() const {
+    return state_ == nullptr ? nullptr : state_->trace.get();
+  }
+
  private:
   friend class Engine;
   explicit TxnHandle(std::shared_ptr<internal::TxnShared> state)
@@ -282,6 +316,12 @@ class TxnToken {
     if (state_ == nullptr) return;
     internal::ResolveTxn(state_, std::move(status));
     state_.reset();
+  }
+
+  /// Timeline to stamp as the token moves through the pipeline; nullptr
+  /// when the submission was not traced (engines skip all stamping then).
+  TxnTimeline* trace() const {
+    return state_ == nullptr ? nullptr : state_->trace.get();
   }
 
  private:

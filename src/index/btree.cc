@@ -35,7 +35,8 @@ PageRef BTree::FixPage(PageId id) {
 }
 
 PageRef BTree::NewNodePage(std::uint16_t level) {
-  PageRef page = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX);
+  PageRef page = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX,
+                                     /*volatile_index=*/logger_ == nullptr);
   BTreeNode::Init(page->data(), level);
   page->set_owner_tag(owner_tag_);
   return page;
@@ -297,7 +298,8 @@ void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
   BTreeNode node(root_page->data());
   // Clone the root's contents into a fresh left child, split the clone,
   // and turn the root into an internal node over the two halves.
-  PageRef left = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX);
+  PageRef left = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX,
+                                     /*volatile_index=*/logger_ == nullptr);
   left->set_owner_tag(owner_tag_);
   std::memcpy(left->data(), root_page->data(), kPageSize);
   std::string sep;

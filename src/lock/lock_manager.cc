@@ -8,6 +8,15 @@
 
 namespace plp {
 
+LockManager::LockManager(MetricsRegistry* metrics) {
+  MetricsRegistry* m =
+      metrics != nullptr ? metrics : MetricsRegistry::Scratch();
+  acquisitions_metric_ = m->counter("lock.acquisitions");
+  waits_metric_ = m->counter("lock.waits");
+  timeouts_metric_ = m->counter("lock.timeouts");
+  wait_us_metric_ = m->histogram("lock.wait_us");
+}
+
 LockManager::Bucket& LockManager::BucketFor(const std::string& name) {
   return buckets_[std::hash<std::string>{}(name) % kNumBuckets];
 }
@@ -37,6 +46,7 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
   std::unique_lock<std::mutex> lk(bucket.mu, std::adopt_lock);
 
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  acquisitions_metric_->Increment();
   LockEntry& entry = bucket.locks[name];
 
   auto it = entry.holders.find(txn);
@@ -45,13 +55,17 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
   }
 
   if (!CanGrant(entry, txn, mode)) {
+    waits_metric_->Increment();
+    const std::uint64_t wait_start = NowNanos();
     entry.waiters++;
     const bool granted = bucket.cv.wait_for(lk, timeout, [&] {
       return CanGrant(bucket.locks[name], txn, mode);
     });
     bucket.locks[name].waiters--;
+    wait_us_metric_->Record((NowNanos() - wait_start) / 1000);
     if (!granted) {
       // Deadlock/starvation resolution by timeout: caller aborts.
+      timeouts_metric_->Increment();
       return Status::TimedOut("lock wait timeout on " + name);
     }
   }

@@ -17,12 +17,15 @@
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/lock/lock_mode.h"
+#include "src/metrics/registry.h"
 
 namespace plp {
 
 class LockManager {
  public:
-  LockManager() = default;
+  /// `metrics` receives the lock.* metrics (acquisitions, waits, timeouts,
+  /// wait-time histogram); nullptr records into MetricsRegistry::Scratch().
+  explicit LockManager(MetricsRegistry* metrics = nullptr);
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -68,6 +71,12 @@ class LockManager {
 
   Bucket buckets_[kNumBuckets];
   std::atomic<std::uint64_t> acquisitions_{0};
+
+  // Registry metrics (cached pointers; see the constructor).
+  Counter* acquisitions_metric_ = nullptr;
+  Counter* waits_metric_ = nullptr;
+  Counter* timeouts_metric_ = nullptr;
+  Histogram* wait_us_metric_ = nullptr;
 };
 
 /// Conventional lock-name helpers: table-level intents plus record locks.

@@ -4,11 +4,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/clock.h"
 #include "src/io/wal_storage.h"
 
 namespace plp {
 
 LogManager::LogManager(LogConfig config) : config_(config) {
+  MetricsRegistry* m = config_.metrics != nullptr
+                           ? config_.metrics
+                           : MetricsRegistry::Scratch();
+  appends_metric_ = m->counter("log.appends");
+  append_bytes_metric_ = m->counter("log.append_bytes");
+  fsyncs_metric_ = m->counter("log.fsyncs");
+  truncated_segments_metric_ = m->counter("log.wal_segments_truncated");
+  fsync_us_metric_ = m->histogram("log.fsync_us");
+  sync_batch_bytes_metric_ = m->histogram("log.sync_batch_bytes");
+
   Lsn start_lsn = 0;
   LogBuffer::Sink sink;
   if (!config_.wal_dir.empty()) {
@@ -17,6 +28,7 @@ LogManager::LogManager(LogConfig config) : config_(config) {
     if (open_status_.ok()) {
       start_lsn = wal_->end_lsn();
       gc_synced_lsn_ = start_lsn;
+      synced_floor_metric_.store(start_lsn, std::memory_order_relaxed);
       WalStorage* wal = wal_.get();
       sink = [wal](const char* data, std::size_t size) {
         // The buffer's flush path is already serialized; surface I/O
@@ -44,7 +56,10 @@ LogManager::LogManager(LogConfig config) : config_(config) {
 LogManager::~LogManager() = default;
 
 Lsn LogManager::Append(const LogRecord& record) {
-  return buffer_->Append(record.Serialize());
+  std::string bytes = record.Serialize();
+  appends_metric_->Increment();
+  append_bytes_metric_->Add(bytes.size());
+  return buffer_->Append(bytes);
 }
 
 Lsn LogManager::durable_lsn() const {
@@ -84,7 +99,7 @@ void LogManager::FlushTo(Lsn lsn) {
 }
 
 void LogManager::SyncWal(Lsn lsn) {
-  (void)lsn;
+  const std::uint64_t t0 = NowNanos();
   Status st = wal_->Sync();
   if (!st.ok()) {
     std::fprintf(stderr, "FATAL: WAL sync failed: %s\n",
@@ -92,6 +107,14 @@ void LogManager::SyncWal(Lsn lsn) {
     std::abort();
   }
   sync_count_.fetch_add(1, std::memory_order_relaxed);
+  fsyncs_metric_->Increment();
+  fsync_us_metric_->Record((NowNanos() - t0) / 1000);
+  // Group-commit batch size: how many new bytes this fsync made durable.
+  Lsn prev = synced_floor_metric_.load(std::memory_order_relaxed);
+  while (lsn > prev && !synced_floor_metric_.compare_exchange_weak(
+                           prev, lsn, std::memory_order_relaxed)) {
+  }
+  if (lsn > prev) sync_batch_bytes_metric_->Record(lsn - prev);
 }
 
 void LogManager::FlushAll() {
@@ -130,7 +153,10 @@ Status LogManager::ScanFrom(
 }
 
 std::size_t LogManager::TruncateWalBelow(Lsn floor) {
-  return wal_ != nullptr ? wal_->TruncateBelow(floor) : 0;
+  const std::size_t removed =
+      wal_ != nullptr ? wal_->TruncateBelow(floor) : 0;
+  if (removed > 0) truncated_segments_metric_->Add(removed);
+  return removed;
 }
 
 }  // namespace plp

@@ -25,6 +25,7 @@
 #include "src/common/types.h"
 #include "src/log/log_buffer.h"
 #include "src/log/log_record.h"
+#include "src/metrics/registry.h"
 
 namespace plp {
 
@@ -42,6 +43,9 @@ struct LogConfig {
   std::size_t segment_size = 8u << 20;
   /// Batch concurrent FlushTo() callers into one fsync (wal mode only).
   bool group_commit = true;
+  /// Registry for the log.* metrics (appends, bytes, fsync latency, batch
+  /// size, truncations); nullptr records into MetricsRegistry::Scratch().
+  MetricsRegistry* metrics = nullptr;
 };
 
 class LogManager {
@@ -116,6 +120,17 @@ class LogManager {
 
   std::atomic<std::uint64_t> sync_count_{0};
   std::atomic<std::uint64_t> flush_requests_{0};
+
+  // Registry metrics (cached pointers; see LogConfig::metrics).
+  Counter* appends_metric_ = nullptr;
+  Counter* append_bytes_metric_ = nullptr;
+  Counter* fsyncs_metric_ = nullptr;
+  Counter* truncated_segments_metric_ = nullptr;
+  Histogram* fsync_us_metric_ = nullptr;
+  Histogram* sync_batch_bytes_metric_ = nullptr;
+  /// Highest LSN a sync has covered, for batch-size accounting (distinct
+  /// from gc_synced_lsn_, which only group commit maintains).
+  std::atomic<Lsn> synced_floor_metric_{0};
 };
 
 }  // namespace plp

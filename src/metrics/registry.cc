@@ -1,0 +1,207 @@
+#include "src/metrics/registry.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace plp {
+
+namespace internal {
+std::size_t MetricThreadSlot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace internal
+
+namespace {
+// Bucket index for a value: its bit width, so bucket i holds values in
+// [2^(i-1), 2^i) and bucket 0 holds exactly zero.
+inline std::size_t BucketFor(std::uint64_t v) {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+// Inclusive upper bound of bucket i (the percentile estimate it reports).
+inline std::uint64_t BucketCeiling(std::size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << i) - 1;
+}
+}  // namespace
+
+void Histogram::Record(std::uint64_t value) {
+  Stripe& s = stripes_[internal::MetricThreadSlot() % kStripes];
+  s.buckets[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = s.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !s.max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSummary Histogram::Collect() const {
+  std::uint64_t merged[kBuckets] = {};
+  HistogramSummary out;
+  for (const Stripe& s : stripes_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  if (out.count == 0) return out;
+  auto percentile = [&](double q) {
+    // Rank of the q-quantile among `count` samples; find the bucket whose
+    // cumulative count covers it and report that bucket's ceiling.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(out.count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += merged[i];
+      if (seen > rank) {
+        const std::uint64_t ceiling = BucketCeiling(i);
+        return ceiling < out.max ? ceiling : out.max;
+      }
+    }
+    return out.max;
+  };
+  out.p50 = percentile(0.50);
+  out.p95 = percentile(0.95);
+  out.p99 = percentile(0.99);
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Stripe& s : stripes_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string StatsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, v] : counters) {
+    std::snprintf(line, sizeof(line), "%-44s %12" PRIu64 "\n", name.c_str(),
+                  v);
+    out += line;
+  }
+  for (const auto& [name, v] : gauges) {
+    std::snprintf(line, sizeof(line), "%-44s %12" PRId64 "\n", name.c_str(),
+                  v);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-44s count=%" PRIu64 " mean=%.1f p50=%" PRIu64
+                  " p95=%" PRIu64 " p99=%" PRIu64 " max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean(), h.p50, h.p95, h.p99,
+                  h.max);
+    out += line;
+  }
+  return out;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{";
+  char buf[320];
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& [name, v] : counters) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "\"%s\": %" PRIu64, name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    sep();
+    std::snprintf(buf, sizeof(buf), "\"%s\": %" PRId64, name.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"max\": %" PRIu64 ", \"p50\": %" PRIu64
+                  ", \"p95\": %" PRIu64 ", \"p99\": %" PRIu64 "}",
+                  name.c_str(), h.count, h.sum, h.max, h.p50, h.p95, h.p99);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterGaugeProvider(const void* token,
+                                            GaugeProvider fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  providers_.emplace_back(token, std::move(fn));
+}
+
+void MetricsRegistry::UnregisterGaugeProvider(const void* token) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::erase_if(providers_,
+                [token](const auto& p) { return p.first == token; });
+}
+
+StatsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  StatsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Collect();
+  }
+  GaugeSink sink = [&snap](const std::string& name, std::int64_t value) {
+    snap.gauges[name] = value;
+  };
+  for (const auto& [token, fn] : providers_) fn(sink);
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Scratch() {
+  static MetricsRegistry* scratch = new MetricsRegistry();  // leaked: sink
+  return scratch;
+}
+
+}  // namespace plp

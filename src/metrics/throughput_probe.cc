@@ -24,6 +24,18 @@ void ThroughputProbe::SampleNow() {
   samples_.push_back(s);
   last_sample_ns_ = now;
   last_count_ = count;
+  if (window_tps_gauge_ != nullptr) {
+    window_tps_gauge_->Set(static_cast<std::int64_t>(s.ktps * 1000.0));
+    total_gauge_->Set(static_cast<std::int64_t>(count));
+    samples_gauge_->Set(static_cast<std::int64_t>(samples_.size()));
+  }
+}
+
+void ThroughputProbe::BindRegistry(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  window_tps_gauge_ = registry->gauge(prefix + ".window_tps");
+  total_gauge_ = registry->gauge(prefix + ".total_txns");
+  samples_gauge_ = registry->gauge(prefix + ".samples");
 }
 
 }  // namespace plp

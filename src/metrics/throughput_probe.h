@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "src/metrics/registry.h"
 
 namespace plp {
 
@@ -24,6 +27,13 @@ class ThroughputProbe {
   /// Records one window sample; call at a fixed cadence.
   void SampleNow();
 
+  /// Publishes each sample into registry gauges (`<prefix>.window_tps`,
+  /// `<prefix>.total_txns`, `<prefix>.samples`) so a GetStats() snapshot
+  /// carries the probe's latest window. The hot Tick() path is unchanged;
+  /// only SampleNow() (the sampling thread) writes the gauges.
+  void BindRegistry(MetricsRegistry* registry,
+                    const std::string& prefix = "probe");
+
   const std::vector<Sample>& samples() const { return samples_; }
   std::uint64_t total() const {
     return count_.load(std::memory_order_relaxed);
@@ -35,6 +45,11 @@ class ThroughputProbe {
   std::uint64_t last_sample_ns_ = 0;
   std::uint64_t last_count_ = 0;
   std::vector<Sample> samples_;
+
+  // Registry exports; null until BindRegistry.
+  Gauge* window_tps_gauge_ = nullptr;
+  Gauge* total_gauge_ = nullptr;
+  Gauge* samples_gauge_ = nullptr;
 };
 
 }  // namespace plp

@@ -1,0 +1,73 @@
+// Per-transaction stage timeline: when TxnOptions::trace is set, the
+// engine stamps nanosecond timestamps at each pipeline stage
+// (submit -> admitted -> queued -> execute -> log-append -> fsync-durable
+// -> callback) onto the transaction's shared state, exposed through
+// TxnHandle::timeline() and rolled into per-stage registry histograms at
+// completion. Stamps are relaxed atomics because rendezvous phases can
+// run actions on several partition workers concurrently.
+#ifndef PLP_METRICS_TXN_TRACE_H_
+#define PLP_METRICS_TXN_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/metrics/registry.h"
+
+namespace plp {
+
+struct TxnTimeline {
+  std::atomic<std::uint64_t> submit_ns{0};    // Engine::Submit entry
+  std::atomic<std::uint64_t> admitted_ns{0};  // admission gate passed
+  std::atomic<std::uint64_t> execute_ns{0};   // first action starts running
+  std::atomic<std::uint64_t> append_ns{0};    // commit record in WAL buffer
+  std::atomic<std::uint64_t> durable_ns{0};   // group-commit fsync covered it
+  std::atomic<std::uint64_t> complete_ns{0};  // callback/handle resolved
+
+  /// Stamp a stage if it has not been stamped yet (parallel actions may
+  /// race on execute_ns; first-ish writer wins, later writers are no-ops
+  /// within the same phase's timing noise).
+  static void Stamp(std::atomic<std::uint64_t>& stage, std::uint64_t now) {
+    std::uint64_t expected = 0;
+    stage.compare_exchange_strong(expected, now, std::memory_order_relaxed);
+  }
+};
+
+/// Pre-resolved histogram pointers for the trace stages, built once per
+/// engine so completion-path recording never touches the registry mutex.
+struct TxnTraceSinks {
+  Histogram* admission_us = nullptr;  // submit -> admitted
+  Histogram* queue_us = nullptr;      // admitted -> execute
+  Histogram* execute_us = nullptr;    // execute -> log append
+  Histogram* fsync_us = nullptr;      // log append -> durable
+  Histogram* callback_us = nullptr;   // durable -> resolved
+  Histogram* total_us = nullptr;      // submit -> resolved
+
+  explicit TxnTraceSinks(MetricsRegistry* m)
+      : admission_us(m->histogram("trace.admission_us")),
+        queue_us(m->histogram("trace.queue_us")),
+        execute_us(m->histogram("trace.execute_us")),
+        fsync_us(m->histogram("trace.fsync_us")),
+        callback_us(m->histogram("trace.callback_us")),
+        total_us(m->histogram("trace.total_us")) {}
+
+  void Record(const TxnTimeline& t) const {
+    // Stages the transaction never reached (abort before execute, or a
+    // non-durable commit) are skipped rather than recorded as zeros.
+    auto stage = [](Histogram* h, const std::atomic<std::uint64_t>& from,
+                    const std::atomic<std::uint64_t>& to) {
+      const std::uint64_t a = from.load(std::memory_order_relaxed);
+      const std::uint64_t b = to.load(std::memory_order_relaxed);
+      if (a != 0 && b >= a) h->Record((b - a) / 1000);
+    };
+    stage(admission_us, t.submit_ns, t.admitted_ns);
+    stage(queue_us, t.admitted_ns, t.execute_ns);
+    stage(execute_us, t.execute_ns, t.append_ns);
+    stage(fsync_us, t.append_ns, t.durable_ns);
+    stage(callback_us, t.durable_ns, t.complete_ns);
+    stage(total_us, t.submit_ns, t.complete_ns);
+  }
+};
+
+}  // namespace plp
+
+#endif  // PLP_METRICS_TXN_TRACE_H_

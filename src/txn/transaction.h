@@ -8,6 +8,7 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/metrics/txn_trace.h"
 
 namespace plp {
 
@@ -51,6 +52,12 @@ class Transaction {
 
   std::size_t undo_size() const { return undo_actions_.size(); }
 
+  /// Stage timeline of the owning Engine::Submit when the submission was
+  /// traced (TxnOptions::trace); lets TxnManager::Commit stamp the
+  /// log-append and fsync-durable stages. Not owned; nullptr otherwise.
+  TxnTimeline* trace() const { return trace_; }
+  void set_trace(TxnTimeline* t) { trace_ = t; }
+
  private:
   const TxnId id_;
   TxnState state_ = TxnState::kActive;
@@ -58,6 +65,7 @@ class Transaction {
   Lsn begin_lsn_ = kInvalidLsn;
   std::vector<std::string> held_locks_;
   std::vector<std::function<Status()>> undo_actions_;
+  TxnTimeline* trace_ = nullptr;
 };
 
 }  // namespace plp

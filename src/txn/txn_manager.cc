@@ -1,10 +1,27 @@
 #include "src/txn/txn_manager.h"
 
+#include "src/common/clock.h"
+
 namespace plp {
 
 TxnManager::TxnManager(LogManager* log, LockManager* locks,
-                       TxnManagerConfig config)
-    : log_(log), locks_(locks), config_(config) {}
+                       TxnManagerConfig config, MetricsRegistry* metrics)
+    : log_(log), locks_(locks), config_(config), metrics_(metrics) {
+  MetricsRegistry* m =
+      metrics_ != nullptr ? metrics_ : MetricsRegistry::Scratch();
+  begins_metric_ = m->counter("txn.begins");
+  commits_metric_ = m->counter("txn.commits");
+  aborts_metric_ = m->counter("txn.aborts");
+  if (metrics_ != nullptr) {
+    metrics_->RegisterGaugeProvider(this, [this](const GaugeSink& sink) {
+      sink("txn.active", static_cast<std::int64_t>(active_count()));
+    });
+  }
+}
+
+TxnManager::~TxnManager() {
+  if (metrics_ != nullptr) metrics_->UnregisterGaugeProvider(this);
+}
 
 Transaction* TxnManager::Begin() {
   const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
@@ -21,6 +38,7 @@ Transaction* TxnManager::Begin() {
   table_mu_.lock();
   active_.emplace(id, std::move(txn));
   table_mu_.unlock();
+  begins_metric_->Increment();
   return raw;
 }
 
@@ -30,14 +48,23 @@ Status TxnManager::Commit(Transaction* txn) {
   rec.txn = txn->id();
   const Lsn lsn = log_->Append(rec);
   txn->set_last_lsn(lsn);
+  if (txn->trace() != nullptr) {
+    TxnTimeline::Stamp(txn->trace()->append_ns, NowNanos());
+  }
   if (config_.durable_commits) {
     log_->FlushTo(lsn);
+    // durable_ns only when commit actually waited for the fsync: the
+    // trace's fsync stage then measures the group-commit round trip.
+    if (txn->trace() != nullptr) {
+      TxnTimeline::Stamp(txn->trace()->durable_ns, NowNanos());
+    }
   }
   txn->set_state(TxnState::kCommitted);
   if (locks_ != nullptr) {
     locks_->ReleaseAll(txn->id(), txn->held_locks());
   }
   committed_.fetch_add(1, std::memory_order_relaxed);
+  commits_metric_->Increment();
   Retire(txn);
   return Status::OK();
 }
@@ -54,6 +81,7 @@ Status TxnManager::Abort(Transaction* txn) {
     locks_->ReleaseAll(txn->id(), txn->held_locks());
   }
   aborted_.fetch_add(1, std::memory_order_relaxed);
+  aborts_metric_->Increment();
   Retire(txn);
   return undo_status;
 }

@@ -26,8 +26,11 @@ struct TxnManagerConfig {
 
 class TxnManager {
  public:
+  /// `metrics` receives the txn.* counters and the active-txn gauge
+  /// provider; nullptr records into MetricsRegistry::Scratch().
   TxnManager(LogManager* log, LockManager* locks,
-             TxnManagerConfig config = {});
+             TxnManagerConfig config = {}, MetricsRegistry* metrics = nullptr);
+  ~TxnManager();
 
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -76,6 +79,12 @@ class TxnManager {
 
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> aborted_{0};
+
+  // Registry metrics (cached pointers; see the constructor).
+  MetricsRegistry* metrics_ = nullptr;  // non-null only when bound
+  Counter* begins_metric_ = nullptr;
+  Counter* commits_metric_ = nullptr;
+  Counter* aborts_metric_ = nullptr;
 };
 
 }  // namespace plp

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/metrics/time_breakdown.h"
 
 namespace plp {
 
@@ -25,7 +26,12 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   const CsCounts before = CsProfiler::Global().Collect();
   engine->ResetPeakInflight();
   const std::uint64_t t0 = NowNanos();
-  if (probe != nullptr) probe->Start();
+  if (probe != nullptr) {
+    // Probe samples surface in GetStats() alongside the engine's own
+    // counters (satellite of the observability layer).
+    probe->BindRegistry(engine->metrics());
+    probe->Start();
+  }
 
   std::vector<std::thread> clients;
   std::vector<std::vector<std::uint64_t>> latencies(
@@ -118,6 +124,11 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
                                local_latencies.end());
   }
   std::sort(result.latencies_ns.begin(), result.latencies_ns.end());
+  // Publish the window's per-transaction time breakdown so GetStats()
+  // snapshots taken after a driver run carry it (breakdown.* gauges).
+  PublishBreakdown(engine->metrics(), "breakdown",
+                   MakeTimeBreakdown(result.cs_delta, result.committed,
+                                     result.thread_time_ns));
   return result;
 }
 }  // namespace

@@ -308,5 +308,42 @@ TEST_P(EngineTest, SecondaryIndexMaintained) {
   EXPECT_EQ(a_count, 1);
 }
 
+TEST_P(EngineTest, GetStatsReflectsWork) {
+  const StatsSnapshot before = engine_->GetStats();
+  ASSERT_TRUE(Insert(10, "v").ok());
+  ASSERT_TRUE(Update(10, "v2").ok());
+  std::string out;
+  ASSERT_TRUE(Read(10, &out).ok());
+  EXPECT_FALSE(Read(404, &out).ok());  // aborts
+
+  const StatsSnapshot stats = engine_->GetStats();
+  // The four Executes above went through the admission gate; everything
+  // drained, so nothing is still in flight.
+  EXPECT_EQ(stats.gauge("admission.admitted") -
+                before.gauge("admission.admitted"),
+            4);
+  EXPECT_EQ(stats.gauge("admission.inflight"), 0);
+  EXPECT_GE(stats.counter("txn.commits") - before.counter("txn.commits"), 3u);
+  EXPECT_GE(stats.counter("txn.aborts") - before.counter("txn.aborts"), 1u);
+  // After drain every begun transaction resolved one way or the other.
+  EXPECT_EQ(stats.counter("txn.begins"),
+            stats.counter("txn.commits") + stats.counter("txn.aborts"));
+  EXPECT_EQ(stats.gauge("txn.active"), 0);
+  EXPECT_GT(stats.counter("buffer_pool.hits"), 0u);
+  // In-memory pools never steal frames, so no index slot can leak.
+  EXPECT_EQ(stats.counter("buffer_pool.leaked_index_slots"), 0u);
+  if (GetParam() != SystemDesign::kConventional) {
+    // Partitioned designs route through the partition manager; these
+    // single-action transactions all stay single-site.
+    EXPECT_GE(stats.counter("partition.txns") -
+                  before.counter("partition.txns"),
+              4u);
+    EXPECT_EQ(stats.counter("partition.cross_site_txns") -
+                  before.counter("partition.cross_site_txns"),
+              0u);
+    EXPECT_GE(stats.gauge("partition.workers"), 1);
+  }
+}
+
 }  // namespace
 }  // namespace plp

@@ -1,10 +1,15 @@
-// Tests for the metrics layer: time breakdowns and throughput probes.
+// Tests for the metrics layer: the engine-wide registry plus the older
+// time-breakdown and throughput-probe instruments.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
+#include "src/metrics/registry.h"
 #include "src/metrics/throughput_probe.h"
 #include "src/metrics/time_breakdown.h"
+#include "src/metrics/txn_trace.h"
 
 namespace plp {
 namespace {
@@ -117,6 +122,201 @@ TEST(ThroughputProbeTest, ConcurrentTickers) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(probe.total(), 40000u);
+}
+
+TEST(ThroughputProbeTest, BoundRegistryPublishesWindowGauges) {
+  MetricsRegistry registry;
+  ThroughputProbe probe;
+  probe.BindRegistry(&registry);
+  probe.Start();
+  for (int i = 0; i < 500; ++i) probe.Tick();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  probe.SampleNow();
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_GT(snap.gauge("probe.window_tps"), 0);
+  EXPECT_EQ(snap.gauge("probe.total_txns"), 500);
+  EXPECT_EQ(snap.gauge("probe.samples"), 1);
+}
+
+TEST(TimeBreakdownTest, PublishBreakdownSetsGauges) {
+  MetricsRegistry registry;
+  TimeBreakdown b;
+  b.total_us = 123.7;
+  b.lock_wait_us = 5.2;
+  PublishBreakdown(&registry, "breakdown", b);
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.gauge("breakdown.total_us"), 123);
+  EXPECT_EQ(snap.gauge("breakdown.lock_wait_us"), 5);
+  EXPECT_EQ(snap.gauge("breakdown.other_us"), 0);
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterNamesAreStableCreateOrGet) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x");
+  Counter* b = registry.counter("x");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.Snapshot().counter("x"), 3u);
+  EXPECT_EQ(registry.Snapshot().counter("missing"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersLoseNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("hammer");
+  Histogram* h = registry.histogram("lat");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100'000;
+  std::atomic<bool> stop{false};
+  // A reader snapshotting concurrently must see monotonically
+  // non-decreasing counts, and never more than the eventual total.
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const StatsSnapshot snap = registry.Snapshot();
+      const std::uint64_t now = snap.counter("hammer");
+      EXPECT_GE(now, last);
+      EXPECT_LE(now, static_cast<std::uint64_t>(kThreads) * kPerThread);
+      last = now;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<std::uint64_t>(t) * 100 + 1);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("hammer"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramSummary* lat = snap.histogram("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(lat->max, 701u);
+}
+
+TEST(MetricsRegistryTest, ResetDuringWritesNeverResurrects) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("reset_target");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) c->Increment();
+    });
+  }
+  // Racing resets: because writers use fetch_add (never load+store), a
+  // reset can only miss in-flight increments, never bring old ones back.
+  for (int i = 0; i < 200; ++i) registry.Reset();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  // All writers stopped: one final reset must stick at exactly zero.
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Add(7);
+  EXPECT_EQ(registry.Snapshot().counter("reset_target"), 7u);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentilesBracketValues) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("h");
+  // 90 fast ops at ~100us, 10 slow at ~6000us.
+  for (int i = 0; i < 90; ++i) h->Record(100);
+  for (int i = 0; i < 10; ++i) h->Record(6000);
+  const HistogramSummary s = h->Collect();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u * 100 + 10u * 6000);
+  EXPECT_EQ(s.max, 6000u);
+  // Log2 buckets: estimates are upper bounds of the value's bucket,
+  // clamped to max — p50 lands in [100, 200), p99 at the max.
+  EXPECT_GE(s.p50, 100u);
+  EXPECT_LT(s.p50, 256u);
+  EXPECT_EQ(s.p99, 6000u);
+  EXPECT_GE(s.p95, s.p50);
+  EXPECT_NEAR(s.mean(), 690.0, 1e-9);
+}
+
+TEST(MetricsRegistryTest, GaugeProvidersEvaluateAtSnapshot) {
+  MetricsRegistry registry;
+  int calls = 0;
+  registry.RegisterGaugeProvider(&calls, [&calls](const GaugeSink& sink) {
+    ++calls;
+    sink("dynamic.value", 41 + calls);
+  });
+  EXPECT_EQ(registry.Snapshot().gauge("dynamic.value"), 42);
+  EXPECT_EQ(registry.Snapshot().gauge("dynamic.value"), 43);
+  registry.UnregisterGaugeProvider(&calls);
+  EXPECT_EQ(registry.Snapshot().gauge("dynamic.value"), 0);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MetricsRegistryTest, SerializersCoverAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("c.one")->Add(5);
+  registry.gauge("g.level")->Set(-3);
+  registry.histogram("h.lat_us")->Record(250);
+  const StatsSnapshot snap = registry.Snapshot();
+  const std::string text = snap.ToText();
+  for (const char* needle : {"c.one", "g.level", "h.lat_us"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"c.one\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.level\": -3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, ScratchIsANullSinkThatNeverAliases) {
+  MetricsRegistry* scratch = MetricsRegistry::Scratch();
+  ASSERT_NE(scratch, nullptr);
+  EXPECT_EQ(scratch, MetricsRegistry::Scratch());
+  // Recording into scratch is safe and side-effect free for real
+  // registries.
+  scratch->counter("anything")->Increment();
+  MetricsRegistry real;
+  EXPECT_EQ(real.Snapshot().counter("anything"), 0u);
+}
+
+TEST(TxnTimelineTest, StampIsFirstWriterWins) {
+  TxnTimeline t;
+  TxnTimeline::Stamp(t.submit_ns, 100);
+  TxnTimeline::Stamp(t.submit_ns, 999);  // later stamps are no-ops
+  EXPECT_EQ(t.submit_ns.load(), 100u);
+}
+
+TEST(TxnTimelineTest, SinksRecordOnlyReachedStages) {
+  MetricsRegistry registry;
+  TxnTraceSinks sinks(&registry);
+  TxnTimeline t;
+  // submit -> admitted -> complete, with the middle stages never stamped
+  // (e.g. an admission-rejected or non-durable transaction).
+  TxnTimeline::Stamp(t.submit_ns, 1'000);
+  TxnTimeline::Stamp(t.admitted_ns, 5'000);
+  TxnTimeline::Stamp(t.complete_ns, 21'000);
+  sinks.Record(t);
+  const StatsSnapshot snap = registry.Snapshot();
+  const HistogramSummary* admission =
+      snap.histogram("trace.admission_us");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->count, 1u);
+  EXPECT_EQ(admission->max, 4u);  // (5000 - 1000) ns -> 4us
+  const HistogramSummary* total = snap.histogram("trace.total_us");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count, 1u);
+  EXPECT_EQ(total->max, 20u);
+  // Unstamped stages recorded nothing.
+  EXPECT_EQ(snap.histogram("trace.fsync_us")->count, 0u);
+  EXPECT_EQ(snap.histogram("trace.execute_us")->count, 0u);
 }
 
 }  // namespace
