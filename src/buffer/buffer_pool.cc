@@ -1,7 +1,9 @@
 #include "src/buffer/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <thread>
 
 #include "src/common/clock.h"
 #include "src/io/disk_manager.h"
@@ -13,6 +15,11 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
   for (std::size_t i = 0; i < kNumShards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  dir_root_ = std::make_unique<std::atomic<DirChunk*>[]>(kDirRootSize);
+  frame_root_ = std::make_unique<std::atomic<FrameChunk*>[]>(kFrameRootSize);
+  swizzling_on_ = config_.enable_swizzling &&
+                  config_.unswizzle_child != nullptr &&
+                  config_.unswizzle_all != nullptr;
   if (config_.disk != nullptr) {
     // Keep the id allocator ahead of everything already on disk.
     next_page_id_.store(config_.disk->max_page_id() + 1,
@@ -27,6 +34,9 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
   eviction_writebacks_metric_ = m->counter("buffer_pool.eviction_writebacks");
   flush_writebacks_metric_ = m->counter("buffer_pool.flush_writebacks");
   leaked_index_slots_metric_ = m->counter("buffer_pool.leaked_index_slots");
+  swizzle_hits_metric_ = m->counter("swizzle.hits");
+  swizzle_installs_metric_ = m->counter("swizzle.installs");
+  swizzle_unswizzles_metric_ = m->counter("swizzle.unswizzles");
   miss_stall_us_metric_ = m->histogram("buffer_pool.miss_stall_us");
   writeback_stall_us_metric_ = m->histogram("buffer_pool.writeback_stall_us");
   if (metrics_ != nullptr) {
@@ -40,13 +50,110 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
       sink("buffer_pool.disk_reads", static_cast<std::int64_t>(disk_reads()));
       sink("buffer_pool.disk_writes",
            static_cast<std::int64_t>(disk_writes()));
+      sink("buffer_pool.swizzled",
+           static_cast<std::int64_t>(swizzled_count()));
+      if (config_.disk != nullptr) {
+        sink("buffer_pool.free_slots",
+             static_cast<std::int64_t>(config_.disk->free_slot_count()));
+      }
     });
   }
 }
 
 BufferPool::~BufferPool() {
   if (metrics_ != nullptr) metrics_->UnregisterGaugeProvider(this);
+  for (std::size_t i = 0; i < kDirRootSize; ++i) {
+    delete dir_root_[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kFrameRootSize; ++i) {
+    delete frame_root_[i].load(std::memory_order_relaxed);
+  }
 }
+
+// --- Lock-free directory ---------------------------------------------------
+
+std::atomic<Page*>* BufferPool::DirSlot(PageId id, bool create) {
+  const std::size_t hi = id >> kDirChunkBits;
+  DirChunk* chunk = dir_root_[hi].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    if (!create) return nullptr;
+    std::lock_guard<std::mutex> g(dir_alloc_mu_);
+    chunk = dir_root_[hi].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new DirChunk();
+      dir_root_[hi].store(chunk, std::memory_order_release);
+    }
+  }
+  return &chunk->slots[id & (kDirChunkSize - 1)];
+}
+
+Page* BufferPool::DirLookup(PageId id) const {
+  const std::size_t hi = id >> kDirChunkBits;
+  DirChunk* chunk = dir_root_[hi].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  // seq_cst: the revalidating load of the pin/fence/revalidate protocol
+  // must order against the evictor's retract/fence/pin-check (Dekker).
+  return chunk->slots[id & (kDirChunkSize - 1)].load(
+      std::memory_order_seq_cst);
+}
+
+void BufferPool::DirPublish(PageId id, Page* page) {
+  DirSlot(id, /*create=*/true)->store(page, std::memory_order_seq_cst);
+}
+
+void BufferPool::DirRetract(PageId id) {
+  std::atomic<Page*>* slot = DirSlot(id, /*create=*/false);
+  if (slot != nullptr) slot->store(nullptr, std::memory_order_seq_cst);
+}
+
+// --- Type-stable frame arena -----------------------------------------------
+
+Page* BufferPool::FrameAt(std::uint32_t idx) const {
+  FrameChunk* chunk =
+      frame_root_[idx >> kFrameChunkBits].load(std::memory_order_acquire);
+  assert(chunk != nullptr);
+  return chunk->frames[idx & (kFrameChunkSize - 1)].load(
+      std::memory_order_acquire);
+}
+
+Page* BufferPool::TakeFrame(PageId id, PageClass page_class) {
+  {
+    std::lock_guard<std::mutex> g(frames_mu_);
+    if (!free_frames_.empty()) {
+      Page* frame = free_frames_.back();
+      free_frames_.pop_back();
+      frame->Reinit(id, page_class);
+      return frame;
+    }
+  }
+  auto owned = std::make_unique<Page>(id, page_class);
+  Page* frame = owned.get();
+  std::lock_guard<std::mutex> g(frames_mu_);
+  const std::uint32_t idx = frame_count_;
+  if (idx < kFrameRootSize * kFrameChunkSize) {
+    const std::size_t hi = idx >> kFrameChunkBits;
+    FrameChunk* chunk = frame_root_[hi].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      chunk = new FrameChunk();
+      frame_root_[hi].store(chunk, std::memory_order_release);
+    }
+    chunk->frames[idx & (kFrameChunkSize - 1)].store(
+        frame, std::memory_order_release);
+    frame->set_frame_index(idx);
+    frame_count_ = idx + 1;
+  }
+  // else: arena full — the frame works normally but can never be the
+  // target of a swizzled reference (kNoFrameIndex).
+  owned_frames_.push_back(std::move(owned));
+  return frame;
+}
+
+void BufferPool::ReturnFrame(Page* frame) {
+  std::lock_guard<std::mutex> g(frames_mu_);
+  free_frames_.push_back(frame);
+}
+
+// ---------------------------------------------------------------------------
 
 void BufferPool::TrackFrame(Page* page) {
   if (!evicting() || !Evictable(page->page_class())) return;
@@ -57,12 +164,26 @@ void BufferPool::TrackFrame(Page* page) {
 
 Page* BufferPool::NewPage(PageClass page_class) {
   if (evicting()) EnsureBudget();
-  const PageId id = next_page_id_.fetch_add(1, std::memory_order_relaxed);
-  auto page = std::make_unique<Page>(id, page_class);
-  Page* raw = page.get();
+  PageId id = kInvalidPageId;
+  if (config_.disk != nullptr) {
+    PageId cand;
+    while ((cand = config_.disk->TakeFreeId()) != kInvalidPageId) {
+      // A reclaimed slot id may have been re-materialized since the free
+      // list was built (recovery replay); skip anything resident or live.
+      if (DirLookup(cand) == nullptr && !config_.disk->Contains(cand)) {
+        id = cand;
+        break;
+      }
+    }
+  }
+  if (id == kInvalidPageId) {
+    id = next_page_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Page* raw = TakeFrame(id, page_class);
   Shard& shard = ShardFor(id);
   shard.mu.lock();
-  shard.pages.emplace(id, std::move(page));
+  shard.pages.emplace(id, raw);
+  DirPublish(id, raw);
   shard.mu.unlock();
   num_pages_.fetch_add(1, std::memory_order_relaxed);
   TrackFrame(raw);
@@ -79,7 +200,7 @@ Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
   shard.mu.lock();
   auto it = shard.pages.find(id);
   if (it != shard.pages.end()) {
-    Page* existing = it->second.get();
+    Page* existing = it->second;
     shard.mu.unlock();
     return existing;
   }
@@ -89,69 +210,112 @@ Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
     if (loaded != nullptr) return loaded;
   }
   if (evicting()) EnsureBudget();
+  Page* fresh = TakeFrame(id, page_class);
+  Page* raw = nullptr;
   shard.mu.lock();
   it = shard.pages.find(id);
   if (it != shard.pages.end()) {
-    Page* existing = it->second.get();
-    shard.mu.unlock();
-    return existing;
+    raw = it->second;
+  } else {
+    shard.pages.emplace(id, fresh);
+    DirPublish(id, fresh);
   }
-  auto page = std::make_unique<Page>(id, page_class);
-  Page* raw = page.get();
-  shard.pages.emplace(id, std::move(page));
   shard.mu.unlock();
+  if (raw != nullptr) {
+    ReturnFrame(fresh);
+    return raw;
+  }
   num_pages_.fetch_add(1, std::memory_order_relaxed);
-  TrackFrame(raw);
-  return raw;
+  TrackFrame(fresh);
+  return fresh;
 }
 
 Page* BufferPool::LoadFromDisk(PageId id, Shard& shard) {
   if (!config_.disk->Contains(id)) return nullptr;
   if (evicting()) EnsureBudget();
-  Page* raw = nullptr;
   {
     std::lock_guard<std::mutex> g(shard.mu.raw());
     auto it = shard.pages.find(id);
-    if (it != shard.pages.end()) return it->second.get();  // lost the race
-    PageSlotHeader header;
-    std::vector<char> image(kPageSize);
-    Status st = config_.disk->ReadPage(id, &header, image.data());
-    if (!st.ok()) return nullptr;
-    // Rebuild the frame with the persisted class/tags.
-    auto frame = std::make_unique<Page>(
-        id, static_cast<PageClass>(header.page_class));
-    std::memcpy(frame->data(), image.data(), kPageSize);
-    frame->set_owner_tag(header.owner_tag);
-    frame->set_table_tag(header.table_tag);
-    frame->set_page_lsn(header.page_lsn);
-    raw = frame.get();
-    shard.pages.emplace(id, std::move(frame));
-    num_pages_.fetch_add(1, std::memory_order_relaxed);
-    disk_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (it != shard.pages.end()) return it->second;  // lost the race
+  }
+  // Read straight into a recycled frame without holding the shard mutex:
+  // the frame is invisible until published, and concurrent misses on the
+  // same shard no longer serialize behind one pread.
+  Page* frame = TakeFrame(id, PageClass::kHeap);
+  PageSlotHeader header;
+  Status st = config_.disk->ReadPage(id, &header, frame->data());
+  if (!st.ok()) {
+    ReturnFrame(frame);
+    return nullptr;
+  }
+  frame->SetClass(static_cast<PageClass>(header.page_class));
+  frame->set_owner_tag(header.owner_tag);
+  frame->set_table_tag(header.table_tag);
+  frame->set_page_lsn(header.page_lsn);
+  if ((header.flags & kSlotFlagVolatileIndex) != 0) {
+    frame->set_volatile_index(true);
+  }
+  Page* winner = nullptr;
+  {
+    std::lock_guard<std::mutex> g(shard.mu.raw());
+    auto it = shard.pages.find(id);
+    if (it != shard.pages.end()) {
+      winner = it->second;  // another thread published first
+    } else {
+      shard.pages.emplace(id, frame);
+      DirPublish(id, frame);
+      num_pages_.fetch_add(1, std::memory_order_relaxed);
+      disk_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (winner != nullptr) {
+    ReturnFrame(frame);
+    return winner;
   }
   // Outside the shard mutex: TrackFrame takes clock_mu_, and EvictOne
   // acquires shard mutexes while holding clock_mu_ — nesting them here
   // would be an ABBA deadlock.
-  TrackFrame(raw);
-  return raw;
+  TrackFrame(frame);
+  return frame;
 }
 
 Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
   if (id == kInvalidPageId) return nullptr;
+  assert(!IsSwizzledRef(id));
+  // Lock-free fast path: resident pages resolve through the directory
+  // with no critical section at all. An unpinned fix trusts the caller
+  // (memory-resident mode / quiesced access); a pinned fix must survive a
+  // racing steal, so it pins first and revalidates the mapping — the
+  // evictor retracts the mapping before its own pin check, and both sides
+  // fence seq_cst, so at least one of the two observes the other.
+  Page* fast = DirLookup(id);
+  if (fast != nullptr) {
+    if (!pin) {
+      hits_metric_->Increment();
+      fast->SetRef();
+      return fast;
+    }
+    fast->Pin();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (DirLookup(id) == fast) {
+      hits_metric_->Increment();
+      fast->SetRef();
+      return fast;
+    }
+    fast->Unpin();  // lost to a concurrent steal; take the slow path
+  }
   Shard& shard = ShardFor(id);
   Page* p = nullptr;
   if (tracked) {
     shard.mu.lock();
     auto it = shard.pages.find(id);
-    p = it == shard.pages.end() ? nullptr : it->second.get();
+    p = it == shard.pages.end() ? nullptr : it->second;
     if (p != nullptr && pin) p->Pin();
     shard.mu.unlock();
   } else {
-    // No CS accounting: callers own the page exclusively; guard with the
-    // raw mutex (rehash safety) but do not charge a critical section.
     std::lock_guard<std::mutex> g(shard.mu.raw());
     auto it = shard.pages.find(id);
-    p = it == shard.pages.end() ? nullptr : it->second.get();
+    p = it == shard.pages.end() ? nullptr : it->second;
     if (p != nullptr && pin) p->Pin();
   }
   if (p != nullptr) hits_metric_->Increment();
@@ -170,7 +334,7 @@ Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
       // pin lands; re-fix in that case.
       std::lock_guard<std::mutex> g(shard.mu.raw());
       auto it = shard.pages.find(id);
-      if (it == shard.pages.end() || it->second.get() != p) {
+      if (it == shard.pages.end() || it->second != p) {
         return FixInternal(id, tracked, pin);
       }
       p->Pin();
@@ -208,14 +372,36 @@ PageRef BufferPool::AllocatePage(PageClass page_class,
 }
 
 void BufferPool::FreePage(PageId id) {
+  Page* freed = nullptr;
   Shard& shard = ShardFor(id);
   shard.mu.lock();
-  if (shard.pages.erase(id) > 0) {
+  auto it = shard.pages.find(id);
+  if (it != shard.pages.end()) {
+    freed = it->second;
+    shard.pages.erase(it);
+    DirRetract(id);
     num_pages_.fetch_sub(1, std::memory_order_relaxed);
   }
   shard.mu.unlock();
+  if (freed != nullptr && swizzling_on_ &&
+      freed->page_class() == PageClass::kIndex) {
+    // SMO hooks unswizzle before entries move, so a freed internal page
+    // should hold no tagged refs — but sanitize defensively (a missed one
+    // would leave a child unevictable with a stale marker forever).
+    config_.unswizzle_all(freed, this);
+    // If a resident parent still holds a tagged ref to the frame being
+    // freed, it must be rewritten to the plain id before the frame is
+    // recycled — a stale tagged ref would resolve to the recycled frame's
+    // next identity. Free sites quiesce/own the tree, so the try-latch
+    // inside succeeds; false only means a transient revalidation race.
+    while (freed->swizzle_parent() != kInvalidPageId) {
+      if (TryUnswizzle(freed)) break;
+      std::this_thread::yield();
+    }
+  }
   if (config_.disk != nullptr) (void)config_.disk->FreePage(id);
   NotifyEvicted(id);
+  if (freed != nullptr) ReturnFrame(freed);
 }
 
 void BufferPool::EnsureBudget() {
@@ -225,21 +411,73 @@ void BufferPool::EnsureBudget() {
   }
 }
 
+bool BufferPool::TryUnswizzle(Page* child) {
+  const PageId parent_pid = child->swizzle_parent();
+  if (parent_pid == kInvalidPageId) return true;
+  Page* parent = DirLookup(parent_pid);
+  if (parent == nullptr) {
+    // The parent left the pool; its image was sanitized on the way out,
+    // so the marker is stale.
+    NoteUnswizzled();
+    child->ClearSwizzleParentIf(parent_pid);
+    return child->swizzle_parent() == kInvalidPageId;
+  }
+  parent->Pin();
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (DirLookup(parent_pid) != parent) {
+    parent->Unpin();
+    return false;
+  }
+  if (parent->page_class() != PageClass::kIndex) {
+    // The parent pid was freed and reused by a non-index page (slot
+    // reuse); the swizzled entry died with the old page image.
+    parent->Unpin();
+    NoteUnswizzled();
+    child->ClearSwizzleParentIf(parent_pid);
+    return child->swizzle_parent() == kInvalidPageId;
+  }
+  // Exclusive parent latch: mutual exclusion with descents resolving the
+  // swizzled entry under a shared latch. try-lock only — this runs under
+  // the clock sweep's locks and must never wait.
+  if (!parent->latch().TryAcquireExclusive()) {
+    parent->Unpin();
+    return false;
+  }
+  const bool gone =
+      config_.unswizzle_child(parent, child->frame_index(), child->id());
+  parent->latch().ReleaseExclusive();
+  parent->Unpin();
+  if (!gone) return false;
+  NoteUnswizzled();
+  child->ClearSwizzleParentIf(parent_pid);
+  return child->swizzle_parent() == kInvalidPageId;
+}
+
+void BufferPool::UnswizzleForWriteBack(Page* page) {
+  if (!swizzling_on_ || page->page_class() != PageClass::kIndex) return;
+  config_.unswizzle_all(page, this);
+}
+
 bool BufferPool::EvictOne() {
   // Phase 1 — select a candidate under clock_mu_ only (no I/O, no shard
   // mutex nesting beyond a brief peek). The candidate is removed from the
   // clock so concurrent evictors pick different victims; it is re-added
-  // if the steal is abandoned.
+  // if the steal is abandoned. The first rotation prefers CLEAN victims:
+  // stealing a clean frame is a pure detach, while a dirty steal pays the
+  // WAL barrier (a group-commit fsync join) plus a page write in the
+  // faulting thread's latency path. The first dirty candidate seen is
+  // remembered as a fallback.
   PageId pid = kInvalidPageId;
   Page* candidate = nullptr;
   Lsn lsn_before = 0;
-  bool was_dirty = false;
-  bool volatile_index = false;
   {
     std::lock_guard<std::mutex> g(clock_mu_);
-    // Up to two sweeps: the first pass clears reference bits, the second
-    // finds a victim unless everything is pinned.
-    std::size_t budget = clock_.size() * 2;
+    const std::size_t initial = clock_.size();
+    std::size_t budget = initial * 2;
+    std::size_t seen = 0;
+    PageId dirty_pid = kInvalidPageId;
+    Page* dirty_page = nullptr;
+    Lsn dirty_lsn = 0;
     while (budget-- > 0 && !clock_.empty()) {
       const std::size_t idx = clock_hand_ % clock_.size();
       const PageId candidate_pid = clock_[idx];
@@ -247,56 +485,102 @@ bool BufferPool::EvictOne() {
       std::lock_guard<std::mutex> sg(shard.mu.raw());
       auto it = shard.pages.find(candidate_pid);
       if (it == shard.pages.end()) {
-        // Frame already gone (FreePage); drop the stale candidate.
+        // Frame already gone (FreePage/steal); drop the stale candidate.
         clock_.erase(clock_.begin() + static_cast<std::ptrdiff_t>(idx));
         continue;
       }
-      Page* page = it->second.get();
+      Page* page = it->second;
       ++clock_hand_;
+      ++seen;
       if (page->pin_count() > 0) continue;
+      if (page->sticky()) continue;  // index roots stay resident
       if (page->TestAndClearRef()) continue;
+      if (page->swizzle_parent() != kInvalidPageId) {
+        // Lazy unswizzle right before the frame can become a victim:
+        // rewrite the parent's entry under its latch (non-blocking).
+        if (!TryUnswizzle(page)) continue;
+      }
+      if (page->dirty() && seen <= initial) {
+        if (dirty_pid == kInvalidPageId) {
+          dirty_pid = candidate_pid;
+          dirty_page = page;
+          dirty_lsn = page->page_lsn();
+        }
+        continue;
+      }
       pid = candidate_pid;
       candidate = page;
       lsn_before = page->page_lsn();
-      was_dirty = page->dirty();
-      volatile_index = page->volatile_index();
       clock_.erase(clock_.begin() + static_cast<std::ptrdiff_t>(idx));
       if (clock_hand_ > 0) --clock_hand_;  // slot vanished under the hand
       break;
     }
+    if (pid == kInvalidPageId && dirty_pid != kInvalidPageId) {
+      auto pos = std::find(clock_.begin(), clock_.end(), dirty_pid);
+      if (pos != clock_.end()) {
+        clock_.erase(pos);
+        pid = dirty_pid;
+        candidate = dirty_page;
+        lsn_before = dirty_lsn;
+      }
+    }
   }
   if (pid == kInvalidPageId) return false;
 
-  // Phase 2 — snapshot the page under the shard mutex, then write the
-  // SNAPSHOT back. Every mutation path pins first, and pinning goes
-  // through the shard mutex, so a pin_count == 0 frame cannot change
-  // while the copy runs: the image on disk is always a consistent state
-  // as of `lsn_before` (writing from the live buffer without a latch
-  // could persist a torn, mid-mutation image under a stale page LSN —
-  // undetectable by recovery's redo gate). The frame is tentatively
-  // marked clean at snapshot time; any racing mutation re-dirties it and
+  // Phase 2 — under the shard mutex: retract the lock-free mapping, fence,
+  // then check pins/identity. A concurrent lock-free fix either pinned
+  // before our check (we abort and republish) or will revalidate after our
+  // retract and fall to the slow path, which needs this mutex. Every
+  // mutation path pins first, so a pin_count == 0 frame cannot change
+  // while the snapshot copy runs: the image written back is always a
+  // consistent state as of `lsn_before` (writing from the live buffer
+  // without this protocol could persist a torn, mid-mutation image under
+  // a stale page LSN — undetectable by recovery's redo gate). A clean
+  // victim is detached right here — no barrier, no I/O. A dirty victim is
+  // sanitized (no tagged PageId ever reaches disk), snapshotted, and
+  // tentatively marked clean; any racing mutation re-dirties it and
   // phase 3 then aborts the steal, leaving the change resident.
   Shard& shard = ShardFor(pid);
   std::vector<char> image;
   PageSlotHeader header;
   bool snapshot_ok = false;
   bool present_at_snapshot = false;
+  bool detached = false;
+  bool dirty_now = false;
+  bool volatile_index = false;
   Lsn rec_lsn_before = 0;
   {
     std::lock_guard<std::mutex> sg(shard.mu.raw());
     auto it = shard.pages.find(pid);
-    present_at_snapshot =
-        it != shard.pages.end() && it->second.get() == candidate;
+    present_at_snapshot = it != shard.pages.end() && it->second == candidate;
+    if (present_at_snapshot) {
+      DirRetract(pid);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
     snapshot_ok = present_at_snapshot && candidate->pin_count() == 0 &&
-                  candidate->page_lsn() == lsn_before;
-    if (snapshot_ok && was_dirty) {
-      rec_lsn_before = candidate->rec_lsn();
-      image.assign(candidate->data(), candidate->data() + kPageSize);
-      header.page_class = static_cast<std::uint8_t>(candidate->page_class());
-      header.owner_tag = candidate->owner_tag();
-      header.table_tag = candidate->table_tag();
-      header.page_lsn = lsn_before;
-      candidate->MarkClean();  // tentative; racing mutations re-dirty
+                  candidate->page_lsn() == lsn_before &&
+                  candidate->swizzle_parent() == kInvalidPageId &&
+                  !candidate->sticky();
+    if (snapshot_ok) {
+      dirty_now = candidate->dirty();
+      volatile_index = candidate->volatile_index();
+      if (!dirty_now) {
+        shard.pages.erase(it);
+        detached = true;
+      } else {
+        rec_lsn_before = candidate->rec_lsn();
+        UnswizzleForWriteBack(candidate);
+        image.assign(candidate->data(), candidate->data() + kPageSize);
+        header.page_class =
+            static_cast<std::uint8_t>(candidate->page_class());
+        header.owner_tag = candidate->owner_tag();
+        header.table_tag = candidate->table_tag();
+        header.page_lsn = lsn_before;
+        if (volatile_index) header.flags |= kSlotFlagVolatileIndex;
+        candidate->MarkClean();  // tentative; racing mutations re-dirty
+      }
+    } else if (present_at_snapshot) {
+      DirPublish(pid, candidate);  // abort: restore the fast path
     }
   }
   if (!snapshot_ok) {
@@ -311,70 +595,68 @@ bool BufferPool::EvictOne() {
   }
 
   Status write_status = Status::OK();
-  if (was_dirty) {
+  if (!detached) {
     // WAL rule: the log must be durable up to the snapshot's LSN before
-    // the snapshot overwrites the disk copy. No locks held across I/O.
+    // the snapshot overwrites the disk copy. No locks held across I/O;
+    // the directory stays retracted, so lock-free fixes fall to the slow
+    // path (where the frame is still mapped) until phase 3 resolves.
     const std::uint64_t steal_start = NowNanos();
-    const bool fresh_slot = !config_.disk->Contains(pid);
     if (config_.wal_barrier) config_.wal_barrier(lsn_before);
     write_status = config_.disk->WritePage(pid, header, image.data());
     if (write_status.ok()) {
       disk_writes_.fetch_add(1, std::memory_order_relaxed);
       eviction_writebacks_metric_->Increment();
       writeback_stall_us_metric_->Record((NowNanos() - steal_start) / 1000);
-      if (fresh_slot && volatile_index) {
-        // First disk slot for an unlogged (secondary) index page: no
-        // reopen will ever read it — the known leak, made observable.
-        leaked_index_slots_metric_->Increment();
-      }
     }
-  }
 
-  // Phase 3 — detach, re-validating under the shard mutex: a pin taken,
-  // any re-dirtying mutation (logged or compensation), or a write error
-  // aborts the steal and the frame stays resident. A frame freed during
-  // the I/O (FreePage race) must not be touched at all.
-  std::unique_ptr<Page> victim;
-  bool still_present = false;
-  {
-    std::lock_guard<std::mutex> sg(shard.mu.raw());
-    auto it = shard.pages.find(pid);
-    still_present = it != shard.pages.end() && it->second.get() == candidate;
-    if (still_present && write_status.ok() &&
-        candidate->pin_count() == 0 &&
-        candidate->page_lsn() == lsn_before && !candidate->dirty()) {
-      victim = std::move(it->second);
-      shard.pages.erase(it);
-    } else if (still_present) {
-      if (was_dirty && !write_status.ok()) {
-        // The tentative clean must not survive a failed write-back: the
-        // ops since the original rec_lsn are still unflushed, so put
-        // that rec_lsn back (even over one a racing mutation CAS'd in —
-        // the racing op's interval starts later than the unflushed one).
-        candidate->RestoreDirty(rec_lsn_before);
+    // Phase 3 — detach, re-validating under the shard mutex: a pin taken,
+    // any re-dirtying mutation (logged or compensation), a fresh swizzle,
+    // or a write error aborts the steal and the frame stays resident. A
+    // frame freed during the I/O (FreePage race) must not be touched.
+    bool still_present = false;
+    {
+      std::lock_guard<std::mutex> sg(shard.mu.raw());
+      auto it = shard.pages.find(pid);
+      still_present = it != shard.pages.end() && it->second == candidate;
+      if (still_present && write_status.ok() &&
+          candidate->pin_count() == 0 &&
+          candidate->page_lsn() == lsn_before && !candidate->dirty() &&
+          candidate->swizzle_parent() == kInvalidPageId) {
+        shard.pages.erase(it);
+        detached = true;
+      } else if (still_present) {
+        if (!write_status.ok()) {
+          // The tentative clean must not survive a failed write-back: the
+          // ops since the original rec_lsn are still unflushed, so put
+          // that rec_lsn back (even over one a racing mutation CAS'd in —
+          // the racing op's interval starts later than the unflushed one).
+          candidate->RestoreDirty(rec_lsn_before);
+        }
+        candidate->SetRef();
+        DirPublish(pid, candidate);
       }
-      candidate->SetRef();  // under the shard mutex: frame cannot be freed
     }
-  }
-  if (!victim) {
-    if (still_present) {
-      // Re-register the id only (no frame deref — it may be freed by
-      // now); selection tolerates stale clock entries.
-      std::lock_guard<std::mutex> g(clock_mu_);
-      clock_.push_back(pid);
+    if (!detached) {
+      if (still_present) {
+        std::lock_guard<std::mutex> g(clock_mu_);
+        clock_.push_back(pid);
+      }
+      return write_status.ok() && !still_present;  // freed = progress
     }
-    return write_status.ok() && !still_present;  // freed counts as progress
   }
   num_pages_.fetch_sub(1, std::memory_order_relaxed);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   evictions_metric_->Increment();
   NotifyEvicted(pid);
+  // Recycle the frame. Stale lock-free readers may still transiently pin
+  // it; they revalidate against the retracted directory before touching
+  // contents, so Reinit on the next TakeFrame is safe.
+  ReturnFrame(candidate);
   return true;
 }
 
 Status BufferPool::WriteBackNoClean(Page* page) {
   const std::uint64_t write_start = NowNanos();
-  const bool fresh_slot = !config_.disk->Contains(page->id());
   // WAL rule: every log record describing this page must be durable
   // before the page image overwrites the disk copy (no-steal of unlogged
   // state). page_lsn covers the newest update.
@@ -384,16 +666,12 @@ Status BufferPool::WriteBackNoClean(Page* page) {
   header.owner_tag = page->owner_tag();
   header.table_tag = page->table_tag();
   header.page_lsn = page->page_lsn();
+  if (page->volatile_index()) header.flags |= kSlotFlagVolatileIndex;
   PLP_RETURN_IF_ERROR(
       config_.disk->WritePage(page->id(), header, page->data()));
   disk_writes_.fetch_add(1, std::memory_order_relaxed);
   flush_writebacks_metric_->Increment();
   writeback_stall_us_metric_->Record((NowNanos() - write_start) / 1000);
-  if (fresh_slot && page->volatile_index()) {
-    // First disk slot for an unlogged (secondary) index page: no reopen
-    // will ever read it — the known leak, made observable.
-    leaked_index_slots_metric_->Increment();
-  }
   return Status::OK();
 }
 
@@ -424,7 +702,15 @@ Status BufferPool::FlushPage(PageId id, LatchPolicy policy) {
     ref->MarkClean();
     return Status::OK();
   }
-  LatchGuard g(&ref->latch(), LatchMode::kShared, policy);
+  // Index pages take the latch exclusively: the in-place unswizzle that
+  // sanitizes child refs before the copy must not race shared-latched
+  // descents resolving those refs.
+  const LatchMode mode =
+      swizzling_on_ && ref->page_class() == PageClass::kIndex
+          ? LatchMode::kExclusive
+          : LatchMode::kShared;
+  LatchGuard g(&ref->latch(), mode, policy);
+  UnswizzleForWriteBack(ref.get());
   return WriteBack(ref.get());
 }
 

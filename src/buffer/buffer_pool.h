@@ -1,28 +1,41 @@
 // Buffer pool: allocation and id->frame translation for database pages.
 //
-// Memory-resident mode (the paper's evaluation, and the default): frames
-// are never evicted; Fix() is a sharded hash lookup whose bucket mutex is
-// a buffer-pool critical section, exactly the communication Shore-MT
-// charges to its buffer pool. Partition-owned code paths avoid that
-// communication with a thread-private PageCache (exclusive ownership makes
-// it safe).
+// The resident path is lock-free: a chunked directory of atomic Page*
+// entries (indexed directly by PageId) resolves fixes without touching the
+// per-shard bucket mutexes, which now guard only structural changes
+// (page-in, eviction, free) and writer-side iteration. A fix that needs a
+// pin uses a pin/fence/revalidate protocol against the evictor's
+// retract/fence/pin-check, so a steal and a lock-free fix can never both
+// win. Frames are type-stable — evicted frames are recycled through a free
+// list, never deleted — so a stale directory read is always safe to
+// dereference.
 //
-// Durable mode (frame_budget > 0 and a DiskManager): the pool becomes a
-// cache over the data file. Misses read the page image back from disk;
-// when the budget is exceeded a clock sweep picks an unpinned victim,
-// honors the WAL rule (log forced durable up to the victim's page_lsn
-// before the steal), writes dirty victims back, and notifies eviction
-// listeners so thread-private PageCaches drop the frame. Heap frames are
-// always candidates; index frames join them in persistent-index mode
-// (`persist_index_pages`, see src/index/persistent) and stay resident in
-// legacy snapshot mode. Catalog frames always stay resident (rebuilt on
-// restart).
+// Pointer swizzling (Foster-B-tree lineage, see docs/buffer_pool.md): a
+// parent index page whose child is resident may replace the child's PageId
+// in its own cell with a tagged frame index (kSwizzledRefBit). Hot B+Tree
+// descents then resolve children with zero page-table lookups. Swizzled
+// refs are a runtime-only encoding: eviction unswizzles lazily
+// (parent-latched) before a frame becomes a steal victim, and every
+// write-back/WAL image is sanitized first. The entry-rewrite knowledge
+// lives in src/index; the pool calls back through BufferPoolConfig hooks.
+//
+// Durable mode (frame_budget > 0 and a DiskManager): the pool is a cache
+// over the data file. Misses read the page image back from disk; when the
+// budget is exceeded a clock sweep picks an unpinned victim — preferring
+// clean frames, whose steal is a pure detach — honors the WAL rule for
+// dirty victims (log forced durable up to the victim's page_lsn before the
+// write-back), and notifies eviction listeners so thread-private
+// PageCaches drop the frame. Heap frames are always candidates; index
+// frames join them in persistent-index mode (`persist_index_pages`, see
+// src/index/persistent) and stay resident in legacy snapshot mode.
+// Catalog frames always stay resident (rebuilt on restart).
 #ifndef PLP_BUFFER_BUFFER_POOL_H_
 #define PLP_BUFFER_BUFFER_POOL_H_
 
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -36,6 +49,7 @@
 
 namespace plp {
 
+class BufferPool;
 class DiskManager;
 
 struct BufferPoolConfig {
@@ -55,13 +69,25 @@ struct BufferPoolConfig {
   /// index frames stay resident and "cleaning" them is a no-op, because
   /// the index is rebuilt logically at restart.
   bool persist_index_pages = false;
-  /// Registry for the buffer_pool.* metrics (hit/miss counters, stall
-  /// histograms, residency gauges); nullptr records into
-  /// MetricsRegistry::Scratch() and registers no gauge provider.
+  /// Pointer swizzling for resident index descents. Requires both hooks
+  /// below (the cell-rewrite knowledge lives in src/index); silently off
+  /// without them.
+  bool enable_swizzling = false;
+  /// Replaces any swizzled reference to `frame_index` inside `parent`
+  /// (an internal index page) with the plain PageId `plain`. Called with
+  /// the parent exclusively latched (or provably private). Returns true
+  /// when the parent no longer references the frame.
+  std::function<bool(Page* parent, std::uint32_t frame_index, PageId plain)>
+      unswizzle_child;
+  /// Rewrites every swizzled child reference in `page` back to a plain
+  /// PageId and clears the children's swizzle markers. Called before any
+  /// byte-copy of the page leaves the pool (write-back), with the page
+  /// pinned-to-zero under the shard mutex, latched, or quiesced.
+  std::function<void(Page* page, BufferPool* pool)> unswizzle_all;
+  /// Registry for the buffer_pool.* / swizzle.* metrics; nullptr records
+  /// into MetricsRegistry::Scratch() and registers no gauge provider.
   MetricsRegistry* metrics = nullptr;
 };
-
-class BufferPool;
 
 /// A fixed page reference. In durable mode it holds a pin that blocks
 /// eviction for the lifetime of the guard; in memory-resident mode it is a
@@ -119,7 +145,11 @@ class BufferPool {
     return config_.frame_budget > 0 && config_.disk != nullptr;
   }
 
-  /// Allocates a fresh zeroed page of the given class.
+  /// True when index descents may install swizzled child references.
+  bool swizzling_enabled() const { return swizzling_on_; }
+
+  /// Allocates a fresh zeroed page of the given class, reusing a freed
+  /// data-file slot id when the DiskManager has one.
   Page* NewPage(PageClass page_class);
 
   /// Recovery path: materializes the frame for a specific page id (no-op
@@ -142,28 +172,32 @@ class BufferPool {
     return next_page_id_.load(std::memory_order_relaxed);
   }
 
-  /// Translates a page id to its frame; records a buffer-pool critical
-  /// section (the bucket lookup). In durable mode a miss falls through to
-  /// the data file. Returns nullptr for freed/unknown ids.
+  /// Translates a page id to its frame. Resident pages resolve through the
+  /// lock-free directory with no critical section; only a miss falls back
+  /// to the shard mutex and, in durable mode, the data file. Returns
+  /// nullptr for freed/unknown ids.
   Page* Fix(PageId id);
 
-  /// Lookup without critical-section accounting — only valid for callers
-  /// that own the page exclusively (thread-private caches).
+  /// Historical alias of Fix for callers that own the page exclusively
+  /// (thread-private caches); identical on the lock-free resident path,
+  /// and skips critical-section accounting on the miss path.
   Page* FixUnlocked(PageId id);
 
   /// Pin-holding variants for operations that touch page contents while
   /// eviction may run concurrently. `tracked` selects Fix vs FixUnlocked
-  /// critical-section accounting.
+  /// critical-section accounting on the miss path.
   PageRef AcquirePage(PageId id, bool tracked);
   /// `volatile_index` marks index pages of unlogged (secondary) trees:
-  /// rebuilt from scratch on reopen, so any data.db slot a write-back
-  /// allocates for them is dead weight — counted by the
-  /// buffer_pool.leaked_index_slots metric (known leak, see ROADMAP).
+  /// rebuilt from scratch on reopen. Any data.db slot a write-back
+  /// allocates for them is flagged volatile on disk, reclaimed into the
+  /// free-slot list at the next open, and reused by NewPage — see
+  /// docs/buffer_pool.md (the former leak counted by
+  /// buffer_pool.leaked_index_slots, which now stays 0).
   PageRef AllocatePage(PageClass page_class, std::uint32_t table_tag,
                        bool volatile_index = false);
 
-  /// Returns the frame to the pool (and frees the disk slot). The caller
-  /// must guarantee no other thread holds a reference.
+  /// Returns the frame to the pool (and frees the disk slot for reuse).
+  /// The caller must guarantee no other thread holds a reference.
   void FreePage(PageId id);
 
   std::size_t num_pages() const {
@@ -181,8 +215,9 @@ class BufferPool {
 
   /// Writes one resident page back (WAL barrier + disk write + MarkClean).
   /// The frame stays resident. `policy` guards the frame copy: kLatched
-  /// takes a shared latch (cleaner threads), kNone trusts the caller's
-  /// ownership (partition workers, quiesced shutdown).
+  /// takes a latch (cleaner threads; exclusive for index pages so the
+  /// in-place unswizzle is private), kNone trusts the caller's ownership
+  /// (partition workers, quiesced shutdown).
   Status FlushPage(PageId id, LatchPolicy policy = LatchPolicy::kLatched);
 
   /// Writes every dirty frame back (shutdown / sharp checkpoint).
@@ -204,12 +239,63 @@ class BufferPool {
     return disk_writes_.load(std::memory_order_relaxed);
   }
 
+  // --- Swizzling support (called from src/index under page latches) ----
+
+  /// Resolves a swizzled reference to its frame. Only valid while the
+  /// parent holding the reference is latched/owned: the unswizzle protocol
+  /// rewrites the parent entry before the frame can be stolen, so a
+  /// reference observed under the parent latch is always current.
+  Page* SwizzledFrame(PageId ref) const {
+    return FrameAt(SwizzledFrameIndex(ref));
+  }
+
+  /// Plain PageId behind a (possibly swizzled) child reference.
+  PageId RefToPid(PageId ref) const {
+    return IsSwizzledRef(ref) ? SwizzledFrame(ref)->id() : ref;
+  }
+
+  /// Metric taps for the index-layer install/resolve paths.
+  void NoteSwizzleHit() { swizzle_hits_metric_->Increment(); }
+  void NoteSwizzleInstalled() {
+    swizzle_installs_metric_->Increment();
+    swizzled_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteUnswizzled() {
+    swizzle_unswizzles_metric_->Increment();
+    swizzled_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  std::uint64_t swizzled_count() const {
+    return swizzled_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::size_t kNumShards = 64;
 
+  // Lock-free directory: PageId-indexed chunked table of atomic Page*.
+  static constexpr std::size_t kDirChunkBits = 14;
+  static constexpr std::size_t kDirChunkSize = std::size_t{1} << kDirChunkBits;
+  static constexpr std::size_t kDirRootSize =
+      (std::size_t{1} << 32) >> kDirChunkBits;
+  struct DirChunk {
+    std::atomic<Page*> slots[kDirChunkSize];
+  };
+
+  // Frame arena: frame_index-addressed chunked table backing swizzled
+  // references. Frames keep their slot for the pool's lifetime.
+  static constexpr std::size_t kFrameChunkBits = 10;
+  static constexpr std::size_t kFrameChunkSize =
+      std::size_t{1} << kFrameChunkBits;
+  static constexpr std::size_t kFrameRootSize = 4096;
+  struct FrameChunk {
+    std::atomic<Page*> frames[kFrameChunkSize];
+  };
+
   struct Shard {
     TrackedMutex mu{CsCategory::kBufferPool};
-    std::unordered_map<PageId, std::unique_ptr<Page>> pages;
+    // Authoritative mapping, guarded by `mu`; the lock-free directory
+    // mirrors it for readers. Values are arena frames owned by
+    // `owned_frames_` — never deleted here.
+    std::unordered_map<PageId, Page*> pages;
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % kNumShards]; }
@@ -221,13 +307,26 @@ class BufferPool {
            (c == PageClass::kIndex && config_.persist_index_pages);
   }
 
-  /// Looks the id up in its shard; on miss in durable mode, loads the
-  /// image from disk into a fresh frame. `tracked` charges the bucket
-  /// mutex as a buffer-pool critical section.
+  // Directory ops. Publish/Retract are called under the owning shard
+  // mutex, mirroring every map mutation; Lookup is lock-free.
+  Page* DirLookup(PageId id) const;
+  void DirPublish(PageId id, Page* page);
+  void DirRetract(PageId id);
+  std::atomic<Page*>* DirSlot(PageId id, bool create);
+
+  // Frame arena / free-list ops.
+  Page* FrameAt(std::uint32_t idx) const;
+  Page* TakeFrame(PageId id, PageClass page_class);
+  void ReturnFrame(Page* frame);
+
+  /// Looks the id up (lock-free fast path, then its shard); on miss in
+  /// durable mode, loads the image from disk into a recycled frame.
+  /// `tracked` charges the miss-path bucket mutex as a buffer-pool
+  /// critical section; resident hits never record one.
   Page* FixInternal(PageId id, bool tracked, bool pin);
 
-  /// Loads `id` from disk into the shard (caller holds the shard mutex is
-  /// NOT required; takes it itself). Returns nullptr if not on disk.
+  /// Loads `id` from disk. The read runs without the shard mutex (the
+  /// frame is invisible until published). Returns nullptr if not on disk.
   Page* LoadFromDisk(PageId id, Shard& shard);
 
   /// Evicts until a new frame fits in the budget. Best-effort: gives up
@@ -236,6 +335,15 @@ class BufferPool {
 
   /// One clock-sweep eviction. Returns false when no victim qualifies.
   bool EvictOne();
+
+  /// Rewrites the parent entry pointing at `child` back to a plain PageId
+  /// (parent latched via try-lock — never blocks). Returns true when the
+  /// child is no longer swizzled.
+  bool TryUnswizzle(Page* child);
+
+  /// Sanitizes an index page's child entries before a byte-copy leaves
+  /// the pool. No-op for non-index pages or when swizzling is off.
+  void UnswizzleForWriteBack(Page* page);
 
   /// Writes a frame image to the data file (honoring the WAL rule).
   /// The NoClean variant leaves the dirty bit for the caller to resolve
@@ -248,9 +356,19 @@ class BufferPool {
   void TrackFrame(Page* page);
 
   BufferPoolConfig config_;
+  bool swizzling_on_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<PageId> next_page_id_{1};
   std::atomic<std::size_t> num_pages_{0};
+
+  std::unique_ptr<std::atomic<DirChunk*>[]> dir_root_;
+  std::mutex dir_alloc_mu_;
+
+  std::unique_ptr<std::atomic<FrameChunk*>[]> frame_root_;
+  std::mutex frames_mu_;  // guards frame_count_/owned_frames_/free_frames_
+  std::uint32_t frame_count_ = 0;
+  std::vector<std::unique_ptr<Page>> owned_frames_;
+  std::vector<Page*> free_frames_;
 
   // Clock sweep over eviction candidates (heap-class frames).
   std::mutex clock_mu_;
@@ -263,6 +381,7 @@ class BufferPool {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> disk_reads_{0};
   std::atomic<std::uint64_t> disk_writes_{0};
+  std::atomic<std::uint64_t> swizzled_count_{0};
 
   // Registry metrics (cached pointers; see BufferPoolConfig::metrics).
   MetricsRegistry* metrics_ = nullptr;  // non-null only when bound
@@ -272,19 +391,22 @@ class BufferPool {
   Counter* eviction_writebacks_metric_ = nullptr;
   Counter* flush_writebacks_metric_ = nullptr;
   Counter* leaked_index_slots_metric_ = nullptr;
+  Counter* swizzle_hits_metric_ = nullptr;
+  Counter* swizzle_installs_metric_ = nullptr;
+  Counter* swizzle_unswizzles_metric_ = nullptr;
   Histogram* miss_stall_us_metric_ = nullptr;
   Histogram* writeback_stall_us_metric_ = nullptr;
 };
 
 /// Thread-private id->frame cache for partition workers (PLP): repeated
-/// accesses to owned pages skip the buffer-pool critical section. The
-/// eviction listener drops entries for stolen frames so the *cache* never
-/// serves a stale mapping — but the returned Page* is unpinned, so in
-/// durable (evicting) mode it is only safe between the owner's own
-/// operations, which re-Fix (and pin) through HeapFile/AcquirePage before
-/// touching page contents. The tiny spinlock is uncontended in normal
-/// operation (only the owner thread touches the cache) and exists so the
-/// evictor's invalidation is safe.
+/// accesses to owned pages skip even the lock-free fix. The eviction
+/// listener drops entries for stolen frames so the *cache* never serves a
+/// stale mapping — but the returned Page* is unpinned, so in durable
+/// (evicting) mode it is only safe between the owner's own operations,
+/// which re-Fix (and pin) through HeapFile/AcquirePage before touching
+/// page contents. The tiny spinlock is uncontended in normal operation
+/// (only the owner thread touches the cache) and exists so the evictor's
+/// invalidation is safe.
 class PageCache {
  public:
   explicit PageCache(BufferPool* pool) : pool_(pool) {
@@ -307,7 +429,7 @@ class PageCache {
     // Acquire pinned for the insert: the pin blocks eviction between the
     // lookup and the emplace, so the eviction listener cannot fire for
     // this frame before the cache entry exists (which would leave a
-    // permanently dangling pointer behind). One CS on first touch only.
+    // permanently dangling pointer behind).
     PageRef ref = pool_->AcquirePage(id, /*tracked=*/true);
     Page* p = ref.get();
     if (p != nullptr) {

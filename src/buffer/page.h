@@ -12,8 +12,16 @@ namespace plp {
 
 /// A page frame. The latch is tagged with the page class so every
 /// acquisition lands in the right bucket of the latch breakdown (Figure 2).
+///
+/// Frames are type-stable: once allocated, a Page object lives until the
+/// pool is destroyed. Eviction detaches a frame from the mapping table and
+/// recycles it through Reinit() for the next page-in. A lock-free reader
+/// that loaded a stale directory entry may therefore still dereference the
+/// frame safely; its pin/revalidate protocol then detects the recycling.
 class Page {
  public:
+  static constexpr std::uint32_t kNoFrameIndex = UINT32_MAX;
+
   Page(PageId id, PageClass page_class)
       : id_(id), page_class_(page_class), latch_(page_class) {
     std::memset(data_, 0, kPageSize);
@@ -22,8 +30,72 @@ class Page {
   Page(const Page&) = delete;
   Page& operator=(const Page&) = delete;
 
-  PageId id() const { return id_; }
-  PageClass page_class() const { return page_class_; }
+  /// Repurposes a recycled frame for a new page identity. Caller guarantees
+  /// the frame is detached from the mapping table (no new readers) and
+  /// unpinned. pin_count_ and frame_index_ survive: transient Pin/Unpin
+  /// pairs from stale lock-free readers net to zero, and the frame keeps
+  /// its arena slot forever.
+  void Reinit(PageId id, PageClass page_class) {
+    id_.store(id, std::memory_order_relaxed);
+    page_class_.store(page_class, std::memory_order_relaxed);
+    latch_.set_page_class(page_class);
+    dirty_.store(false, std::memory_order_relaxed);
+    page_lsn_.store(0, std::memory_order_relaxed);
+    rec_lsn_.store(0, std::memory_order_relaxed);
+    ref_.store(false, std::memory_order_relaxed);
+    owner_tag_.store(UINT32_MAX, std::memory_order_relaxed);
+    table_tag_.store(UINT32_MAX, std::memory_order_relaxed);
+    volatile_index_.store(false, std::memory_order_relaxed);
+    swizzle_parent_.store(kInvalidPageId, std::memory_order_relaxed);
+    sticky_.store(false, std::memory_order_relaxed);
+    std::memset(data_, 0, kPageSize);
+  }
+
+  PageId id() const { return id_.load(std::memory_order_relaxed); }
+  PageClass page_class() const {
+    return page_class_.load(std::memory_order_relaxed);
+  }
+  /// Fixes up the class of a frame recycled before the on-disk slot header
+  /// was available (page-in path; the frame is not yet published).
+  void SetClass(PageClass page_class) {
+    page_class_.store(page_class, std::memory_order_relaxed);
+    latch_.set_page_class(page_class);
+  }
+
+  /// Position of this frame in the pool's frame arena; set once right after
+  /// construction and stable across recycling. kNoFrameIndex means the
+  /// frame is outside the arena and can never be swizzled.
+  std::uint32_t frame_index() const { return frame_index_; }
+  void set_frame_index(std::uint32_t idx) { frame_index_ = idx; }
+
+  /// PageId of the parent index page currently holding a swizzled reference
+  /// to this frame (kInvalidPageId = not swizzled). Maintained by the
+  /// pool's swizzle install/unswizzle protocol; eviction refuses to steal a
+  /// frame whose parent still points at it by frame index.
+  PageId swizzle_parent() const {
+    return swizzle_parent_.load(std::memory_order_acquire);
+  }
+  bool TrySetSwizzleParent(PageId parent) {
+    PageId expected = kInvalidPageId;
+    if (swizzle_parent_.compare_exchange_strong(expected, parent,
+                                                std::memory_order_acq_rel)) {
+      return true;
+    }
+    return expected == parent;  // already swizzled under the same parent
+  }
+  void ClearSwizzleParentIf(PageId parent) {
+    PageId expected = parent;
+    swizzle_parent_.compare_exchange_strong(expected, kInvalidPageId,
+                                            std::memory_order_acq_rel);
+  }
+  void ClearSwizzleParent() {
+    swizzle_parent_.store(kInvalidPageId, std::memory_order_release);
+  }
+
+  /// Sticky frames (index roots) are never chosen as steal victims; the
+  /// descent fast path caches them without pinning.
+  bool sticky() const { return sticky_.load(std::memory_order_acquire); }
+  void set_sticky(bool s) { sticky_.store(s, std::memory_order_release); }
 
   char* data() { return data_; }
   const char* data() const { return data_; }
@@ -98,9 +170,10 @@ class Page {
   }
 
   /// Index page of an unlogged (volatile secondary) tree: rebuilt from
-  /// scratch on reopen, so a write-back that allocates it a disk slot
-  /// leaks that slot (tracked by buffer_pool.leaked_index_slots). Set once
-  /// at allocation; never persisted.
+  /// scratch on reopen. Write-backs flag its data-file slot volatile so
+  /// eviction/drop and the next open reclaim the slot into the free list
+  /// (buffer_pool.leaked_index_slots stays 0). Set at allocation; the flag
+  /// itself is persisted in the slot header, not the page image.
   bool volatile_index() const {
     return volatile_index_.load(std::memory_order_relaxed);
   }
@@ -109,8 +182,9 @@ class Page {
   }
 
  private:
-  const PageId id_;
-  const PageClass page_class_;
+  std::atomic<PageId> id_;
+  std::atomic<PageClass> page_class_;
+  std::uint32_t frame_index_ = kNoFrameIndex;
   Latch latch_;
   std::atomic<bool> dirty_{false};
   std::atomic<Lsn> page_lsn_{0};
@@ -120,6 +194,8 @@ class Page {
   std::atomic<std::uint32_t> owner_tag_{UINT32_MAX};
   std::atomic<std::uint32_t> table_tag_{UINT32_MAX};
   std::atomic<bool> volatile_index_{false};
+  std::atomic<PageId> swizzle_parent_{kInvalidPageId};
+  std::atomic<bool> sticky_{false};
   alignas(64) char data_[kPageSize];
 };
 

@@ -22,12 +22,18 @@ void PageCleaner::Stop() {
 
 void PageCleaner::Loop() {
   while (running_.load(std::memory_order_relaxed)) {
-    RunOnce();
-    // Always pace the passes. Spinning while pages are dirty floods the
-    // delegation queues with duplicate requests for pages whose owner has
-    // not gotten to them yet (each push is a message-passing critical
-    // section, distorting the per-txn CS counts under load) — and burns a
-    // core re-cleaning pages the workload keeps re-dirtying.
+    const std::size_t handled = RunOnce();
+    // Conventional cleaning in an evicting pool paces adaptively: while
+    // the dirty scan keeps returning full batches, faulting threads are
+    // racing the cleaner for clean victims — every dirty steal they take
+    // instead pays a WAL barrier (group-commit fsync join) in the miss
+    // path. Run back-to-back until the backlog drains. Delegating
+    // cleaners always sleep: spinning floods the partition queues with
+    // duplicate requests for pages whose owner has not gotten to them yet
+    // (each push is a message-passing critical section, distorting the
+    // per-txn CS counts under load) — and burns a core re-cleaning pages
+    // the workload keeps re-dirtying.
+    if (!delegate_ && pool_->evicting() && handled >= batch_size_) continue;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }

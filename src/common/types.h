@@ -16,6 +16,23 @@ inline constexpr std::size_t kPageSize = 8192;
 using PageId = std::uint32_t;
 inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
 
+/// Runtime-only pointer-swizzling encoding for parent→child references in
+/// resident index pages: the high bit tags the low 31 bits as a buffer-pool
+/// frame index instead of a PageId, so hot descents resolve the child with
+/// zero page-table lookups. kInvalidPageId also has the high bit set, so the
+/// predicate must exclude it. Swizzled refs never reach WAL records or
+/// on-disk page images — eviction and SMO logging unswizzle first.
+inline constexpr PageId kSwizzledRefBit = 0x80000000u;
+inline constexpr PageId SwizzleRef(std::uint32_t frame_index) {
+  return kSwizzledRefBit | frame_index;
+}
+inline constexpr bool IsSwizzledRef(PageId v) {
+  return (v & kSwizzledRefBit) != 0 && v != kInvalidPageId;
+}
+inline constexpr std::uint32_t SwizzledFrameIndex(PageId v) {
+  return v & ~kSwizzledRefBit;
+}
+
 /// Slot number within a slotted page.
 using SlotId = std::uint16_t;
 inline constexpr SlotId kInvalidSlotId = std::numeric_limits<SlotId>::max();

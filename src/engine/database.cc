@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "src/common/clock.h"
+#include "src/index/btree_node.h"
 #include "src/io/codec.h"
 #include "src/storage/slotted_page.h"
 
@@ -126,6 +127,11 @@ Database::Database(DatabaseConfig config)
           // WAL rule for dirty steals; log_ outlives every eviction.
           pc.wal_barrier = [this](Lsn lsn) { log_.FlushTo(lsn); };
         }
+        // Every kIndex page in the engine is a BTreeNode, so the node
+        // class supplies the pool's cell-rewrite (unswizzle) hooks.
+        pc.enable_swizzling = config_.enable_swizzling;
+        pc.unswizzle_child = &BTreeNode::UnswizzleChildRef;
+        pc.unswizzle_all = &BTreeNode::UnswizzleAll;
         return pc;
       }()),
       log_(MakeLogConfig(config_, &metrics_)),
@@ -138,6 +144,11 @@ Database::Database(DatabaseConfig config)
   }
   if (durable()) {
     open_status_ = LoadDurableState();
+  }
+  if (disk_ != nullptr && open_status_.ok()) {
+    // Recovery is complete: freed/reclaimed data-file slots can now be
+    // handed out without colliding with ids the WAL tail replays.
+    disk_->EnableSlotReuse();
   }
 }
 

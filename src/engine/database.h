@@ -131,6 +131,9 @@ struct DatabaseConfig {
   std::size_t frame_budget = 0;
   /// Primary-index durability mode (durable databases only).
   IndexDurability index_durability = IndexDurability::kLoggedPages;
+  /// Pointer swizzling for resident index descents (see
+  /// docs/buffer_pool.md). On by default; off mainly for A/B comparisons.
+  bool enable_swizzling = true;
 };
 
 /// Bundles the shared-everything storage manager services: one buffer

@@ -42,17 +42,81 @@ PageRef BTree::NewNodePage(std::uint16_t level) {
   return page;
 }
 
+PageRef BTree::FixRoot() {
+  Page* cached = root_frame_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->id() == root_) {
+    const bool pin = pool_->evicting();
+    if (pin) cached->Pin();
+    // Sticky frames are never stolen, so the cached pointer stays valid;
+    // the only way the mapping moves is a root_ change (slice/meld),
+    // which quiesces the tree and resets this cache first.
+    return PageRef(cached, pin);
+  }
+  PageRef ref = FixPage(root_);
+  if (ref && pool_->swizzling_enabled()) {
+    ref->set_sticky(true);
+    root_frame_.store(ref.get(), std::memory_order_release);
+  }
+  return ref;
+}
+
+void BTree::ResetRootCache() {
+  Page* old = root_frame_.exchange(nullptr, std::memory_order_acq_rel);
+  if (old != nullptr) old->set_sticky(false);
+}
+
+PageRef BTree::FixChildFor(Page* parent, Slice key) {
+  BTreeNode node(parent->data());
+  if (!pool_->swizzling_enabled() || policy_ != LatchPolicy::kLatched) {
+    return FixPage(Plain(node.ChildFor(key)));
+  }
+  int slot = 0;
+  const PageId ref = node.ChildRefFor(key, &slot);
+  if (IsSwizzledRef(ref)) {
+    // Hot path: the parent latch we hold excludes the unswizzle protocol
+    // (which takes it exclusively), so the frame behind the reference is
+    // resident and current — resolve it with zero page-table lookups.
+    Page* child = pool_->SwizzledFrame(ref);
+    pool_->NoteSwizzleHit();
+    child->SetRef();
+    const bool pin = pool_->evicting();
+    if (pin) child->Pin();
+    return PageRef(child, pin);
+  }
+  PageRef child = FixPage(ref);
+  if (child && child->frame_index() != Page::kNoFrameIndex &&
+      child->TrySetSwizzleParent(parent->id())) {
+    const PageId tagged = SwizzleRef(child->frame_index());
+    if (node.CasChildRef(slot, ref, tagged)) {
+      // Never MarkDirty: the tagged value is a runtime-only encoding,
+      // sanitized out of every image that leaves the pool.
+      pool_->NoteSwizzleInstalled();
+    } else if (node.ChildRefAt(slot) != tagged) {
+      // Lost the CAS to something other than a concurrent install of the
+      // same reference — roll the marker back (only if it is still ours).
+      child->ClearSwizzleParentIf(parent->id());
+    }
+  }
+  return child;
+}
+
+void BTree::SanitizeScope(SmoScope* scope) {
+  if (!pool_->swizzling_enabled()) return;
+  for (Page* p : scope->touched) BTreeNode::UnswizzleAll(p, pool_);
+}
+
 void BTree::LogSmoScope(SmoScope* scope) {
   if (logger_ != nullptr && !scope->touched.empty()) {
+    SanitizeScope(scope);
     logger_->Smo(scope->touched);
   }
 }
 
 PageId BTree::LeafFor(Slice key) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
-    cur = FixPage(node.ChildFor(key));
+    cur = FixPage(Plain(node.ChildFor(key)));
     node = BTreeNode(cur->data());
   }
   return cur->id();
@@ -96,15 +160,17 @@ void BTree::RetagPages(std::uint32_t owner) {
       page->set_owner_tag(owner);
       BTreeNode node(page->data());
       if (node.is_leaf()) return;
-      if (node.leftmost_child() != kInvalidPageId) Walk(node.leftmost_child());
-      for (int i = 0; i < node.count(); ++i) Walk(node.ChildAt(i));
+      if (node.leftmost_child() != kInvalidPageId) {
+        Walk(tree->Plain(node.leftmost_child()));
+      }
+      for (int i = 0; i < node.count(); ++i) Walk(tree->Plain(node.ChildAt(i)));
     }
   };
   Walker{this, owner}.Walk(root_);
 }
 
 int BTree::height() {
-  PageRef root = FixPage(root_);
+  PageRef root = FixRoot();
   return BTreeNode(root->data()).level() + 1;
 }
 
@@ -123,7 +189,7 @@ Status BTree::Insert(Slice key, Slice value, TxnId txn) {
 
 Status BTree::InsertOptimistic(Slice key, Slice value, TxnId txn,
                                bool* needs_smo) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -132,7 +198,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, TxnId txn,
 
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    PageRef child = FixPage(node.ChildFor(key));
+    PageRef child = FixChildFor(cur.get(), key);
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -172,11 +238,11 @@ Status BTree::InsertPessimistic(Slice key, Slice value, TxnId txn) {
   if (latched) smo_mu_.lock();
 
   std::vector<PageRef> path;
-  path.push_back(FixPage(root_));
+  path.push_back(FixRoot());
   if (latched) path.back()->latch().AcquireExclusive();
   BTreeNode node(path.back()->data());
   while (!node.is_leaf()) {
-    PageRef child = FixPage(node.ChildFor(key));
+    PageRef child = FixChildFor(path.back().get(), key);
     if (latched) child->latch().AcquireExclusive();
     path.push_back(std::move(child));
     node = BTreeNode(path.back()->data());
@@ -226,7 +292,7 @@ Status BTree::InsertPessimistic(Slice key, Slice value, TxnId txn) {
       // Full root: split in place (the root page id never changes).
       SplitRoot(page, &scope);
       BTreeNode r(page->data());
-      PageRef target = FixPage(r.ChildFor(ins_key));
+      PageRef target = FixPage(Plain(r.ChildFor(ins_key)));
       BTreeNode tn(target->data());
       Status st = tn.InsertAt(tn.LowerBound(ins_key), ins_key, ins_val);
       assert(st.ok());
@@ -280,6 +346,10 @@ Page* BTree::SplitNode(Page* page, std::string* sep, SmoScope* scope) {
     rnode.set_next(node.next());
     node.set_next(right->id());
   } else {
+    // Child refs are about to move to the right node: unswizzle first so
+    // no tagged reference crosses pages (a swizzle lives only in the page
+    // the child's marker names).
+    if (pool_->swizzling_enabled()) BTreeNode::UnswizzleAll(page, pool_);
     *sep = node.KeyAt(mid).ToString();
     rnode.set_leftmost_child(node.ChildAt(mid));
     node.MoveTail(mid + 1, &rnode);
@@ -297,7 +367,10 @@ Page* BTree::SplitNode(Page* page, std::string* sep, SmoScope* scope) {
 void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
   BTreeNode node(root_page->data());
   // Clone the root's contents into a fresh left child, split the clone,
-  // and turn the root into an internal node over the two halves.
+  // and turn the root into an internal node over the two halves. The
+  // byte-copy would duplicate tagged refs into a page their markers do
+  // not name — unswizzle the root first.
+  if (pool_->swizzling_enabled()) BTreeNode::UnswizzleAll(root_page, pool_);
   PageRef left = pool_->AllocatePage(PageClass::kIndex, UINT32_MAX,
                                      /*volatile_index=*/logger_ == nullptr);
   left->set_owner_tag(owner_tag_);
@@ -319,12 +392,12 @@ void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
 }
 
 Status BTree::Probe(Slice key, std::string* value) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    PageRef child = FixPage(node.ChildFor(key));
+    PageRef child = FixChildFor(cur.get(), key);
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().AcquireShared();
       cur->latch().ReleaseShared();
@@ -346,14 +419,14 @@ Status BTree::Probe(Slice key, std::string* value) {
 }
 
 Status BTree::Update(Slice key, Slice value, TxnId txn) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
   if (policy_ == LatchPolicy::kLatched) cur->latch().Acquire(mode);
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
-    PageRef child = FixPage(node.ChildFor(key));
+    PageRef child = FixChildFor(cur.get(), key);
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -390,7 +463,7 @@ Status BTree::Update(Slice key, Slice value, TxnId txn) {
 }
 
 Status BTree::Delete(Slice key, TxnId txn) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
       node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -398,7 +471,7 @@ Status BTree::Delete(Slice key, TxnId txn) {
   node = BTreeNode(cur->data());
   while (!node.is_leaf()) {
     nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    PageRef child = FixPage(node.ChildFor(key));
+    PageRef child = FixChildFor(cur.get(), key);
     BTreeNode child_node(child->data());
     const LatchMode child_mode =
         child_node.is_leaf_relaxed() ? LatchMode::kExclusive : LatchMode::kShared;
@@ -430,11 +503,11 @@ Status BTree::Delete(Slice key, TxnId txn) {
 
 Status BTree::ScanFrom(Slice start,
                        const std::function<bool(Slice, Slice)>& fn) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
-    PageRef child = FixPage(node.ChildFor(start));
+    PageRef child = FixChildFor(cur.get(), start);
     if (policy_ == LatchPolicy::kLatched) {
       child->latch().AcquireShared();
       cur->latch().ReleaseShared();
@@ -466,25 +539,25 @@ Status BTree::ScanFrom(Slice start,
 }
 
 PageId BTree::LeftmostLeaf() {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const PageId child = node.count() > 0 || node.leftmost_child() != kInvalidPageId
                              ? node.leftmost_child()
                              : kInvalidPageId;
-    cur = FixPage(child);
+    cur = FixPage(Plain(child));
     node = BTreeNode(cur->data());
   }
   return cur->id();
 }
 
 PageId BTree::RightmostLeaf() {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
                                           : node.leftmost_child();
-    cur = FixPage(child);
+    cur = FixPage(Plain(child));
     node = BTreeNode(cur->data());
   }
   return cur->id();
@@ -514,6 +587,11 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
         rnode.set_next(node.next());
         node.set_next(kInvalidPageId);
       } else {
+        // Entries move across pages below: drop this node's swizzles up
+        // front so only plain ids are recursed on, moved, or logged.
+        if (tree->pool_->swizzling_enabled()) {
+          BTreeNode::UnswizzleAll(page.get(), tree->pool_);
+        }
         const int pos = node.UpperBound(key);
         const PageId child =
             pos == 0 ? node.leftmost_child() : node.ChildAt(pos - 1);
@@ -542,7 +620,7 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
     BTreeNode rn(rp->data());
     if (rn.is_leaf() || rn.count() > 0) break;
     trim.push_back(right_root);
-    right_root = rn.leftmost_child();
+    right_root = Plain(rn.leftmost_child());
   }
 
   // ONE atomic record for the whole slice: page images (trimmed empties
@@ -551,6 +629,7 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
   // change. Forced before returning: the repartition is durable once the
   // caller proceeds.
   if (logger_ != nullptr) {
+    SanitizeScope(&scope);
     const Lsn lsn = parts ? logger_->SmoWithPartitions(scope.touched,
                                                        parts(right_root))
                           : logger_->Smo(scope.touched);
@@ -579,6 +658,11 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
                    const PartitionPayloadFn& parts) {
   SmoScope scope;
   PageId to_free = kInvalidPageId;
+
+  // Both roots may stop being roots here (and root_ may change): drop the
+  // root-frame caches and their sticky bits up front. Runs quiesced.
+  ResetRootCache();
+  right->ResetRootCache();
 
   // Stitch the leaf chains first.
   {
@@ -620,6 +704,10 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
       merged = ln.AppendAll(rn).ok();
       if (merged) ln.set_next(rn.next());
     } else {
+      // The right root's entries move onto the left root: plain ids only.
+      if (pool_->swizzling_enabled()) {
+        BTreeNode::UnswizzleAll(rroot.get(), pool_);
+      }
       const std::size_t need = 4 + boundary_key.size() + sizeof(PageId) +
                                BTreeNode::kSlotSize;
       if (ln.TotalFreeSpace() >= need &&
@@ -648,7 +736,7 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
     while (node.level() > hr) {
       const PageId child = node.count() > 0 ? node.ChildAt(node.count() - 1)
                                             : node.leftmost_child();
-      cur = FixPage(child);
+      cur = FixPage(Plain(child));
       node = BTreeNode(cur->data());
     }
     if (node.InsertAt(node.count(), boundary_key, PidValue(right->root_))
@@ -666,9 +754,11 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
     PageRef cur = FixPage(right->root_);
     BTreeNode node(cur->data());
     while (node.level() > hl) {
-      cur = FixPage(node.leftmost_child());
+      cur = FixPage(Plain(node.leftmost_child()));
       node = BTreeNode(cur->data());
     }
+    // The leftmost ref moves into a regular cell below: plain ids only.
+    if (pool_->swizzling_enabled()) BTreeNode::UnswizzleAll(cur.get(), pool_);
     const PageId old_leftmost = node.leftmost_child();
     if (node.InsertAt(0, boundary_key, PidValue(old_leftmost)).ok()) {
       node.set_leftmost_child(root_);
@@ -687,6 +777,7 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
   // a referenced disk slot before the routing change is durable would
   // lose the right partition's keys on crash.
   if (logger_ != nullptr) {
+    SanitizeScope(&scope);
     const Lsn lsn = parts ? logger_->SmoWithPartitions(scope.touched,
                                                        parts(root_))
                           : logger_->Smo(scope.touched);
@@ -706,14 +797,14 @@ Status BTree::Meld(BTree* right, plp::Slice boundary_key,
 }
 
 Status BTree::ApproxMedianKey(std::string* out) {
-  PageRef cur = FixPage(root_);
+  PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   while (!node.is_leaf()) {
     const int mid = node.count() / 2;
     const PageId child = node.count() == 0
                              ? node.leftmost_child()
                              : node.ChildAt(std::max(0, mid - 1));
-    cur = FixPage(child);
+    cur = FixPage(Plain(child));
     node = BTreeNode(cur->data());
   }
   if (node.count() == 0) return Status::NotFound("empty tree");
@@ -748,8 +839,10 @@ void BTree::ForEachEntry(const std::function<void(plp::Slice, plp::Slice)>& fn) 
         }
         return;
       }
-      if (node.leftmost_child() != kInvalidPageId) Walk(node.leftmost_child());
-      for (int i = 0; i < node.count(); ++i) Walk(node.ChildAt(i));
+      if (node.leftmost_child() != kInvalidPageId) {
+        Walk(tree->Plain(node.leftmost_child()));
+      }
+      for (int i = 0; i < node.count(); ++i) Walk(tree->Plain(node.ChildAt(i)));
     }
   };
   Walker{this, fn}.Walk(root_);
@@ -798,14 +891,14 @@ Status BTree::CheckIntegrity() {
       // leftmost child: keys in [lo, key0)
       {
         std::string first = node.count() > 0 ? node.KeyAt(0).ToString() : "";
-        Check(node.leftmost_child(), lo,
+        Check(tree->Plain(node.leftmost_child()), lo,
               node.count() > 0 ? &first : hi, node.level());
       }
       for (int i = 0; i < node.count(); ++i) {
         std::string this_key = node.KeyAt(i).ToString();
         std::string next_key =
             i + 1 < node.count() ? node.KeyAt(i + 1).ToString() : "";
-        Check(node.ChildAt(i), &this_key,
+        Check(tree->Plain(node.ChildAt(i)), &this_key,
               i + 1 < node.count() ? &next_key : hi, node.level());
       }
     }

@@ -183,6 +183,30 @@ class BTree {
   PageRef FixPage(PageId id);
   PageRef NewNodePage(std::uint16_t level);
 
+  /// Fixes the root with zero page-table lookups once cached: the first
+  /// fix marks the root frame sticky (never a steal victim) and caches the
+  /// frame pointer, so later fixes just pin. Falls back to FixPage when
+  /// swizzling is off or root_ changed (slice/meld, quiesced).
+  PageRef FixRoot();
+  /// Invalidates the root-frame cache (root_ is about to change) and drops
+  /// the old frame's sticky bit.
+  void ResetRootCache();
+
+  /// Follows the child reference for `key` out of `parent` (latched by the
+  /// caller in latched mode). A swizzled reference resolves straight to
+  /// the frame — no page-table lookup; a plain reference fixes through the
+  /// pool and then installs a swizzle for the next descent (latched trees
+  /// only: the install/unswizzle protocol relies on the parent latch).
+  PageRef FixChildFor(Page* parent, Slice key);
+
+  /// Plain PageId behind a possibly-swizzled child reference.
+  PageId Plain(PageId ref) const { return pool_->RefToPid(ref); }
+
+  /// Rewrites every swizzled reference in the scope's touched pages back
+  /// to plain PageIds — run before their images are encoded into an SMO
+  /// record so no tagged PageId ever reaches the WAL.
+  void SanitizeScope(SmoScope* scope);
+
   Status InsertOptimistic(Slice key, Slice value, TxnId txn,
                           bool* needs_smo);
   Status InsertPessimistic(Slice key, Slice value, TxnId txn);
@@ -212,6 +236,7 @@ class BTree {
   BufferPool* pool_;
   const LatchPolicy policy_;
   PageId root_;
+  std::atomic<Page*> root_frame_{nullptr};
   TrackedMutex smo_mu_{CsCategory::kPageLatch};
   IndexLogger* logger_;
   LeafEntryMovedHook leaf_moved_hook_;

@@ -6,12 +6,22 @@
 #include <string>
 #include <vector>
 
+#include "src/buffer/buffer_pool.h"
+#include "src/buffer/page.h"
+
 namespace plp {
 
 namespace {
 std::atomic_ref<std::uint16_t> LevelRef(const char* data) {
   return std::atomic_ref<std::uint16_t>(
       *reinterpret_cast<std::uint16_t*>(const_cast<char*>(data) + 4));
+}
+
+std::atomic_ref<PageId> RefAt(const char* data, std::size_t off) {
+  assert(reinterpret_cast<std::uintptr_t>(data + off) % alignof(PageId) ==
+         0);
+  return std::atomic_ref<PageId>(
+      *reinterpret_cast<PageId*>(const_cast<char*>(data) + off));
 }
 }  // namespace
 
@@ -109,6 +119,34 @@ PageId BTreeNode::ChildFor(Slice key) const {
   return ChildAt(pos - 1);
 }
 
+std::size_t BTreeNode::ValueOffset(int slot) const {
+  if (slot < 0) return 12;  // leftmost pointer
+  const std::uint16_t off = SlotAt(slot);
+  const std::uint16_t klen = GetU16(off);
+  assert(GetU16(off + 2) == sizeof(PageId));
+  return off + 4u + klen;
+}
+
+PageId BTreeNode::ChildRefAt(int slot) const {
+  return RefAt(data_, ValueOffset(slot)).load(std::memory_order_acquire);
+}
+
+PageId BTreeNode::ChildRefFor(Slice key, int* slot) const {
+  const int pos = UpperBound(key);
+  *slot = pos - 1;  // -1 selects the leftmost pointer
+  return ChildRefAt(*slot);
+}
+
+bool BTreeNode::CasChildRef(int slot, PageId expected, PageId desired) {
+  return RefAt(data_, ValueOffset(slot))
+      .compare_exchange_strong(expected, desired,
+                               std::memory_order_acq_rel);
+}
+
+void BTreeNode::StoreChildRef(int slot, PageId v) {
+  RefAt(data_, ValueOffset(slot)).store(v, std::memory_order_release);
+}
+
 std::size_t BTreeNode::ContiguousFreeSpace() const {
   const std::size_t dir_end = kHeaderSize + count() * kSlotSize;
   const std::size_t start = cell_start();
@@ -116,28 +154,40 @@ std::size_t BTreeNode::ContiguousFreeSpace() const {
 }
 
 std::size_t BTreeNode::TotalFreeSpace() const {
+  // Internal nodes budget up to 3 alignment-pad bytes per cell (value
+  // 4-alignment for atomic child refs) so every capacity check stays a
+  // lower bound on what Compact can actually achieve.
+  const std::size_t pad = level() != 0 ? 3u : 0u;
   std::size_t live = 0;
   for (int i = 0; i < count(); ++i) {
     const std::uint16_t off = SlotAt(i);
-    live += 4u + GetU16(off) + GetU16(off + 2);
+    live += 4u + GetU16(off) + GetU16(off + 2) + pad;
   }
-  return kPageSize - kHeaderSize - count() * kSlotSize - live;
+  const std::size_t used = kHeaderSize + count() * kSlotSize + live;
+  return used >= kPageSize ? 0 : kPageSize - used;
 }
 
 bool BTreeNode::HasRoomFor(Slice key, Slice value) const {
-  const std::size_t need = 4 + key.size() + value.size() + kSlotSize;
+  const std::size_t pad = level() != 0 ? 3u : 0u;
+  const std::size_t need = 4 + key.size() + value.size() + pad + kSlotSize;
   return TotalFreeSpace() >= need;
 }
 
 std::uint16_t BTreeNode::WriteCell(Slice key, Slice value) {
+  const bool internal = level() != 0;
   const std::size_t cell = 4 + key.size() + value.size();
-  if (ContiguousFreeSpace() < cell + kSlotSize) {
-    if (TotalFreeSpace() < cell + kSlotSize) return 0;
+  const std::size_t reserve = cell + (internal ? 3 : 0);
+  if (ContiguousFreeSpace() < reserve + kSlotSize) {
+    if (TotalFreeSpace() < reserve + kSlotSize) return 0;
     Compact();
-    if (ContiguousFreeSpace() < cell + kSlotSize) return 0;
+    if (ContiguousFreeSpace() < reserve + kSlotSize) return 0;
   }
+  // Pad internal cells (pad bytes sit after the value) so the 4-byte
+  // child reference lands 4-aligned for the atomic accessors.
+  const std::size_t pad =
+      internal ? ((cell_start() - value.size()) & 3) : 0;
   const std::uint16_t off =
-      static_cast<std::uint16_t>(cell_start() - cell);
+      static_cast<std::uint16_t>(cell_start() - cell - pad);
   PutU16(off, static_cast<std::uint16_t>(key.size()));
   PutU16(off + 2, static_cast<std::uint16_t>(value.size()));
   std::memcpy(data_ + off + 4, key.data(), key.size());
@@ -214,6 +264,7 @@ void BTreeNode::Compact() {
   struct Entry {
     std::string key, value;
   };
+  const bool internal = level() != 0;
   const int n = count();
   std::vector<Entry> entries;
   entries.reserve(n);
@@ -224,8 +275,11 @@ void BTreeNode::Compact() {
   for (int i = 0; i < n; ++i) {
     const Entry& e = entries[i];
     const std::size_t cell = 4 + e.key.size() + e.value.size();
+    // Same value-alignment padding as WriteCell.
+    const std::size_t pad =
+        internal ? ((cell_start() - e.value.size()) & 3) : 0;
     const std::uint16_t off =
-        static_cast<std::uint16_t>(cell_start() - cell);
+        static_cast<std::uint16_t>(cell_start() - cell - pad);
     PutU16(off, static_cast<std::uint16_t>(e.key.size()));
     PutU16(off + 2, static_cast<std::uint16_t>(e.value.size()));
     std::memcpy(data_ + off + 4, e.key.data(), e.key.size());
@@ -234,6 +288,35 @@ void BTreeNode::Compact() {
     set_cell_start(off);
     SetSlot(i, off);
   }
+}
+
+void BTreeNode::UnswizzleAll(Page* page, BufferPool* pool) {
+  BTreeNode node(page->data());
+  if (node.level() == 0) return;  // leaves hold no child refs
+  for (int slot = -1; slot < node.count(); ++slot) {
+    const PageId ref = node.ChildRefAt(slot);
+    if (!IsSwizzledRef(ref)) continue;
+    Page* child = pool->SwizzledFrame(ref);
+    node.StoreChildRef(slot, child->id());
+    child->ClearSwizzleParentIf(page->id());
+    pool->NoteUnswizzled();
+  }
+}
+
+bool BTreeNode::UnswizzleChildRef(Page* parent, std::uint32_t frame_index,
+                                  PageId plain) {
+  BTreeNode node(parent->data());
+  if (node.level() == 0) return true;  // stale marker: nothing to rewrite
+  const PageId tagged = SwizzleRef(frame_index);
+  for (int slot = -1; slot < node.count(); ++slot) {
+    if (node.ChildRefAt(slot) == tagged) {
+      node.StoreChildRef(slot, plain);
+      return true;
+    }
+  }
+  // Not found: the entry moved or was already rewritten — the marker is
+  // stale, which is fine; the caller just clears it.
+  return true;
 }
 
 }  // namespace plp

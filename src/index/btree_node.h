@@ -11,6 +11,9 @@
 
 namespace plp {
 
+class BufferPool;
+class Page;
+
 /// View over one index page. Entries are kept in key order via the slot
 /// directory (binary-searchable); cells grow backward from the page end.
 ///
@@ -22,11 +25,16 @@ namespace plp {
 ///   [8]  u32 next           right sibling (leaf chain); kInvalidPageId none
 ///   [12] u32 leftmost       child for keys < first key (internal nodes)
 ///   [16] slot directory     u16 cell offset per entry, sorted by key
-///   cells: [u16 klen][u16 vlen][key bytes][value bytes]
+///   cells: [u16 klen][u16 vlen][key bytes][value bytes][pad]
 ///
-/// Internal-node entries map separator key -> child page id (the child
+/// Internal-node entries map separator key -> child reference (the child
 /// holding keys >= separator); keys below the first separator go to
-/// `leftmost`.
+/// `leftmost`. A child reference is normally a plain PageId, but while the
+/// child is resident a latched tree may swizzle it to a tagged buffer-pool
+/// frame index (IsSwizzledRef, runtime-only — sanitized before any image
+/// leaves the pool). Internal-node cells are padded so the 4-byte value
+/// lands 4-aligned: swizzle install CASes an entry under a *shared* parent
+/// latch, so concurrent descents must read it atomically.
 class BTreeNode {
  public:
   static constexpr std::size_t kHeaderSize = 16;
@@ -65,8 +73,34 @@ class BTreeNode {
   /// Exact-match index or -1.
   int Find(Slice key) const;
 
-  /// Child to follow when descending for `key`.
+  /// Child to follow when descending for `key`. In a swizzling tree the
+  /// result may be a tagged frame reference — callers translate through
+  /// BufferPool::RefToPid (or use ChildRefFor to also learn the slot).
   PageId ChildFor(Slice key) const;
+
+  // --- Atomic child-reference accessors (swizzling) --------------------
+  // `slot` is an entry index, or -1 for the leftmost pointer. Entry values
+  // in internal nodes are 4-byte aligned (WriteCell/Compact pad), so these
+  // race safely: install CASes under a shared parent latch while other
+  // descents load concurrently; unswizzle stores under the exclusive latch.
+
+  /// Raw reference in `slot` (plain PageId or swizzled frame ref).
+  PageId ChildRefAt(int slot) const;
+  /// Raw reference to follow when descending for `key`; *slot receives the
+  /// entry index (-1 for leftmost) so the caller can install a swizzle.
+  PageId ChildRefFor(Slice key, int* slot) const;
+  bool CasChildRef(int slot, PageId expected, PageId desired);
+  void StoreChildRef(int slot, PageId v);
+
+  /// Buffer-pool unswizzle hooks (wired through BufferPoolConfig so the
+  /// cell-rewrite knowledge stays in src/index). UnswizzleAll rewrites
+  /// every swizzled reference in `page` back to a plain PageId and clears
+  /// the children's markers; UnswizzleChildRef rewrites just the entry
+  /// pointing at `frame_index`. Both require the caller to exclude
+  /// concurrent readers of `page` (exclusive latch / pin-zero / quiesced).
+  static void UnswizzleAll(Page* page, BufferPool* pool);
+  static bool UnswizzleChildRef(Page* parent, std::uint32_t frame_index,
+                                PageId plain);
 
   /// Inserts (key, value) at sorted position `pos` (caller computed it via
   /// LowerBound). kNoSpace if it does not fit even after compaction.
@@ -114,6 +148,9 @@ class BTreeNode {
 
   void set_cell_start(std::uint16_t v) { PutU16(2, v); }
   void set_count(std::uint16_t v) { PutU16(0, v); }
+
+  /// Byte offset of the 4-byte child reference in `slot` (-1 = leftmost).
+  std::size_t ValueOffset(int slot) const;
 
   /// Writes a cell for (key,value); returns its offset or 0 on no-space.
   std::uint16_t WriteCell(Slice key, Slice value);

@@ -95,9 +95,23 @@ Status DiskManager::LoadAllocationTable() {
     if (!PreadFull(fd_, raw, kSlotHeaderSize, SlotOffset(id))) {
       return Errno("read slot header");
     }
+    scanned_max_ = id;
     PageSlotHeader h;
     std::memcpy(&h, raw, sizeof(h));
-    if (h.magic == kPageMagic) live_.emplace(id, h);
+    if (h.magic == kPageMagic &&
+        (h.flags & kSlotFlagVolatileIndex) != 0) {
+      // Slot of an unlogged secondary-index page from the previous run:
+      // the tree is rebuilt from scratch, so nothing will ever read it.
+      // Reclaim it instead of leaking the slot forever.
+      free_ids_.push_back(id);
+      continue;
+    }
+    if (h.magic == kPageMagic) {
+      live_.emplace(id, h);
+    } else {
+      // Freed (or never-written) hole below the file's end: reusable.
+      free_ids_.push_back(id);
+    }
   }
   return Status::OK();
 }
@@ -150,12 +164,33 @@ Status DiskManager::FreePage(PageId id) {
   {
     std::lock_guard<std::mutex> g(table_mu_);
     if (live_.erase(id) == 0) return Status::OK();  // never persisted
+    // Only a live->free transition pushes: a replayed free of an
+    // already-reclaimed slot must not enqueue the id twice.
+    free_ids_.push_back(id);
   }
   char zero[kSlotHeaderSize] = {};
   if (!PwriteFull(fd_, zero, kSlotHeaderSize, SlotOffset(id))) {
     return Errno("free page " + std::to_string(id));
   }
   return Status::OK();
+}
+
+PageId DiskManager::TakeFreeId() {
+  if (!reuse_enabled_.load(std::memory_order_acquire)) return kInvalidPageId;
+  std::lock_guard<std::mutex> g(table_mu_);
+  while (!free_ids_.empty()) {
+    const PageId id = free_ids_.back();
+    free_ids_.pop_back();
+    // Recovery may have re-materialized a reclaimed slot (WAL-tail replay
+    // wrote it back live); such entries are stale — drop them.
+    if (live_.count(id) == 0) return id;
+  }
+  return kInvalidPageId;
+}
+
+std::size_t DiskManager::free_slot_count() {
+  std::lock_guard<std::mutex> g(table_mu_);
+  return free_ids_.size();
 }
 
 Status DiskManager::Sync() {
@@ -178,7 +213,7 @@ std::vector<std::pair<PageId, PageSlotHeader>> DiskManager::AllPages() {
 
 PageId DiskManager::max_page_id() {
   std::lock_guard<std::mutex> g(table_mu_);
-  PageId max = 0;
+  PageId max = scanned_max_;
   for (const auto& [id, h] : live_) max = std::max(max, id);
   return max;
 }

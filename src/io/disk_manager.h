@@ -27,12 +27,17 @@ namespace plp {
 struct PageSlotHeader {
   std::uint32_t magic = 0;          // kPageMagic for live pages, 0 for free
   std::uint8_t page_class = 0;      // PageClass as int
-  std::uint8_t flags = 0;
+  std::uint8_t flags = 0;           // kSlotFlag* bits
   std::uint16_t reserved = 0;
   std::uint32_t owner_tag = UINT32_MAX;   // partition/leaf owner (heap modes)
   std::uint32_t table_tag = UINT32_MAX;   // owning heap file id
   Lsn page_lsn = 0;                       // last update durably reflected
 };
+
+/// Slot written for a volatile (unlogged secondary) index page: the tree is
+/// rebuilt from scratch on reopen, so no restart ever reads this slot. Open
+/// reclaims flagged slots into the free-slot list instead of leaking them.
+inline constexpr std::uint8_t kSlotFlagVolatileIndex = 0x1;
 
 class DiskManager {
  public:
@@ -58,8 +63,20 @@ class DiskManager {
   /// Writes (allocating if needed) a page slot. `data` is kPageSize bytes.
   Status WritePage(PageId id, const PageSlotHeader& header, const char* data);
 
-  /// Marks the slot free (zeroed header); the space is not reclaimed.
+  /// Marks the slot free (zeroed header) and returns its id to the
+  /// free-slot list for reuse by TakeFreeId.
   Status FreePage(PageId id);
+
+  /// Pops a reusable slot id (freed earlier, or reclaimed at Open from
+  /// zeroed holes and volatile-index slots). kInvalidPageId when none is
+  /// available or reuse has not been enabled yet. Reuse stays disabled
+  /// until EnableSlotReuse so recovery never hands out an id the WAL tail
+  /// is about to replay.
+  PageId TakeFreeId();
+  void EnableSlotReuse() {
+    reuse_enabled_.store(true, std::memory_order_release);
+  }
+  std::size_t free_slot_count();
 
   /// Durably persists all completed writes (fdatasync).
   Status Sync();
@@ -70,7 +87,9 @@ class DiskManager {
   /// maintained on writes. Used to rebuild heap-file page lists on restart.
   std::vector<std::pair<PageId, PageSlotHeader>> AllPages();
 
-  /// Highest allocated page id (0 when the file is empty).
+  /// Highest page id for which a slot exists — live or reclaimed (0 when
+  /// the file is empty). Fresh-id allocation starts above it, so recycled
+  /// slot ids and fresh ids never collide.
   PageId max_page_id();
 
   const std::string& path() const { return path_; }
@@ -96,6 +115,9 @@ class DiskManager {
 
   std::mutex table_mu_;
   std::unordered_map<PageId, PageSlotHeader> live_;
+  std::vector<PageId> free_ids_;       // guarded by table_mu_
+  PageId scanned_max_ = 0;             // highest slot seen at Open
+  std::atomic<bool> reuse_enabled_{false};
 
   std::atomic<std::uint64_t> reads_{0};
   std::atomic<std::uint64_t> writes_{0};

@@ -56,6 +56,14 @@ class Latch {
   }
   void ReleaseExclusive() { mu_.unlock(); }
 
+  /// Non-blocking exclusive acquisition, for paths that must never wait on
+  /// a latch while holding pool-internal locks (eviction-time unswizzle).
+  bool TryAcquireExclusive() {
+    if (!mu_.try_lock()) return false;
+    CsProfiler::RecordLatch(page_class_, /*contended=*/false);
+    return true;
+  }
+
   void Acquire(LatchMode mode) {
     if (mode == LatchMode::kShared) {
       AcquireShared();

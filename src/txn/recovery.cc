@@ -510,12 +510,12 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
   }
 
   // Pass 3b: undo loser heap ops newest-first from before-images; a later
-  // committed write to the same RID wins. The undone pages are flushed at
-  // the end: these writes are UNLOGGED, so nothing in the WAL could
-  // reproduce them after a second crash — persisting them (with a clean
-  // dirty bit) is what makes crash-during-normal-operation-after-restart
-  // safe.
-  std::unordered_set<PageId> undone_pages;
+  // committed write to the same RID wins. Each undo is logged as a CLR —
+  // a SYSTEM heap record (txn = kInvalidTxnId) whose redo image IS the
+  // compensation — and the page LSN advances to it, so the undo replays
+  // from the log like any other history: a crash mid-undo resumes from
+  // the CLR chain, and a crash after recovery redoes (or LSN-skips) them
+  // idempotently. No flush-before-open of undone pages is needed.
   for (auto it = loser_heap.rbegin(); it != loser_heap.rend(); ++it) {
     auto committed_it = last_committed.find(it->rid);
     if (committed_it != last_committed.end() &&
@@ -525,23 +525,26 @@ Status RecoveryManager::RecoverDatabase(Database* db, bool has_checkpoint,
     Page* page = pool_->Fix(it->rid.page_id);
     if (page == nullptr) continue;  // never materialized: nothing to undo
     SlottedPage sp(page->data());
+    LogRecord clr;
+    clr.txn = kInvalidTxnId;
+    clr.rid = it->rid;
+    clr.table = it->table;
     switch (it->type) {
       case LogType::kHeapInsert:
         (void)sp.Delete(it->rid.slot);
+        clr.type = LogType::kHeapDelete;
         break;
       case LogType::kHeapUpdate:
       case LogType::kHeapDelete:
         PLP_RETURN_IF_ERROR(sp.PutAt(it->rid.slot, it->undo));
+        clr.type = LogType::kHeapUpdate;
+        clr.redo = it->undo;
         break;
       default:
-        break;
+        continue;
     }
-    page->MarkDirty();
-    undone_pages.insert(it->rid.page_id);
+    page->StampUpdate(log_->Append(clr));
     local.undo_ops++;
-  }
-  for (PageId pid : undone_pages) {
-    PLP_RETURN_IF_ERROR(pool_->FlushPage(pid, LatchPolicy::kNone));
   }
 
   if (logged_index) {

@@ -69,15 +69,17 @@ TEST(BufferPoolTest, DirtyPageTracking) {
   EXPECT_EQ(dirty[0], a->id());
 }
 
-TEST(BufferPoolTest, FixRecordsBufferPoolCs) {
+TEST(BufferPoolTest, ResidentFixRecordsNoBufferPoolCs) {
+  // The resident path resolves through the lock-free directory: a hit —
+  // tracked or not — never enters a buffer-pool critical section. Only
+  // the miss path (page-in, eviction) takes the shard mutex.
   CsProfiler::Global().Reset();
   BufferPool pool;
   Page* a = pool.NewPage(PageClass::kHeap);
   CsCounts before = CsProfiler::Global().Collect();
   pool.Fix(a->id());
   CsCounts delta = CsProfiler::Global().Collect() - before;
-  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kBufferPool)], 1u);
-  // FixUnlocked models direct pointer access: no critical section.
+  EXPECT_EQ(delta.entries[static_cast<int>(CsCategory::kBufferPool)], 0u);
   before = CsProfiler::Global().Collect();
   pool.FixUnlocked(a->id());
   delta = CsProfiler::Global().Collect() - before;

@@ -4,9 +4,11 @@
 // and verify committed records survive while uncommitted ones are gone.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "src/common/key_encoding.h"
 #include "src/engine/engine.h"
@@ -412,10 +414,12 @@ TEST_F(DurabilityTest, RepeatedCrashReopenCycles) {
 }
 
 // Secondary indexes are volatile (rebuilt on reopen), so evicting one of
-// their dirty pages has to steal a fresh slot in data.db that nothing ever
-// reclaims. `buffer_pool.leaked_index_slots` exists to keep that leak
-// visible; verify it actually counts under eviction pressure.
-TEST_F(DurabilityTest, LeakedIndexSlotMetricCountsEvictedSecondaryPages) {
+// their dirty pages steals a slot in data.db. Those slots used to leak
+// forever; they are now flagged volatile on disk, returned to the
+// DiskManager free-slot list on eviction/drop, and reclaimed at the next
+// open. `buffer_pool.leaked_index_slots` stays registered as a tripwire
+// and must read 0 under eviction pressure.
+TEST_F(DurabilityTest, EvictedSecondaryPagesDoNotLeakIndexSlots) {
   auto created = CreateEngine(MakeConfig(/*frame_budget=*/16));
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   auto engine = std::move(created).value();
@@ -435,8 +439,58 @@ TEST_F(DurabilityTest, LeakedIndexSlotMetricCountsEvictedSecondaryPages) {
   }
   const StatsSnapshot stats = engine->GetStats();
   EXPECT_GT(stats.counter("buffer_pool.evictions"), 0u);
-  EXPECT_GT(stats.counter("buffer_pool.leaked_index_slots"), 0u);
+  EXPECT_EQ(stats.counter("buffer_pool.leaked_index_slots"), 0u);
   engine->Stop();
+}
+
+// Tentpole regression: once a warm-up pass has swizzled the resident
+// subtree, repeated point lookups resolve every root-to-leaf hop through
+// tagged frame references. Metrics prove the page table is out of the hot
+// path: swizzle.hits grows with each descent while buffer_pool.hits and
+// buffer_pool.misses stay flat (a clustered table keeps heap pages out of
+// the read path, so the only fixes a descent could do are index ones).
+TEST_F(DurabilityTest, HotDescentResolvesThroughSwizzledRefs) {
+  auto created = CreateEngine(MakeConfig(/*frame_budget=*/0));
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->CreateTable("t", {""}, /*clustered=*/true).ok());
+  for (std::uint32_t k = 0; k < kRecords; ++k) {
+    ASSERT_TRUE(InsertOne(engine.get(), k).ok()) << k;
+  }
+  // Warm-up descents install the swizzled child refs.
+  for (std::uint32_t k = 0; k < kRecords; k += 3) {
+    ASSERT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+  // Let the page cleaner drain the insert dirt: its write-backs unswizzle
+  // the flushed parents (consistent on-disk snapshot), so wait it out and
+  // then re-warm to reinstall before measuring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  for (std::uint32_t k = 0; k < kRecords; k += 3) {
+    ASSERT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+
+  const StatsSnapshot warm = engine->GetStats();
+  ASSERT_GT(warm.counter("swizzle.installs"), 0u);
+  ASSERT_GT(warm.gauge("buffer_pool.swizzled"), 0);
+
+  constexpr std::uint32_t kHotReads = 500;
+  for (std::uint32_t i = 0; i < kHotReads; ++i) {
+    const std::uint32_t k = (i * 17) % kRecords;
+    ASSERT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+
+  const StatsSnapshot hot = engine->GetStats();
+  // Every hot descent resolved at least one child hop via a tagged ref...
+  EXPECT_GE(hot.counter("swizzle.hits"),
+            warm.counter("swizzle.hits") + kHotReads);
+  // ...and never touched the page table: zero additional lookups, hit or
+  // miss.
+  EXPECT_EQ(hot.counter("buffer_pool.hits"), warm.counter("buffer_pool.hits"));
+  EXPECT_EQ(hot.counter("buffer_pool.misses"),
+            warm.counter("buffer_pool.misses"));
+  engine->Stop();
+  ASSERT_TRUE(engine->db().Close().ok());
 }
 
 }  // namespace

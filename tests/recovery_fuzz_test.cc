@@ -18,16 +18,79 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/key_encoding.h"
 #include "src/common/rng.h"
 #include "src/engine/engine.h"
+#include "src/index/btree_node.h"
 #include "src/index/persistent/index_log.h"
 #include "src/io/disk_manager.h"
 #include "src/txn/recovery.h"
 
 namespace plp {
 namespace {
+
+// Swizzled child references (IsSwizzledRef — tagged buffer-pool frame
+// indexes) are a runtime-only encoding: eviction write-back and the SMO
+// logging hooks must sanitize them before any page image leaves the pool.
+// Checks every child reference of one index-node image.
+void ExpectNoTaggedRefs(const char* page_data, const std::string& what) {
+  BTreeNode node(const_cast<char*>(page_data));
+  if (node.level() == 0) return;
+  EXPECT_FALSE(IsSwizzledRef(node.leftmost_child()))
+      << what << ": tagged leftmost child";
+  for (int i = 0; i < node.count(); ++i) {
+    EXPECT_FALSE(IsSwizzledRef(node.ChildAt(i)))
+        << what << ": tagged child in entry " << i;
+  }
+}
+
+// Scans the surviving WAL (record page ids, partition-table roots, and the
+// node images embedded in SMO/repartition payloads) and every live on-disk
+// index page for tagged PageIds. Run right after a crash-reopen, before
+// the next workload dirties anything.
+void VerifyNoSwizzledRefsEscaped(Database* db, int gen) {
+  const std::string tag = "gen " + std::to_string(gen);
+  (void)db->log()->ScanFrom(0, [&](Lsn lsn, const LogRecord& rec) {
+    const std::string what = tag + " lsn " + std::to_string(lsn);
+    EXPECT_FALSE(IsSwizzledRef(rec.rid.page_id)) << what << ": tagged rid";
+    std::vector<std::pair<PageId, std::string>> images;
+    std::vector<std::pair<std::string, PageId>> parts;
+    if (rec.type == LogType::kIndexSmo) {
+      EXPECT_TRUE(DecodeSmoPayload(rec.redo, &images)) << what;
+    } else if (rec.type == LogType::kIndexRepartition) {
+      EXPECT_TRUE(DecodeRepartitionPayload(rec.redo, &parts, &images)) << what;
+    } else if (rec.type == LogType::kPartitionTable) {
+      EXPECT_TRUE(DecodePartitionPayload(rec.redo, &parts)) << what;
+    }
+    for (const auto& [boundary, root] : parts) {
+      EXPECT_FALSE(IsSwizzledRef(root)) << what << ": tagged partition root";
+    }
+    for (const auto& [pid, image] : images) {
+      EXPECT_FALSE(IsSwizzledRef(pid)) << what << ": tagged SMO page id";
+      std::vector<char> buf(kPageSize, 0);
+      if (ApplyNodeImage(image, buf.data())) {
+        ExpectNoTaggedRefs(buf.data(),
+                           what + " SMO image of page " + std::to_string(pid));
+      }
+    }
+  });
+  DiskManager* disk = db->disk();
+  ASSERT_NE(disk, nullptr);
+  for (PageId id = 0; id <= disk->max_page_id(); ++id) {
+    PageSlotHeader hdr;
+    std::vector<char> img(kPageSize);
+    if (!disk->ReadPage(id, &hdr, img.data()).ok()) continue;
+    if (hdr.magic != DiskManager::kPageMagic) continue;  // free slot
+    if (hdr.page_class != static_cast<std::uint8_t>(PageClass::kIndex)) {
+      continue;
+    }
+    ExpectNoTaggedRefs(img.data(), tag + " disk page " + std::to_string(id));
+  }
+}
 
 
 // Debug forensics: on a mismatch, dump every WAL record touching the key
@@ -370,11 +433,18 @@ TEST_P(DurableSmoFuzzTest, SplitsAndMergesSurviveCrashLoop) {
     engine->Start();
     ASSERT_TRUE(engine->db().open_status().ok())
         << "gen " << gen << ": " << engine->db().open_status().ToString();
+    // The whole loop runs with swizzling on (the default): hot descents
+    // install tagged refs while evictions, SMOs, and crashes churn them.
+    ASSERT_TRUE(engine->db().pool()->swizzling_enabled());
     if (gen == 0) {
       ASSERT_TRUE(engine->CreateTable("t", expected_boundaries).ok());
     }
     Table* table = engine->db().GetTable("t");
     ASSERT_NE(table, nullptr);
+
+    // Nothing tagged may have reached the WAL or data.db: verify every
+    // surviving record and on-disk index image before the new workload.
+    VerifyNoSwizzledRefsEscaped(&engine->db(), gen);
 
     // Partition assignments must have survived the previous crash.
     EXPECT_EQ(table->primary()->boundaries(), expected_boundaries)
@@ -495,6 +565,16 @@ TEST_P(DurableSmoFuzzTest, SplitsAndMergesSurviveCrashLoop) {
     // Otherwise: crash (destroy without Close) — possibly with the last
     // repartition's records still unflushed in the WAL tail.
   }
+
+  // One final reopen sweeps the last generation's crash state too.
+  auto created = CreateEngine(config);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  VerifyNoSwizzledRefsEscaped(&engine->db(), kGenerations);
+  engine->Stop();
 }
 
 }  // namespace
