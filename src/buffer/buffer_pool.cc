@@ -77,7 +77,7 @@ std::atomic<Page*>* BufferPool::DirSlot(PageId id, bool create) {
   DirChunk* chunk = dir_root_[hi].load(std::memory_order_acquire);
   if (chunk == nullptr) {
     if (!create) return nullptr;
-    std::lock_guard<std::mutex> g(dir_alloc_mu_);
+    MutexLock g(dir_alloc_mu_);
     chunk = dir_root_[hi].load(std::memory_order_acquire);
     if (chunk == nullptr) {
       chunk = new DirChunk();
@@ -118,7 +118,7 @@ Page* BufferPool::FrameAt(std::uint32_t idx) const {
 
 Page* BufferPool::TakeFrame(PageId id, PageClass page_class) {
   {
-    std::lock_guard<std::mutex> g(frames_mu_);
+    MutexLock g(frames_mu_);
     if (!free_frames_.empty()) {
       Page* frame = free_frames_.back();
       free_frames_.pop_back();
@@ -128,7 +128,7 @@ Page* BufferPool::TakeFrame(PageId id, PageClass page_class) {
   }
   auto owned = std::make_unique<Page>(id, page_class);
   Page* frame = owned.get();
-  std::lock_guard<std::mutex> g(frames_mu_);
+  MutexLock g(frames_mu_);
   const std::uint32_t idx = frame_count_;
   if (idx < kFrameRootSize * kFrameChunkSize) {
     const std::size_t hi = idx >> kFrameChunkBits;
@@ -149,7 +149,7 @@ Page* BufferPool::TakeFrame(PageId id, PageClass page_class) {
 }
 
 void BufferPool::ReturnFrame(Page* frame) {
-  std::lock_guard<std::mutex> g(frames_mu_);
+  MutexLock g(frames_mu_);
   free_frames_.push_back(frame);
 }
 
@@ -158,7 +158,7 @@ void BufferPool::ReturnFrame(Page* frame) {
 void BufferPool::TrackFrame(Page* page) {
   if (!evicting() || !Evictable(page->page_class())) return;
   page->SetRef();
-  std::lock_guard<std::mutex> g(clock_mu_);
+  MutexLock g(clock_mu_);
   clock_.push_back(page->id());
 }
 
@@ -181,10 +181,11 @@ Page* BufferPool::NewPage(PageClass page_class) {
   }
   Page* raw = TakeFrame(id, page_class);
   Shard& shard = ShardFor(id);
-  shard.mu.lock();
-  shard.pages.emplace(id, raw);
-  DirPublish(id, raw);
-  shard.mu.unlock();
+  {
+    TrackedMutexLock g(shard.mu);
+    shard.pages.emplace(id, raw);
+    DirPublish(id, raw);
+  }
   num_pages_.fetch_add(1, std::memory_order_relaxed);
   TrackFrame(raw);
   return raw;
@@ -197,14 +198,11 @@ Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
                                expected, id + 1, std::memory_order_relaxed)) {
   }
   Shard& shard = ShardFor(id);
-  shard.mu.lock();
-  auto it = shard.pages.find(id);
-  if (it != shard.pages.end()) {
-    Page* existing = it->second;
-    shard.mu.unlock();
-    return existing;
+  {
+    TrackedMutexLock g(shard.mu);
+    auto it = shard.pages.find(id);
+    if (it != shard.pages.end()) return it->second;
   }
-  shard.mu.unlock();
   if (config_.disk != nullptr) {
     Page* loaded = LoadFromDisk(id, shard);
     if (loaded != nullptr) return loaded;
@@ -212,15 +210,16 @@ Page* BufferPool::NewPageWithId(PageId id, PageClass page_class) {
   if (evicting()) EnsureBudget();
   Page* fresh = TakeFrame(id, page_class);
   Page* raw = nullptr;
-  shard.mu.lock();
-  it = shard.pages.find(id);
-  if (it != shard.pages.end()) {
-    raw = it->second;
-  } else {
-    shard.pages.emplace(id, fresh);
-    DirPublish(id, fresh);
+  {
+    TrackedMutexLock g(shard.mu);
+    auto it = shard.pages.find(id);
+    if (it != shard.pages.end()) {
+      raw = it->second;
+    } else {
+      shard.pages.emplace(id, fresh);
+      DirPublish(id, fresh);
+    }
   }
-  shard.mu.unlock();
   if (raw != nullptr) {
     ReturnFrame(fresh);
     return raw;
@@ -234,7 +233,7 @@ Page* BufferPool::LoadFromDisk(PageId id, Shard& shard) {
   if (!config_.disk->Contains(id)) return nullptr;
   if (evicting()) EnsureBudget();
   {
-    std::lock_guard<std::mutex> g(shard.mu.raw());
+    TrackedMutexUnprofiledLock g(shard.mu);
     auto it = shard.pages.find(id);
     if (it != shard.pages.end()) return it->second;  // lost the race
   }
@@ -257,7 +256,7 @@ Page* BufferPool::LoadFromDisk(PageId id, Shard& shard) {
   }
   Page* winner = nullptr;
   {
-    std::lock_guard<std::mutex> g(shard.mu.raw());
+    TrackedMutexUnprofiledLock g(shard.mu);
     auto it = shard.pages.find(id);
     if (it != shard.pages.end()) {
       winner = it->second;  // another thread published first
@@ -307,13 +306,12 @@ Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
   Shard& shard = ShardFor(id);
   Page* p = nullptr;
   if (tracked) {
-    shard.mu.lock();
+    TrackedMutexLock g(shard.mu);
     auto it = shard.pages.find(id);
     p = it == shard.pages.end() ? nullptr : it->second;
     if (p != nullptr && pin) p->Pin();
-    shard.mu.unlock();
   } else {
-    std::lock_guard<std::mutex> g(shard.mu.raw());
+    TrackedMutexUnprofiledLock g(shard.mu);
     auto it = shard.pages.find(id);
     p = it == shard.pages.end() ? nullptr : it->second;
     if (p != nullptr && pin) p->Pin();
@@ -332,7 +330,7 @@ Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
     if (p != nullptr && pin) {
       // Benign race: the freshly loaded frame could be evicted before this
       // pin lands; re-fix in that case.
-      std::lock_guard<std::mutex> g(shard.mu.raw());
+      TrackedMutexUnprofiledLock g(shard.mu);
       auto it = shard.pages.find(id);
       if (it == shard.pages.end() || it->second != p) {
         return FixInternal(id, tracked, pin);
@@ -374,15 +372,16 @@ PageRef BufferPool::AllocatePage(PageClass page_class,
 void BufferPool::FreePage(PageId id) {
   Page* freed = nullptr;
   Shard& shard = ShardFor(id);
-  shard.mu.lock();
-  auto it = shard.pages.find(id);
-  if (it != shard.pages.end()) {
-    freed = it->second;
-    shard.pages.erase(it);
-    DirRetract(id);
-    num_pages_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    TrackedMutexLock g(shard.mu);
+    auto it = shard.pages.find(id);
+    if (it != shard.pages.end()) {
+      freed = it->second;
+      shard.pages.erase(it);
+      DirRetract(id);
+      num_pages_.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
-  shard.mu.unlock();
   if (freed != nullptr && swizzling_on_ &&
       freed->page_class() == PageClass::kIndex) {
     // SMO hooks unswizzle before entries move, so a freed internal page
@@ -471,7 +470,7 @@ bool BufferPool::EvictOne() {
   Page* candidate = nullptr;
   Lsn lsn_before = 0;
   {
-    std::lock_guard<std::mutex> g(clock_mu_);
+    MutexLock g(clock_mu_);
     const std::size_t initial = clock_.size();
     std::size_t budget = initial * 2;
     std::size_t seen = 0;
@@ -482,7 +481,7 @@ bool BufferPool::EvictOne() {
       const std::size_t idx = clock_hand_ % clock_.size();
       const PageId candidate_pid = clock_[idx];
       Shard& shard = ShardFor(candidate_pid);
-      std::lock_guard<std::mutex> sg(shard.mu.raw());
+      TrackedMutexUnprofiledLock sg(shard.mu);
       auto it = shard.pages.find(candidate_pid);
       if (it == shard.pages.end()) {
         // Frame already gone (FreePage/steal); drop the stale candidate.
@@ -550,7 +549,7 @@ bool BufferPool::EvictOne() {
   bool volatile_index = false;
   Lsn rec_lsn_before = 0;
   {
-    std::lock_guard<std::mutex> sg(shard.mu.raw());
+    TrackedMutexUnprofiledLock sg(shard.mu);
     auto it = shard.pages.find(pid);
     present_at_snapshot = it != shard.pages.end() && it->second == candidate;
     if (present_at_snapshot) {
@@ -588,7 +587,7 @@ bool BufferPool::EvictOne() {
       // Raced a pin or an update since selection: the frame stays; put it
       // back on the clock (outside the shard mutex — EvictOne nests the
       // shard mutex inside clock_mu_, never the reverse).
-      std::lock_guard<std::mutex> g(clock_mu_);
+      MutexLock g(clock_mu_);
       clock_.push_back(pid);
     }
     return false;
@@ -615,7 +614,7 @@ bool BufferPool::EvictOne() {
     // frame freed during the I/O (FreePage race) must not be touched.
     bool still_present = false;
     {
-      std::lock_guard<std::mutex> sg(shard.mu.raw());
+      TrackedMutexUnprofiledLock sg(shard.mu);
       auto it = shard.pages.find(pid);
       still_present = it != shard.pages.end() && it->second == candidate;
       if (still_present && write_status.ok() &&
@@ -638,7 +637,7 @@ bool BufferPool::EvictOne() {
     }
     if (!detached) {
       if (still_present) {
-        std::lock_guard<std::mutex> g(clock_mu_);
+        MutexLock g(clock_mu_);
         clock_.push_back(pid);
       }
       return write_status.ok() && !still_present;  // freed = progress
@@ -719,7 +718,7 @@ Status BufferPool::FlushAllDirty(LatchPolicy policy) {
   for (auto& shard : shards_) {
     std::vector<PageId> dirty;
     {
-      std::lock_guard<std::mutex> g(shard->mu.raw());
+      TrackedMutexUnprofiledLock g(shard->mu);
       for (auto& [id, page] : shard->pages) {
         if (page->dirty()) dirty.push_back(id);
       }
@@ -735,7 +734,7 @@ Status BufferPool::FlushAllDirty(LatchPolicy policy) {
 std::vector<PageId> BufferPool::DirtyPages(std::size_t limit) {
   std::vector<PageId> out;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard->mu.raw());
+    TrackedMutexUnprofiledLock g(shard->mu);
     for (auto& [id, page] : shard->pages) {
       if (page->dirty()) {
         out.push_back(id);
@@ -749,7 +748,7 @@ std::vector<PageId> BufferPool::DirtyPages(std::size_t limit) {
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
   std::vector<std::pair<PageId, Lsn>> out;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> g(shard->mu.raw());
+    TrackedMutexUnprofiledLock g(shard->mu);
     for (auto& [id, page] : shard->pages) {
       if (page->dirty() && Evictable(page->page_class())) {
         out.emplace_back(id, page->rec_lsn());
@@ -761,12 +760,12 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() {
 
 void BufferPool::RegisterEvictionListener(
     void* token, std::function<void(PageId)> listener) {
-  std::lock_guard<Spinlock> g(listeners_mu_);
+  SpinlockGuard g(listeners_mu_);
   listeners_.emplace_back(token, std::move(listener));
 }
 
 void BufferPool::UnregisterEvictionListener(void* token) {
-  std::lock_guard<Spinlock> g(listeners_mu_);
+  SpinlockGuard g(listeners_mu_);
   for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
     if (it->first == token) {
       listeners_.erase(it);
@@ -776,7 +775,7 @@ void BufferPool::UnregisterEvictionListener(void* token) {
 }
 
 void BufferPool::NotifyEvicted(PageId id) {
-  std::lock_guard<Spinlock> g(listeners_mu_);
+  SpinlockGuard g(listeners_mu_);
   for (auto& [token, fn] : listeners_) fn(id);
 }
 

@@ -35,7 +35,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -46,6 +45,7 @@
 #include "src/metrics/registry.h"
 #include "src/sync/latch.h"
 #include "src/sync/spinlock.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -292,10 +292,10 @@ class BufferPool {
 
   struct Shard {
     TrackedMutex mu{CsCategory::kBufferPool};
-    // Authoritative mapping, guarded by `mu`; the lock-free directory
-    // mirrors it for readers. Values are arena frames owned by
-    // `owned_frames_` — never deleted here.
-    std::unordered_map<PageId, Page*> pages;
+    // Authoritative mapping; the lock-free directory mirrors it for
+    // readers. Values are arena frames owned by `owned_frames_` — never
+    // deleted here.
+    std::unordered_map<PageId, Page*> pages PLP_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id) { return *shards_[id % kNumShards]; }
@@ -327,14 +327,15 @@ class BufferPool {
 
   /// Loads `id` from disk. The read runs without the shard mutex (the
   /// frame is invisible until published). Returns nullptr if not on disk.
-  Page* LoadFromDisk(PageId id, Shard& shard);
+  Page* LoadFromDisk(PageId id, Shard& shard) PLP_EXCLUDES(shard.mu);
 
   /// Evicts until a new frame fits in the budget. Best-effort: gives up
   /// when every candidate is pinned or referenced.
-  void EnsureBudget();
+  void EnsureBudget() PLP_EXCLUDES(clock_mu_);
 
   /// One clock-sweep eviction. Returns false when no victim qualifies.
-  bool EvictOne();
+  /// Nests shard mutexes inside clock_mu_ — callers must hold neither.
+  bool EvictOne() PLP_EXCLUDES(clock_mu_);
 
   /// Rewrites the parent entry pointing at `child` back to a plain PageId
   /// (parent latched via try-lock — never blocks). Returns true when the
@@ -351,9 +352,12 @@ class BufferPool {
   Status WriteBackNoClean(Page* page);
   Status WriteBack(Page* page);
 
-  void NotifyEvicted(PageId id);
+  void NotifyEvicted(PageId id) PLP_EXCLUDES(listeners_mu_);
 
-  void TrackFrame(Page* page);
+  /// Adds an evictable frame to the clock. Must run outside the shard
+  /// mutex: EvictOne acquires shard mutexes while holding clock_mu_, so
+  /// nesting clock_mu_ inside a shard mutex would be an ABBA deadlock.
+  void TrackFrame(Page* page) PLP_EXCLUDES(clock_mu_);
 
   BufferPoolConfig config_;
   bool swizzling_on_ = false;
@@ -362,21 +366,22 @@ class BufferPool {
   std::atomic<std::size_t> num_pages_{0};
 
   std::unique_ptr<std::atomic<DirChunk*>[]> dir_root_;
-  std::mutex dir_alloc_mu_;
+  Mutex dir_alloc_mu_;
 
   std::unique_ptr<std::atomic<FrameChunk*>[]> frame_root_;
-  std::mutex frames_mu_;  // guards frame_count_/owned_frames_/free_frames_
-  std::uint32_t frame_count_ = 0;
-  std::vector<std::unique_ptr<Page>> owned_frames_;
-  std::vector<Page*> free_frames_;
+  Mutex frames_mu_;
+  std::uint32_t frame_count_ PLP_GUARDED_BY(frames_mu_) = 0;
+  std::vector<std::unique_ptr<Page>> owned_frames_ PLP_GUARDED_BY(frames_mu_);
+  std::vector<Page*> free_frames_ PLP_GUARDED_BY(frames_mu_);
 
   // Clock sweep over eviction candidates (heap-class frames).
-  std::mutex clock_mu_;
-  std::vector<PageId> clock_;
-  std::size_t clock_hand_ = 0;
+  Mutex clock_mu_;
+  std::vector<PageId> clock_ PLP_GUARDED_BY(clock_mu_);
+  std::size_t clock_hand_ PLP_GUARDED_BY(clock_mu_) = 0;
 
   Spinlock listeners_mu_;
-  std::vector<std::pair<void*, std::function<void(PageId)>>> listeners_;
+  std::vector<std::pair<void*, std::function<void(PageId)>>> listeners_
+      PLP_GUARDED_BY(listeners_mu_);
 
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> disk_reads_{0};
@@ -411,7 +416,7 @@ class PageCache {
  public:
   explicit PageCache(BufferPool* pool) : pool_(pool) {
     pool_->RegisterEvictionListener(this, [this](PageId id) {
-      std::lock_guard<Spinlock> g(mu_);
+      SpinlockGuard g(mu_);
       cache_.erase(id);
     });
   }
@@ -422,7 +427,7 @@ class PageCache {
 
   Page* Fix(PageId id) {
     {
-      std::lock_guard<Spinlock> g(mu_);
+      SpinlockGuard g(mu_);
       auto it = cache_.find(id);
       if (it != cache_.end()) return it->second;
     }
@@ -433,25 +438,25 @@ class PageCache {
     PageRef ref = pool_->AcquirePage(id, /*tracked=*/true);
     Page* p = ref.get();
     if (p != nullptr) {
-      std::lock_guard<Spinlock> g(mu_);
+      SpinlockGuard g(mu_);
       cache_.emplace(id, p);
     }
     return p;
   }
 
   void Invalidate(PageId id) {
-    std::lock_guard<Spinlock> g(mu_);
+    SpinlockGuard g(mu_);
     cache_.erase(id);
   }
   void Clear() {
-    std::lock_guard<Spinlock> g(mu_);
+    SpinlockGuard g(mu_);
     cache_.clear();
   }
 
  private:
   BufferPool* pool_;
   Spinlock mu_;
-  std::unordered_map<PageId, Page*> cache_;
+  std::unordered_map<PageId, Page*> cache_ PLP_GUARDED_BY(mu_);
 };
 
 }  // namespace plp

@@ -77,7 +77,7 @@ Result<Table*> ConventionalEngine::CreateTable(
 }
 
 SliCache* ConventionalEngine::ThreadSli() {
-  std::lock_guard<std::mutex> g(sli_mu_);
+  MutexLock g(sli_mu_);
   auto& slot = sli_caches_[std::this_thread::get_id()];
   if (!slot) {
     slot = std::make_unique<SliCache>(

@@ -8,7 +8,6 @@
 #define PLP_ENGINE_CONVENTIONAL_ENGINE_H_
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -16,7 +15,9 @@
 #include "src/buffer/page_cleaner.h"
 #include "src/engine/engine.h"
 #include "src/lock/sli.h"
+#include "src/sync/latch.h"
 #include "src/sync/mpsc_queue.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -63,8 +64,9 @@ class ConventionalEngine : public Engine {
   std::vector<std::thread> pool_;
   std::atomic<bool> pool_running_{false};
 
-  std::mutex sli_mu_;
-  std::unordered_map<std::thread::id, std::unique_ptr<SliCache>> sli_caches_;
+  Mutex sli_mu_;
+  std::unordered_map<std::thread::id, std::unique_ptr<SliCache>> sli_caches_
+      PLP_GUARDED_BY(sli_mu_);
 };
 
 }  // namespace plp

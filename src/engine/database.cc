@@ -251,11 +251,13 @@ Status Database::LoadDurableState() {
       if (static_cast<PageClass>(header.page_class) != PageClass::kHeap) {
         continue;
       }
-      catalog_mu_.lock();
-      Table* table = header.table_tag < tables_.size()
-                         ? tables_[header.table_tag].get()
-                         : nullptr;
-      catalog_mu_.unlock();
+      Table* table = nullptr;
+      {
+        TrackedMutexLock g(catalog_mu_);
+        table = header.table_tag < tables_.size()
+                    ? tables_[header.table_tag].get()
+                    : nullptr;
+      }
       if (table != nullptr) {
         table->heap()->AdoptPage(pid, header.owner_tag);
       }
@@ -282,24 +284,29 @@ Status Database::LoadDurableState() {
   // ownership re-tagging happens when the engine attaches the recovered
   // tables — PartitionedEngine::RetagOwnedHeap — since partition uids
   // are an engine concept.)
-  for (auto& table : tables_) table->heap()->PrimeFreeSpace();
+  {
+    TrackedMutexLock g(catalog_mu_);
+    for (auto& table : tables_) table->heap()->PrimeFreeSpace();
+  }
   return Status::OK();
 }
 
 Status Database::PersistCatalog() {
   std::string blob;
-  catalog_mu_.lock();
-  io::PutU32(&blob, static_cast<std::uint32_t>(tables_.size()));
-  for (auto& table : tables_) {
-    const TableConfig& tc = table->config();
-    io::PutBytes(&blob, tc.name);
-    blob.push_back(static_cast<char>(tc.heap_mode));
-    blob.push_back(static_cast<char>(tc.index_policy));
-    blob.push_back(tc.clustered ? 1 : 0);
-    io::PutU32(&blob, static_cast<std::uint32_t>(tc.index_boundaries.size()));
-    for (const std::string& b : tc.index_boundaries) io::PutBytes(&blob, b);
+  {
+    TrackedMutexLock g(catalog_mu_);
+    io::PutU32(&blob, static_cast<std::uint32_t>(tables_.size()));
+    for (auto& table : tables_) {
+      const TableConfig& tc = table->config();
+      io::PutBytes(&blob, tc.name);
+      blob.push_back(static_cast<char>(tc.heap_mode));
+      blob.push_back(static_cast<char>(tc.index_policy));
+      blob.push_back(tc.clustered ? 1 : 0);
+      io::PutU32(&blob,
+                 static_cast<std::uint32_t>(tc.index_boundaries.size()));
+      for (const std::string& b : tc.index_boundaries) io::PutBytes(&blob, b);
+    }
   }
-  catalog_mu_.unlock();
   // fsync before rename: committed tables must not vanish with the page
   // cache on a power failure while data.db/WAL still reference them.
   return io::AtomicWriteFile(catalog_path(), blob);
@@ -319,19 +326,20 @@ Result<Table*> Database::CreateTableInternal(TableConfig config,
     return Status::InvalidArgument(
         "index_boundaries[0] must be the empty (-inf) key");
   }
-  catalog_mu_.lock();
-  if (by_name_.count(config.name) > 0) {
-    catalog_mu_.unlock();
-    return Status::AlreadyExists("table " + config.name);
+  Table* raw = nullptr;
+  {
+    TrackedMutexLock g(catalog_mu_);
+    if (by_name_.count(config.name) > 0) {
+      return Status::AlreadyExists("table " + config.name);
+    }
+    const auto id = static_cast<std::uint32_t>(tables_.size());
+    auto table = std::make_unique<Table>(
+        id, std::move(config), &pool_, logged_index() ? &log_ : nullptr,
+        /*log_creation=*/!restoring_);
+    raw = table.get();
+    tables_.push_back(std::move(table));
+    by_name_.emplace(raw->name(), raw);
   }
-  const auto id = static_cast<std::uint32_t>(tables_.size());
-  auto table = std::make_unique<Table>(
-      id, std::move(config), &pool_, logged_index() ? &log_ : nullptr,
-      /*log_creation=*/!restoring_);
-  Table* raw = table.get();
-  tables_.push_back(std::move(table));
-  by_name_.emplace(raw->name(), raw);
-  catalog_mu_.unlock();
   if (persist) {
     // Creation-before-catalog ordering (logged-index mode): the table's
     // root images + partition record must be durable before the catalog
@@ -344,19 +352,16 @@ Result<Table*> Database::CreateTableInternal(TableConfig config,
 }
 
 Table* Database::GetTable(const std::string& name) {
-  catalog_mu_.lock();
+  TrackedMutexLock g(catalog_mu_);
   auto it = by_name_.find(name);
-  Table* t = it == by_name_.end() ? nullptr : it->second;
-  catalog_mu_.unlock();
-  return t;
+  return it == by_name_.end() ? nullptr : it->second;
 }
 
 std::vector<Table*> Database::tables() {
-  catalog_mu_.lock();
+  TrackedMutexLock g(catalog_mu_);
   std::vector<Table*> out;
   out.reserve(tables_.size());
   for (auto& t : tables_) out.push_back(t.get());
-  catalog_mu_.unlock();
   return out;
 }
 
@@ -375,34 +380,35 @@ Status Database::Checkpoint() {
   image.next_txn_id = txns_.peek_next_id();
   image.next_page_id = pool_.peek_next_page_id();
 
-  catalog_mu_.lock();
-  if (logged_index()) {
-    // Persistent index: the payload records only the tiny partition-table
-    // baseline per table — page contents are covered by the dirty page
-    // table + WAL, so checkpoint cost is O(dirty + txns), independent of
-    // index size, and no quiescing is needed (truly fuzzy).
-    for (auto& table : tables_) {
-      CheckpointImage::TablePartitions parts;
-      parts.table_id = table->id();
-      parts.parts = table->primary()->PartitionEntries();
-      image.partitions.push_back(std::move(parts));
-    }
-  } else {
-    // Legacy snapshot mode: serialize every primary index. The caller
-    // must not run concurrent index writers (see src/io/checkpoint.h);
-    // readers are fine.
-    for (auto& table : tables_) {
-      CheckpointImage::TableSnapshot snap;
-      snap.table_id = table->id();
-      (void)table->primary()->ScanFrom("", [&](Slice k, Slice v) {
-        snap.entries.emplace_back(std::string(k.data(), k.size()),
-                                  std::string(v.data(), v.size()));
-        return true;
-      });
-      image.tables.push_back(std::move(snap));
+  {
+    TrackedMutexLock g(catalog_mu_);
+    if (logged_index()) {
+      // Persistent index: the payload records only the tiny partition-table
+      // baseline per table — page contents are covered by the dirty page
+      // table + WAL, so checkpoint cost is O(dirty + txns), independent of
+      // index size, and no quiescing is needed (truly fuzzy).
+      for (auto& table : tables_) {
+        CheckpointImage::TablePartitions parts;
+        parts.table_id = table->id();
+        parts.parts = table->primary()->PartitionEntries();
+        image.partitions.push_back(std::move(parts));
+      }
+    } else {
+      // Legacy snapshot mode: serialize every primary index. The caller
+      // must not run concurrent index writers (see src/io/checkpoint.h);
+      // readers are fine.
+      for (auto& table : tables_) {
+        CheckpointImage::TableSnapshot snap;
+        snap.table_id = table->id();
+        (void)table->primary()->ScanFrom("", [&](Slice k, Slice v) {
+          snap.entries.emplace_back(std::string(k.data(), k.size()),
+                                    std::string(v.data(), v.size()));
+          return true;
+        });
+        image.tables.push_back(std::move(snap));
+      }
     }
   }
-  catalog_mu_.unlock();
 
   LogRecord rec;
   rec.type = LogType::kCheckpoint;

@@ -32,6 +32,8 @@
 #include "src/log/log_manager.h"
 #include "src/metrics/registry.h"
 #include "src/storage/heap_file.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 #include "src/txn/recovery.h"
 #include "src/txn/txn_manager.h"
 
@@ -209,8 +211,9 @@ class Database {
   TxnManager txns_;
 
   TrackedMutex catalog_mu_{CsCategory::kMetadata};
-  std::vector<std::unique_ptr<Table>> tables_;
-  std::unordered_map<std::string, Table*> by_name_;
+  std::vector<std::unique_ptr<Table>> tables_ PLP_GUARDED_BY(catalog_mu_);
+  std::unordered_map<std::string, Table*> by_name_
+      PLP_GUARDED_BY(catalog_mu_);
 
   RecoveryManager::Stats recovery_stats_;
   bool closed_ = false;

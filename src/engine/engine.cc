@@ -33,7 +33,7 @@ Engine::Engine(EngineConfig config)
 Engine::~Engine() {
   if (stats_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> g(stats_mu_);
+      MutexLock g(stats_mu_);
       stats_stop_ = true;
     }
     stats_cv_.notify_all();
@@ -43,18 +43,20 @@ Engine::~Engine() {
 }
 
 void Engine::StatsReporterLoop() {
-  std::unique_lock<std::mutex> lk(stats_mu_);
+  MutexLock lk(stats_mu_);
   for (;;) {
-    const bool stopped = stats_cv_.wait_for(lk, config_.stats_interval,
-                                            [&] { return stats_stop_; });
-    lk.unlock();
+    // Interval sleep, cut short by the stop flag; spurious wakeups simply
+    // re-arm the timer (an extra [stats] line, never a missed stop).
+    if (!stats_stop_) (void)lk.WaitFor(stats_cv_, config_.stats_interval);
+    const bool stopped = stats_stop_;
+    lk.Unlock();
     // A final snapshot is always emitted on the way out, so even programs
     // shorter than one interval produce a [stats] line.
     const std::string json = db_.metrics()->Snapshot().ToJson();
     std::printf("[stats] %s\n", json.c_str());
     std::fflush(stdout);
     if (stopped) return;
-    lk.lock();
+    lk.Lock();
   }
 }
 

@@ -21,6 +21,8 @@
 #include "src/engine/database.h"
 #include "src/engine/txn_handle.h"
 #include "src/metrics/registry.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -179,9 +181,9 @@ class Engine {
  private:
   void StatsReporterLoop();
 
-  std::mutex stats_mu_;
+  Mutex stats_mu_;
   std::condition_variable stats_cv_;
-  bool stats_stop_ = false;
+  bool stats_stop_ PLP_GUARDED_BY(stats_mu_) = false;
   std::thread stats_thread_;
 };
 

@@ -31,7 +31,7 @@ PartitionManager::PartitionManager(Database* db, int num_workers,
       if (d > deepest) deepest = d;
     }
     {
-      std::shared_lock<std::shared_mutex> lk(routing_mu_);
+      ReaderMutexLock lk(routing_mu_);
       for (const auto& [table, r] : routing_) partitions += r->uids.size();
     }
     sink("partition.queue_depth", static_cast<std::int64_t>(total));
@@ -74,7 +74,7 @@ void PartitionManager::WorkerLoop(int index) {
 
 void PartitionManager::RegisterTable(Table* table,
                                      std::vector<std::string> boundaries) {
-  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  WriterMutexLock lk(routing_mu_);
   auto routing = std::make_unique<TableRouting>();
   routing->table = table;
   routing->boundaries = std::move(boundaries);
@@ -91,7 +91,7 @@ void PartitionManager::RegisterTable(Table* table,
 
 void PartitionManager::SetRouting(Table* table,
                                   std::vector<std::string> boundaries) {
-  std::unique_lock<std::shared_mutex> lk(routing_mu_);
+  WriterMutexLock lk(routing_mu_);
   auto it = routing_.find(table);
   assert(it != routing_.end());
   TableRouting* old = it->second.get();
@@ -124,7 +124,7 @@ PartitionManager::TableRouting* PartitionManager::RoutingFor(Table* table) {
 }
 
 PartitionId PartitionManager::RoutePartition(Table* table, Slice key) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   TableRouting* r = RoutingFor(table);
   assert(r != nullptr && !r->boundaries.empty());
   int lo = 0, hi = static_cast<int>(r->boundaries.size());
@@ -140,26 +140,26 @@ PartitionId PartitionManager::RoutePartition(Table* table, Slice key) {
 }
 
 std::uint32_t PartitionManager::PartitionUid(Table* table, PartitionId p) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   TableRouting* r = RoutingFor(table);
   assert(r != nullptr && p < r->uids.size());
   return r->uids[p];
 }
 
 std::vector<std::string> PartitionManager::Boundaries(Table* table) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   TableRouting* r = RoutingFor(table);
   return r == nullptr ? std::vector<std::string>{} : r->boundaries;
 }
 
 int PartitionManager::WorkerForUid(std::uint32_t uid) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   auto it = worker_by_uid_.find(uid);
   return it == worker_by_uid_.end() ? -1 : it->second;
 }
 
 std::vector<std::uint64_t> PartitionManager::LoadSnapshot(Table* table) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   TableRouting* r = RoutingFor(table);
   std::vector<std::uint64_t> out;
   if (r != nullptr) {
@@ -170,7 +170,7 @@ std::vector<std::uint64_t> PartitionManager::LoadSnapshot(Table* table) {
 }
 
 void PartitionManager::ResetLoad(Table* table) {
-  std::shared_lock<std::shared_mutex> lk(routing_mu_);
+  ReaderMutexLock lk(routing_mu_);
   TableRouting* r = RoutingFor(table);
   if (r != nullptr) {
     for (auto& c : r->load) c->store(0, std::memory_order_relaxed);
@@ -244,20 +244,20 @@ void PartitionManager::TallyFlow(const TxnFlow& flow) {
 }
 
 Status PartitionManager::Execute(TxnRequest& req) {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
   bool finished = false;
   Status result;
   Submit(std::move(req), [&](const Status& st) {
     {
-      std::lock_guard<std::mutex> g(mu);
+      MutexLock g(mu);
       result = st;
       finished = true;
     }
     cv.notify_one();
   });
-  std::unique_lock<std::mutex> lk(mu);
-  cv.wait(lk, [&] { return finished; });
+  MutexLock lk(mu);
+  while (!finished) lk.Wait(cv);
   return result;
 }
 
@@ -288,7 +288,7 @@ void PartitionManager::DispatchPhase(const std::shared_ptr<TxnFlow>& flow) {
     std::uint32_t uid;
     int worker;
     {
-      std::shared_lock<std::shared_mutex> lk(routing_mu_);
+      ReaderMutexLock lk(routing_mu_);
       TableRouting* r = RoutingFor(table);
       assert(r != nullptr && !r->boundaries.empty());
       int lo = 0, hi = static_cast<int>(r->boundaries.size());
@@ -378,27 +378,25 @@ void PartitionManager::StartAbort(const std::shared_ptr<TxnFlow>& flow) {
 
 void PartitionManager::Quiesce() {
   {
-    std::lock_guard<std::mutex> g(quiesce_mu_);
+    MutexLock g(quiesce_mu_);
     quiescing_ = true;
     parked_ = 0;
   }
   for (auto& w : workers_) {
     w->queue.Push(Task{[this] {
-      std::unique_lock<std::mutex> lk(quiesce_mu_);
+      MutexLock lk(quiesce_mu_);
       ++parked_;
       quiesce_cv_.notify_all();
-      quiesce_cv_.wait(lk, [this] { return !quiescing_; });
+      while (quiescing_) lk.Wait(quiesce_cv_);
     }});
   }
-  std::unique_lock<std::mutex> lk(quiesce_mu_);
-  quiesce_cv_.wait(lk, [this] {
-    return parked_ == static_cast<int>(workers_.size());
-  });
+  MutexLock lk(quiesce_mu_);
+  while (parked_ != static_cast<int>(workers_.size())) lk.Wait(quiesce_cv_);
 }
 
 void PartitionManager::Resume() {
   {
-    std::lock_guard<std::mutex> g(quiesce_mu_);
+    MutexLock g(quiesce_mu_);
     quiescing_ = false;
   }
   quiesce_cv_.notify_all();

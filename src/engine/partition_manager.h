@@ -17,8 +17,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -28,7 +26,9 @@
 #include "src/engine/database.h"
 #include "src/engine/txn_handle.h"
 #include "src/metrics/registry.h"
+#include "src/sync/latch.h"
 #include "src/sync/mpsc_queue.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -38,18 +38,18 @@ class CountdownEvent {
  public:
   explicit CountdownEvent(int count) : remaining_(count) {}
   void Signal() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (--remaining_ == 0) cv_.notify_all();
   }
   void Wait() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return remaining_ == 0; });
+    MutexLock lk(mu_);
+    while (remaining_ != 0) lk.Wait(cv_);
   }
 
  private:
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  int remaining_;
+  int remaining_ PLP_GUARDED_BY(mu_);
 };
 
 class PartitionManager {
@@ -74,7 +74,7 @@ class PartitionManager {
   /// recover tables from the catalog without a CreateTable call; engines
   /// attach them at Start).
   bool HasTable(Table* table) const {
-    std::shared_lock<std::shared_mutex> lk(routing_mu_);
+    ReaderMutexLock lk(routing_mu_);
     return routing_.count(table) > 0;
   }
 
@@ -151,7 +151,7 @@ class PartitionManager {
   struct TxnFlow;
 
   void WorkerLoop(int index);
-  TableRouting* RoutingFor(Table* table);
+  TableRouting* RoutingFor(Table* table) PLP_REQUIRES_SHARED(routing_mu_);
 
   /// Routes and enqueues the actions of flow->phase (skipping empty
   /// phases); commits when no phase remains.
@@ -184,16 +184,18 @@ class PartitionManager {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> running_{false};
 
-  mutable std::shared_mutex routing_mu_;
-  std::unordered_map<Table*, std::unique_ptr<TableRouting>> routing_;
-  std::unordered_map<std::uint32_t, int> worker_by_uid_;
-  std::uint32_t next_uid_ = kUidBit;
+  mutable SharedMutex routing_mu_;
+  std::unordered_map<Table*, std::unique_ptr<TableRouting>> routing_
+      PLP_GUARDED_BY(routing_mu_);
+  std::unordered_map<std::uint32_t, int> worker_by_uid_
+      PLP_GUARDED_BY(routing_mu_);
+  std::uint32_t next_uid_ PLP_GUARDED_BY(routing_mu_) = kUidBit;
 
   // Quiesce support.
-  std::mutex quiesce_mu_;
+  Mutex quiesce_mu_;
   std::condition_variable quiesce_cv_;
-  bool quiescing_ = false;
-  int parked_ = 0;
+  bool quiescing_ PLP_GUARDED_BY(quiesce_mu_) = false;
+  int parked_ PLP_GUARDED_BY(quiesce_mu_) = 0;
 };
 
 }  // namespace plp

@@ -12,13 +12,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/metrics/txn_trace.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -34,15 +35,20 @@ class CallbackExecutor {
 
   ~CallbackExecutor() {
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       stopping_ = true;
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();
     // Tasks enqueued after the loop exited (or racing the stop) still run:
-    // each task resolves a TxnHandle someone may be waiting on.
-    for (auto& task : tasks_) task();
-    tasks_.clear();
+    // each task resolves a TxnHandle someone may be waiting on. Drained
+    // under the lock, run outside it (a task may re-enter Post).
+    std::deque<std::function<void()>> leftovers;
+    {
+      MutexLock g(mu_);
+      leftovers.swap(tasks_);
+    }
+    for (auto& task : leftovers) task();
   }
 
   CallbackExecutor(const CallbackExecutor&) = delete;
@@ -52,7 +58,7 @@ class CallbackExecutor {
   /// runs the task inline instead).
   bool Post(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       if (stopping_) return false;
       tasks_.push_back(std::move(task));
     }
@@ -62,22 +68,22 @@ class CallbackExecutor {
 
  private:
   void Loop() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     for (;;) {
-      cv_.wait(lk, [&] { return stopping_ || !tasks_.empty(); });
+      while (!stopping_ && tasks_.empty()) lk.Wait(cv_);
       if (tasks_.empty() && stopping_) return;
       auto task = std::move(tasks_.front());
       tasks_.pop_front();
-      lk.unlock();
+      lk.Unlock();
       task();
-      lk.lock();
+      lk.Lock();
     }
   }
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> tasks_ PLP_GUARDED_BY(mu_);
+  bool stopping_ PLP_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -93,13 +99,13 @@ class AdmissionGate {
   /// draining (engine stopping), so blocked submitters cannot starve
   /// WaitIdle forever.
   bool Acquire(bool block) {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (inflight_ >= limit_ && block && !draining_) {
       // Metrics only on the contended path: the uncontended Acquire never
       // reads the clock.
       const std::uint64_t t0 = NowNanos();
       if (blocked_metric_ != nullptr) blocked_metric_->Increment();
-      cv_.wait(lk, [&] { return inflight_ < limit_ || draining_; });
+      while (inflight_ >= limit_ && !draining_) lk.Wait(cv_);
       if (wait_metric_ != nullptr) {
         wait_metric_->Record((NowNanos() - t0) / 1000);
       }
@@ -117,7 +123,7 @@ class AdmissionGate {
   void Release() {
     std::size_t now;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       now = --inflight_;
     }
     // One freed slot admits one waiter; the full wakeup is only needed
@@ -134,36 +140,36 @@ class AdmissionGate {
   /// completed. Engines call this at the top of Stop() so no completion
   /// is lost to teardown; Start() calls Reopen() to accept work again.
   void WaitIdle() {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     draining_ = true;
     cv_.notify_all();
-    cv_.wait(lk, [&] { return inflight_ == 0; });
+    while (inflight_ != 0) lk.Wait(cv_);
   }
 
   void Reopen() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     draining_ = false;
   }
 
   std::size_t limit() const { return limit_; }
   std::size_t inflight() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return inflight_;
   }
   std::size_t peak() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return peak_;
   }
   void ResetPeak() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     peak_ = inflight_;
   }
   std::uint64_t admitted() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return admitted_;
   }
   std::uint64_t rejected() const {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return rejected_;
   }
 
@@ -177,13 +183,14 @@ class AdmissionGate {
 
  private:
   const std::size_t limit_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  bool draining_ = false;
-  std::size_t inflight_ = 0;
-  std::size_t peak_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t rejected_ = 0;
+  bool draining_ PLP_GUARDED_BY(mu_) = false;
+  std::size_t inflight_ PLP_GUARDED_BY(mu_) = 0;
+  std::size_t peak_ PLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t admitted_ PLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_ PLP_GUARDED_BY(mu_) = 0;
+  // Bound once before any submission can reach the gate (engine ctor).
   Counter* blocked_metric_ = nullptr;
   Histogram* wait_metric_ = nullptr;
 };
@@ -194,10 +201,10 @@ namespace internal {
 /// moves through the engine's completion pipeline.
 struct TxnShared {
   std::atomic<bool> resolved{false};  // first Complete wins
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
-  bool done = false;
-  Status status;
+  bool done PLP_GUARDED_BY(mu) = false;
+  Status status PLP_GUARDED_BY(mu);
   std::function<void(const Status&)> callback;
   AdmissionGate* gate = nullptr;      // slot released after completion
   CallbackExecutor* executor = nullptr;  // callback off the worker thread
@@ -212,7 +219,7 @@ struct TxnShared {
 inline void FinishTxn(const std::shared_ptr<TxnShared>& s, Status status) {
   if (s->gate != nullptr) s->gate->Release();
   {
-    std::lock_guard<std::mutex> g(s->mu);
+    MutexLock g(s->mu);
     s->status = std::move(status);
     s->done = true;
   }
@@ -261,15 +268,15 @@ class TxnHandle {
   /// this returns. Invalid handles return Internal.
   Status Wait() {
     if (!valid()) return Status::Internal("Wait on invalid TxnHandle");
-    std::unique_lock<std::mutex> lk(state_->mu);
-    state_->cv.wait(lk, [&] { return state_->done; });
+    MutexLock lk(state_->mu);
+    while (!state_->done) lk.Wait(state_->cv);
     return state_->status;
   }
 
   /// Non-blocking probe: true (and fills `out`) once complete.
   bool TryGet(Status* out) {
     if (!valid()) return false;
-    std::lock_guard<std::mutex> g(state_->mu);
+    MutexLock g(state_->mu);
     if (!state_->done) return false;
     if (out != nullptr) *out = state_->status;
     return true;

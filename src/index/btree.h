@@ -36,6 +36,7 @@
 #include "src/common/types.h"
 #include "src/index/btree_node.h"
 #include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -209,7 +210,12 @@ class BTree {
 
   Status InsertOptimistic(Slice key, Slice value, TxnId txn,
                           bool* needs_smo);
-  Status InsertPessimistic(Slice key, Slice value, TxnId txn);
+  // protocol: policy-elided SMO serialization — smo_mu_ and the page
+  // latches are taken only under LatchPolicy::kLatched (partition-owned
+  // trees are single-writer by the PLP ownership discipline), which the
+  // analysis cannot follow through the conditional acquire/release.
+  Status InsertPessimistic(Slice key, Slice value, TxnId txn)
+      PLP_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Splits `node` (already exclusively owned by the caller), returning
   /// the new right page; `*sep` receives the separator key. The right

@@ -46,7 +46,7 @@ Status MRBTree::Create(BufferPool* pool, LatchPolicy policy,
 
 std::vector<std::pair<std::string, PageId>> MRBTree::PartitionEntries()
     const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   std::vector<std::pair<std::string, PageId>> out;
   out.reserve(subtrees_.size());
   for (std::size_t i = 0; i < subtrees_.size(); ++i) {
@@ -60,7 +60,7 @@ Status MRBTree::AdoptPartitions(
   if (parts.empty() || !parts.front().first.empty()) {
     return Status::InvalidArgument("adopted partitions must start at -inf");
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(mu_);
   if (placeholder_) {
     // First adoption on a restart placeholder: drop the never-used empty
     // roots so they neither leak frames nor shadow recovered pages.
@@ -76,29 +76,29 @@ Status MRBTree::AdoptPartitions(
         std::unique_ptr<BTree>(new BTree(pool_, policy_, root, logger_)));
     entries.push_back({start_key, root});
   }
-  lk.unlock();
+  lk.Unlock();
   return table_->SetEntries(std::move(entries));
 }
 
 void MRBTree::RecountEntries() {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   for (auto& sub : subtrees_) sub->RecountEntries();
 }
 
 BTree* MRBTree::subtree(PartitionId p) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   assert(p < subtrees_.size());
   return subtrees_[p].get();
 }
 
 std::string MRBTree::boundary(PartitionId p) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   assert(p < boundaries_.size());
   return boundaries_[p];
 }
 
 std::vector<std::string> MRBTree::boundaries() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   return boundaries_;
 }
 
@@ -127,7 +127,7 @@ Status MRBTree::ScanFrom(Slice start,
   for (std::size_t i = p; keep_going; ++i) {
     BTree* sub;
     {
-      std::shared_lock<std::shared_mutex> lk(mu_);
+      ReaderMutexLock lk(mu_);
       if (i >= subtrees_.size()) break;
       sub = subtrees_[i].get();
     }
@@ -141,7 +141,7 @@ Status MRBTree::ScanFrom(Slice start,
 }
 
 Status MRBTree::Split(Slice split_key) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(mu_);
   const PartitionId p = table_->PartitionFor(split_key);
   if (boundaries_[p] == split_key.view()) {
     return Status::AlreadyExists("partition already starts at split key");
@@ -164,12 +164,12 @@ Status MRBTree::Split(Slice split_key) {
   PLP_RETURN_IF_ERROR(subtrees_[p]->SliceOff(split_key, &right, parts));
   boundaries_.insert(boundaries_.begin() + p + 1, split_key.ToString());
   subtrees_.insert(subtrees_.begin() + p + 1, std::move(right));
-  lk.unlock();
+  lk.Unlock();
   return PersistTable();
 }
 
 Status MRBTree::Merge(PartitionId p) {
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(mu_);
   if (p == 0 || p >= subtrees_.size()) {
     return Status::InvalidArgument("cannot merge the -inf partition");
   }
@@ -191,18 +191,18 @@ Status MRBTree::Merge(PartitionId p) {
   PLP_RETURN_IF_ERROR(left->Meld(right, boundaries_[p], parts));
   boundaries_.erase(boundaries_.begin() + p);
   subtrees_.erase(subtrees_.begin() + p);
-  lk.unlock();
+  lk.Unlock();
   return PersistTable();
 }
 
 Status MRBTree::PersistTable() {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   std::vector<PartitionTable::Entry> entries;
   entries.reserve(subtrees_.size());
   for (std::size_t i = 0; i < subtrees_.size(); ++i) {
     entries.push_back({boundaries_[i], subtrees_[i]->root()});
   }
-  lk.unlock();
+  lk.Unlock();
   // No WAL record here: slice/meld already logged the new layout inside
   // their atomic kIndexRepartition record (the only callers), so the
   // routing pages are pure in-memory bookkeeping.
@@ -210,21 +210,21 @@ Status MRBTree::PersistTable() {
 }
 
 std::uint64_t MRBTree::num_entries() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   std::uint64_t n = 0;
   for (const auto& sub : subtrees_) n += sub->num_entries();
   return n;
 }
 
 std::uint64_t MRBTree::smo_count() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   std::uint64_t n = 0;
   for (const auto& sub : subtrees_) n += sub->smo_count();
   return n;
 }
 
 Status MRBTree::CheckIntegrity() {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   for (std::size_t i = 0; i < subtrees_.size(); ++i) {
     PLP_RETURN_IF_ERROR(subtrees_[i]->CheckIntegrity());
     // Every key must fall inside its partition's range.

@@ -10,13 +10,13 @@
 #define PLP_INDEX_MRBTREE_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/index/btree.h"
 #include "src/index/partition_table.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -110,9 +110,9 @@ class MRBTree {
   bool placeholder_ = false;  // restart placeholder awaiting adoption
   std::unique_ptr<PartitionTable> table_;
 
-  mutable std::shared_mutex mu_;  // guards subtrees_/boundaries_ layout
-  std::vector<std::string> boundaries_;
-  std::vector<std::unique_ptr<BTree>> subtrees_;
+  mutable SharedMutex mu_;  // guards subtrees_/boundaries_ layout
+  std::vector<std::string> boundaries_ PLP_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<BTree>> subtrees_ PLP_GUARDED_BY(mu_);
 };
 
 }  // namespace plp

@@ -34,7 +34,7 @@ PartitionTable::PartitionTable(BufferPool* pool) : pool_(pool) {
 }
 
 PartitionId PartitionTable::PartitionFor(Slice key) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   assert(!entries_.empty());
   // Last entry whose start_key <= key.
   int lo = 0, hi = static_cast<int>(entries_.size());
@@ -57,24 +57,24 @@ Status PartitionTable::SetEntries(std::vector<Entry> entries) {
     return Status::InvalidArgument("first partition must start at -inf");
   }
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterMutexLock lk(mu_);
     entries_ = std::move(entries);
   }
   return Persist();
 }
 
 std::vector<PartitionTable::Entry> PartitionTable::entries() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   return entries_;
 }
 
 std::size_t PartitionTable::NumPartitions() const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   return entries_.size();
 }
 
 Status PartitionTable::Persist() {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  ReaderMutexLock lk(mu_);
   PageId pid = routing_page_;
   std::size_t i = 0;
   while (i < entries_.size()) {
@@ -118,7 +118,7 @@ Status PartitionTable::LoadFromPages() {
     });
     pid = sp.owner();
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(mu_);
   entries_ = std::move(loaded);
   return Status::OK();
 }

@@ -8,7 +8,6 @@
 #ifndef PLP_INDEX_PARTITION_TABLE_H_
 #define PLP_INDEX_PARTITION_TABLE_H_
 
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,8 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -54,8 +55,8 @@ class PartitionTable {
   BufferPool* pool_;
   PageId routing_page_;
 
-  mutable std::shared_mutex mu_;
-  std::vector<Entry> entries_;
+  mutable SharedMutex mu_;
+  std::vector<Entry> entries_ PLP_GUARDED_BY(mu_);
 };
 
 }  // namespace plp

@@ -13,13 +13,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -113,10 +114,10 @@ class DiskManager {
   const std::string path_;
   int fd_;
 
-  std::mutex table_mu_;
-  std::unordered_map<PageId, PageSlotHeader> live_;
-  std::vector<PageId> free_ids_;       // guarded by table_mu_
-  PageId scanned_max_ = 0;             // highest slot seen at Open
+  Mutex table_mu_;
+  std::unordered_map<PageId, PageSlotHeader> live_ PLP_GUARDED_BY(table_mu_);
+  std::vector<PageId> free_ids_ PLP_GUARDED_BY(table_mu_);
+  PageId scanned_max_ PLP_GUARDED_BY(table_mu_) = 0;  // highest slot at Open
   std::atomic<bool> reuse_enabled_{false};
 
   std::atomic<std::uint64_t> reads_{0};

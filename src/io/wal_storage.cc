@@ -31,60 +31,73 @@ Status WalStorage::Open(const std::string& dir, std::size_t segment_size,
   }
 
   std::unique_ptr<WalStorage> wal(new WalStorage(dir, segment_size));
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
-    if (name.size() != 20 || name.substr(16) != ".wal") continue;
-    Lsn start = 0;
-    if (std::sscanf(name.c_str(), "%16lx.wal", &start) != 1) continue;
-    Segment seg;
-    seg.start = start;
-    seg.size = entry.file_size();
-    seg.path = entry.path().string();
-    wal->segments_.push_back(std::move(seg));
-  }
-  std::sort(wal->segments_.begin(), wal->segments_.end(),
-            [](const Segment& a, const Segment& b) { return a.start < b.start; });
+  bool have_segments = false;
+  {
+    // Open runs single-threaded, but the lock keeps the analysis able to
+    // check the segment table's guard discipline; it is uncontended here.
+    MutexLock g(wal->mu_);
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.size() != 20 || name.substr(16) != ".wal") continue;
+      Lsn start = 0;
+      if (std::sscanf(name.c_str(), "%16lx.wal", &start) != 1) continue;
+      Segment seg;
+      seg.start = start;
+      seg.size = entry.file_size();
+      seg.path = entry.path().string();
+      wal->segments_.push_back(std::move(seg));
+    }
+    std::sort(
+        wal->segments_.begin(), wal->segments_.end(),
+        [](const Segment& a, const Segment& b) { return a.start < b.start; });
 
-  // A prior truncation leaves the stored head possibly mid-record (a
-  // record can straddle the boundary into a deleted segment); the FLOOR
-  // file remembers the first readable record boundary.
-  Lsn floor = 0;
-  if (ReadMasterRecord(wal->FloorPath(), &floor).ok()) {
-    wal->floor_ = floor;
-  }
+    // A prior truncation leaves the stored head possibly mid-record (a
+    // record can straddle the boundary into a deleted segment); the FLOOR
+    // file remembers the first readable record boundary.
+    Lsn floor = 0;
+    if (ReadMasterRecord(wal->FloorPath(), &floor).ok()) {
+      wal->floor_ = floor;
+    }
 
-  // Segments wholly below the floor are truncation leftovers: a crash
-  // can persist TruncateBelow's unlinks in any order (FLOOR itself is
-  // directory-synced before them), so finish the job here rather than
-  // tripping the gap check on a partially-deleted prefix.
-  while (wal->segments_.size() > 1 &&
-         wal->segments_.front().start + wal->segments_.front().size <=
-             wal->floor_) {
-    std::error_code rm_ec;
-    std::filesystem::remove(wal->segments_.front().path, rm_ec);
-    wal->segments_.erase(wal->segments_.begin());
-  }
+    // Segments wholly below the floor are truncation leftovers: a crash
+    // can persist TruncateBelow's unlinks in any order (FLOOR itself is
+    // directory-synced before them), so finish the job here rather than
+    // tripping the gap check on a partially-deleted prefix.
+    while (wal->segments_.size() > 1 &&
+           wal->segments_.front().start + wal->segments_.front().size <=
+               wal->floor_) {
+      std::error_code rm_ec;
+      std::filesystem::remove(wal->segments_.front().path, rm_ec);
+      wal->segments_.erase(wal->segments_.begin());
+    }
 
-  for (std::size_t i = 1; i < wal->segments_.size(); ++i) {
-    if (wal->segments_[i].start !=
-        wal->segments_[i - 1].start + wal->segments_[i - 1].size) {
-      return Status::Corruption("WAL segment gap before " +
-                                wal->segments_[i].path);
+    for (std::size_t i = 1; i < wal->segments_.size(); ++i) {
+      if (wal->segments_[i].start !=
+          wal->segments_[i - 1].start + wal->segments_[i - 1].size) {
+        return Status::Corruption("WAL segment gap before " +
+                                  wal->segments_[i].path);
+      }
+    }
+
+    Lsn end = 0;
+    if (!wal->segments_.empty()) {
+      end = wal->segments_.back().start + wal->segments_.back().size;
+    }
+    wal->end_lsn_.store(end, std::memory_order_release);
+    have_segments = !wal->segments_.empty();
+  }
+  if (have_segments) {
+    // RepairTornTail scans the stream (ScanFrom takes mu_), so it runs
+    // outside the lock.
+    PLP_RETURN_IF_ERROR(wal->RepairTornTail());
+    MutexLock g(wal->mu_);
+    if (!wal->segments_.empty()) {
+      PLP_RETURN_IF_ERROR(wal->OpenSegmentForAppend(
+          wal->segments_.back().start, wal->segments_.back().size));
     }
   }
-
-  Lsn end = 0;
-  if (!wal->segments_.empty()) {
-    end = wal->segments_.back().start + wal->segments_.back().size;
-  }
-  wal->end_lsn_.store(end, std::memory_order_release);
-  if (!wal->segments_.empty()) {
-    PLP_RETURN_IF_ERROR(wal->RepairTornTail());
-    PLP_RETURN_IF_ERROR(wal->OpenSegmentForAppend(
-        wal->segments_.back().start, wal->segments_.back().size));
-  }
-  end = wal->end_lsn_.load(std::memory_order_acquire);
+  const Lsn end = wal->end_lsn_.load(std::memory_order_acquire);
   wal->synced_lsn_.store(end, std::memory_order_release);
   *out = std::move(wal);
   return Status::OK();
@@ -155,7 +168,7 @@ Status WalStorage::RollSegment() {
 }
 
 Status WalStorage::Append(const char* data, std::size_t size) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (fd_ < 0) {
     // First append ever: segment starting at the current end of stream.
     const Lsn start = end_lsn_.load(std::memory_order_relaxed);
@@ -182,7 +195,7 @@ Status WalStorage::Append(const char* data, std::size_t size) {
 }
 
 Status WalStorage::Sync() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (fd_ >= 0 && ::fdatasync(fd_) != 0) return Errno("fdatasync");
   synced_lsn_.store(end_lsn_.load(std::memory_order_acquire),
                     std::memory_order_release);
@@ -196,7 +209,7 @@ Status WalStorage::ScanFrom(
   Lsn end;
   Lsn floor;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     segs = segments_;
     end = end_lsn_.load(std::memory_order_acquire);
     floor = floor_;
@@ -267,17 +280,17 @@ Status WalStorage::ScanFrom(
 }
 
 std::size_t WalStorage::num_segments() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return segments_.size();
 }
 
 Lsn WalStorage::start_lsn() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return segments_.empty() ? 0 : segments_.front().start;
 }
 
 Lsn WalStorage::floor_lsn() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return floor_;
 }
 
@@ -285,10 +298,10 @@ std::size_t WalStorage::TruncateBelow(Lsn floor) {
   // Serialize truncations: a racing lower-floor call must not delete
   // files (or overwrite FLOOR) while a higher floor's persist is still
   // in flight.
-  std::lock_guard<std::mutex> tg(truncate_mu_);
+  MutexLock tg(truncate_mu_);
   Lsn persisted;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (segments_.size() <= 1 ||
         segments_.front().start + segments_.front().size > floor) {
       return 0;  // nothing wholly below the floor
@@ -304,13 +317,13 @@ std::size_t WalStorage::TruncateBelow(Lsn floor) {
   // appends and group-commit syncs are not stalled behind it.
   if (floor > persisted) {
     if (!WriteMasterRecord(FloorPath(), floor).ok()) return 0;
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     floor_ = floor;
   }
 
   std::vector<Segment> doomed;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     while (segments_.size() > 1 &&
            segments_.front().start + segments_.front().size <= floor) {
       doomed.push_back(std::move(segments_.front()));

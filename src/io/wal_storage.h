@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/log/log_record.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -93,23 +94,27 @@ class WalStorage {
 
   std::string SegmentPath(Lsn start) const;
   std::string FloorPath() const;
-  Status OpenSegmentForAppend(Lsn start, std::uint64_t existing_size);
-  Status RollSegment();
+  Status OpenSegmentForAppend(Lsn start, std::uint64_t existing_size)
+      PLP_REQUIRES(mu_);
+  Status RollSegment() PLP_REQUIRES(mu_);
 
   /// Drops bytes past the last complete record (a torn tail from a crash)
   /// so appends resume on a record boundary. Called once at Open.
-  Status RepairTornTail();
+  // protocol: single-threaded Open path — the object is not yet published,
+  // and ScanFrom (called here) takes mu_ itself, so holding it would
+  // self-deadlock.
+  Status RepairTornTail() PLP_NO_THREAD_SAFETY_ANALYSIS;
 
   const std::string dir_;
   const std::size_t segment_size_;
 
-  std::mutex mu_;                  // guards segments_/fd_/floor_ bookkeeping
-  std::mutex truncate_mu_;         // serializes TruncateBelow calls
-  std::vector<Segment> segments_;  // sorted by start lsn
-  Lsn floor_ = 0;                  // first readable record boundary
-  int fd_ = -1;                    // current append segment
-  Lsn current_start_ = 0;
-  std::uint64_t current_size_ = 0;
+  Mutex mu_;           // guards segments_/fd_/floor_ bookkeeping
+  Mutex truncate_mu_;  // serializes TruncateBelow calls
+  std::vector<Segment> segments_ PLP_GUARDED_BY(mu_);  // sorted by start lsn
+  Lsn floor_ PLP_GUARDED_BY(mu_) = 0;  // first readable record boundary
+  int fd_ PLP_GUARDED_BY(mu_) = -1;    // current append segment
+  Lsn current_start_ PLP_GUARDED_BY(mu_) = 0;
+  std::uint64_t current_size_ PLP_GUARDED_BY(mu_) = 0;
 
   std::atomic<Lsn> end_lsn_{0};
   std::atomic<Lsn> synced_lsn_{0};

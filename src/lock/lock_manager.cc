@@ -33,17 +33,12 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
                             std::chrono::milliseconds timeout) {
   Bucket& bucket = BucketFor(name);
 
-  // Enter the lock-table critical section (instrumented manually because a
-  // condition variable needs the raw mutex).
-  bool contended = !bucket.mu.try_lock();
+  // Enter the lock-table critical section (timed manually so the wait is
+  // charged to the lock-manager bucket, not a generic mutex).
   std::uint64_t wait_ns = 0;
-  if (contended) {
-    const std::uint64_t t0 = NowNanos();
-    bucket.mu.lock();
-    wait_ns = NowNanos() - t0;
-  }
+  const bool contended = bucket.mu.LockTimed(&wait_ns);
   CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
-  std::unique_lock<std::mutex> lk(bucket.mu, std::adopt_lock);
+  MutexLock lk(bucket.mu, std::adopt_lock);
 
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
   acquisitions_metric_->Increment();
@@ -58,9 +53,14 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
     waits_metric_->Increment();
     const std::uint64_t wait_start = NowNanos();
     entry.waiters++;
-    const bool granted = bucket.cv.wait_for(lk, timeout, [&] {
-      return CanGrant(bucket.locks[name], txn, mode);
-    });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    bool granted = true;
+    while (!CanGrant(bucket.locks[name], txn, mode)) {
+      if (lk.WaitUntil(bucket.cv, deadline) == std::cv_status::timeout) {
+        granted = CanGrant(bucket.locks[name], txn, mode);
+        break;
+      }
+    }
     bucket.locks[name].waiters--;
     wait_us_metric_->Record((NowNanos() - wait_start) / 1000);
     if (!granted) {
@@ -84,16 +84,11 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
 
 void LockManager::Release(TxnId txn, const std::string& name) {
   Bucket& bucket = BucketFor(name);
-  bool contended = !bucket.mu.try_lock();
   std::uint64_t wait_ns = 0;
-  if (contended) {
-    const std::uint64_t t0 = NowNanos();
-    bucket.mu.lock();
-    wait_ns = NowNanos() - t0;
-  }
+  const bool contended = bucket.mu.LockTimed(&wait_ns);
   CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
   {
-    std::unique_lock<std::mutex> lk(bucket.mu, std::adopt_lock);
+    MutexLock lk(bucket.mu, std::adopt_lock);
     auto it = bucket.locks.find(name);
     if (it != bucket.locks.end()) {
       it->second.holders.erase(txn);
@@ -111,7 +106,7 @@ void LockManager::ReleaseAll(TxnId txn, const std::vector<std::string>& names) {
 
 bool LockManager::HasWaiters(const std::string& name) {
   Bucket& bucket = BucketFor(name);
-  std::lock_guard<std::mutex> lk(bucket.mu);
+  MutexLock lk(bucket.mu);
   auto it = bucket.locks.find(name);
   return it != bucket.locks.end() && it->second.waiters > 0;
 }

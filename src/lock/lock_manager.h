@@ -9,7 +9,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +17,8 @@
 #include "src/common/types.h"
 #include "src/lock/lock_mode.h"
 #include "src/metrics/registry.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -59,9 +60,9 @@ class LockManager {
   };
 
   struct Bucket {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::unordered_map<std::string, LockEntry> locks;
+    std::unordered_map<std::string, LockEntry> locks PLP_GUARDED_BY(mu);
   };
 
   Bucket& BucketFor(const std::string& name);

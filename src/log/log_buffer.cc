@@ -56,7 +56,7 @@ Lsn LogBuffer::Append(Slice payload) {
 }
 
 void LogBuffer::FlushSome() {
-  std::lock_guard<std::mutex> g(flush_mu_);
+  MutexLock g(flush_mu_);
   const Lsn from = flushed_.load(std::memory_order_acquire);
   const Lsn to = completed_.load(std::memory_order_acquire);
   if (to <= from) return;

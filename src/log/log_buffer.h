@@ -12,13 +12,14 @@
 #include <atomic>
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -52,16 +53,20 @@ class LogBuffer {
 
  private:
   /// Drains [flushed_, completed_) to the sink. Serialized by flush_mu_.
-  void FlushSome();
+  void FlushSome() PLP_EXCLUDES(flush_mu_);
 
   const std::size_t capacity_;
+  // The ring bytes are NOT guarded by flush_mu_: appenders write their
+  // reserved [start, start+n) slice concurrently, disjointness guaranteed
+  // by the tail_ fetch-add reservation; the flusher only reads below
+  // completed_, which publishes those writes in LSN order.
   std::vector<char> ring_;
   Sink sink_;
 
   std::atomic<Lsn> tail_{0};       // next LSN to reserve
   std::atomic<Lsn> completed_{0};  // contiguously copied prefix
   std::atomic<Lsn> flushed_{0};    // contiguously flushed prefix
-  std::mutex flush_mu_;
+  Mutex flush_mu_;
 };
 
 }  // namespace plp

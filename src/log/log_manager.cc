@@ -44,7 +44,7 @@ LogManager::LogManager(LogConfig config) : config_(config) {
   }
   if (!wal_ && config_.retain_for_recovery) {
     sink = [this](const char* data, std::size_t size) {
-      std::lock_guard<std::mutex> g(retained_mu_);
+      MutexLock g(retained_mu_);
       retained_.append(data, size);
     };
   }
@@ -80,20 +80,20 @@ void LogManager::FlushTo(Lsn lsn) {
   }
   // Group commit: one leader drains + fsyncs for every waiter whose target
   // is covered; late arrivals become the next round's leader.
-  std::unique_lock<std::mutex> lk(gc_mu_);
+  MutexLock lk(gc_mu_);
   while (gc_synced_lsn_ <= lsn) {
     if (!gc_leader_active_) {
       gc_leader_active_ = true;
-      lk.unlock();
+      lk.Unlock();
       buffer_->FlushTo(lsn);  // bytes reach the wal file (no fsync yet)
       const Lsn written = buffer_->durable_lsn();
       SyncWal(written);
-      lk.lock();
+      lk.Lock();
       gc_synced_lsn_ = std::max(gc_synced_lsn_, written);
       gc_leader_active_ = false;
       gc_cv_.notify_all();
     } else {
-      gc_cv_.wait(lk);
+      lk.Wait(gc_cv_);
     }
   }
 }
@@ -121,7 +121,7 @@ void LogManager::FlushAll() {
   buffer_->FlushAll();
   if (wal_ != nullptr) {
     SyncWal(buffer_->durable_lsn());
-    std::lock_guard<std::mutex> g(gc_mu_);
+    MutexLock g(gc_mu_);
     gc_synced_lsn_ = std::max(gc_synced_lsn_, buffer_->durable_lsn());
   }
 }
@@ -136,7 +136,7 @@ Status LogManager::ScanFrom(
     return Status::NotSupported("log not retained; set retain_for_recovery");
   }
   buffer_->FlushAll();
-  std::lock_guard<std::mutex> g(retained_mu_);
+  MutexLock g(retained_mu_);
   std::size_t off = from >= retained_base_ ? from - retained_base_ : 0;
   while (off < retained_.size()) {
     LogRecord rec;

@@ -18,7 +18,6 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/common/status.h"
@@ -26,6 +25,8 @@
 #include "src/log/log_buffer.h"
 #include "src/log/log_record.h"
 #include "src/metrics/registry.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -108,15 +109,16 @@ class LogManager {
   std::unique_ptr<WalStorage> wal_;
   std::unique_ptr<LogBuffer> buffer_;
 
-  std::mutex retained_mu_;
-  std::string retained_;  // flushed bytes, when retain_for_recovery
-  Lsn retained_base_ = 0;
+  Mutex retained_mu_;
+  // Flushed bytes, when retain_for_recovery.
+  std::string retained_ PLP_GUARDED_BY(retained_mu_);
+  Lsn retained_base_ PLP_GUARDED_BY(retained_mu_) = 0;
 
   // Group-commit coordinator state.
-  std::mutex gc_mu_;
+  Mutex gc_mu_;
   std::condition_variable gc_cv_;
-  bool gc_leader_active_ = false;
-  Lsn gc_synced_lsn_ = 0;
+  bool gc_leader_active_ PLP_GUARDED_BY(gc_mu_) = false;
+  Lsn gc_synced_lsn_ PLP_GUARDED_BY(gc_mu_) = 0;
 
   std::atomic<std::uint64_t> sync_count_{0};
   std::atomic<std::uint64_t> flush_requests_{0};

@@ -143,21 +143,21 @@ std::string StatsSnapshot::ToJson() const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -165,18 +165,18 @@ Histogram* MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::RegisterGaugeProvider(const void* token,
                                             GaugeProvider fn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   providers_.emplace_back(token, std::move(fn));
 }
 
 void MetricsRegistry::UnregisterGaugeProvider(const void* token) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::erase_if(providers_,
                 [token](const auto& p) { return p.first == token; });
 }
 
 StatsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   StatsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, gauge] : gauges_) {
@@ -193,7 +193,7 @@ StatsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (const auto& [name, c] : counters_) c->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, h] : histograms_) h->Reset();

@@ -25,10 +25,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -185,11 +187,14 @@ class MetricsRegistry {
   static MetricsRegistry* Scratch();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<std::pair<const void*, GaugeProvider>> providers_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PLP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PLP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PLP_GUARDED_BY(mu_);
+  std::vector<std::pair<const void*, GaugeProvider>> providers_
+      PLP_GUARDED_BY(mu_);
 };
 
 }  // namespace plp

@@ -3,35 +3,26 @@
 namespace plp {
 
 PageId FreeSpaceMap::FindPageWith(std::size_t need) {
-  mu_.lock();
-  PageId found = kInvalidPageId;
+  TrackedMutexLock g(mu_);
   for (const auto& [id, free] : free_bytes_) {
-    if (free >= need) {
-      found = id;
-      break;
-    }
+    if (free >= need) return id;
   }
-  mu_.unlock();
-  return found;
+  return kInvalidPageId;
 }
 
 void FreeSpaceMap::Update(PageId id, std::size_t free_bytes) {
-  mu_.lock();
+  TrackedMutexLock g(mu_);
   free_bytes_[id] = free_bytes;
-  mu_.unlock();
 }
 
 void FreeSpaceMap::Remove(PageId id) {
-  mu_.lock();
+  TrackedMutexLock g(mu_);
   free_bytes_.erase(id);
-  mu_.unlock();
 }
 
 std::size_t FreeSpaceMap::num_tracked() {
-  mu_.lock();
-  std::size_t n = free_bytes_.size();
-  mu_.unlock();
-  return n;
+  TrackedMutexLock g(mu_);
+  return free_bytes_.size();
 }
 
 }  // namespace plp

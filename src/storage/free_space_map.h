@@ -10,6 +10,7 @@
 
 #include "src/common/types.h"
 #include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -31,7 +32,7 @@ class FreeSpaceMap {
 
  private:
   TrackedMutex mu_;
-  std::unordered_map<PageId, std::size_t> free_bytes_;
+  std::unordered_map<PageId, std::size_t> free_bytes_ PLP_GUARDED_BY(mu_);
 };
 
 }  // namespace plp

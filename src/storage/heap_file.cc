@@ -17,14 +17,15 @@ PageRef HeapFile::AllocatePage(std::uint32_t owner) {
   SlottedPage::Init(page->data());
   SlottedPage(page->data()).set_owner(owner);
   if (mode_ != HeapMode::kShared) page->set_owner_tag(owner);
-  meta_mu_.lock();
-  pages_.push_back(page->id());
-  if (mode_ != HeapMode::kShared) {
-    auto& op = owners_[owner];
-    if (!op) op = std::make_unique<OwnerPages>();
-    op->pages.push_back(page->id());
+  {
+    TrackedMutexLock g(meta_mu_);
+    pages_.push_back(page->id());
+    if (mode_ != HeapMode::kShared) {
+      auto& op = owners_[owner];
+      if (!op) op = std::make_unique<OwnerPages>();
+      op->pages.push_back(page->id());
+    }
   }
-  meta_mu_.unlock();
   return page;
 }
 
@@ -34,7 +35,7 @@ PageRef HeapFile::FixForOp(PageId id) {
 }
 
 void HeapFile::AdoptPage(PageId id, std::uint32_t owner) {
-  meta_mu_.lock();
+  TrackedMutexLock g(meta_mu_);
   if (std::find(pages_.begin(), pages_.end(), id) == pages_.end()) {
     pages_.push_back(id);
     if (mode_ != HeapMode::kShared) {
@@ -43,7 +44,6 @@ void HeapFile::AdoptPage(PageId id, std::uint32_t owner) {
       op->pages.push_back(id);
     }
   }
-  meta_mu_.unlock();
 }
 
 void HeapFile::PrimeFreeSpace() {
@@ -56,12 +56,10 @@ void HeapFile::PrimeFreeSpace() {
 }
 
 HeapFile::OwnerPages* HeapFile::GetOwnerPages(std::uint32_t owner) {
-  meta_mu_.lock();
+  TrackedMutexLock g(meta_mu_);
   auto& op = owners_[owner];
   if (!op) op = std::make_unique<OwnerPages>();
-  OwnerPages* raw = op.get();
-  meta_mu_.unlock();
-  return raw;
+  return op.get();
 }
 
 Status HeapFile::Insert(Slice record, Rid* rid, const MutationHook& logged) {
@@ -209,28 +207,28 @@ Status HeapFile::Move(Rid from, std::uint32_t new_owner, Rid* new_rid) {
 }
 
 std::vector<PageId> HeapFile::OwnedPages(std::uint32_t owner) {
-  meta_mu_.lock();
+  TrackedMutexLock g(meta_mu_);
   std::vector<PageId> out;
   auto it = owners_.find(owner);
   if (it != owners_.end()) out = it->second->pages;
-  meta_mu_.unlock();
   return out;
 }
 
 void HeapFile::RetagPage(PageId id, std::uint32_t new_owner) {
-  meta_mu_.lock();
-  for (auto& [owner, op] : owners_) {
-    if (owner == new_owner) continue;
-    auto it = std::find(op->pages.begin(), op->pages.end(), id);
-    if (it != op->pages.end()) op->pages.erase(it);
+  {
+    TrackedMutexLock g(meta_mu_);
+    for (auto& [owner, op] : owners_) {
+      if (owner == new_owner) continue;
+      auto it = std::find(op->pages.begin(), op->pages.end(), id);
+      if (it != op->pages.end()) op->pages.erase(it);
+    }
+    auto& dst = owners_[new_owner];
+    if (!dst) dst = std::make_unique<OwnerPages>();
+    if (std::find(dst->pages.begin(), dst->pages.end(), id) ==
+        dst->pages.end()) {
+      dst->pages.push_back(id);
+    }
   }
-  auto& dst = owners_[new_owner];
-  if (!dst) dst = std::make_unique<OwnerPages>();
-  if (std::find(dst->pages.begin(), dst->pages.end(), id) ==
-      dst->pages.end()) {
-    dst->pages.push_back(id);
-  }
-  meta_mu_.unlock();
   PageRef page = pool_->AcquirePage(id, /*tracked=*/false);
   if (page) {
     SlottedPage(page->data()).set_owner(new_owner);
@@ -240,7 +238,7 @@ void HeapFile::RetagPage(PageId id, std::uint32_t new_owner) {
 }
 
 void HeapFile::RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner) {
-  meta_mu_.lock();
+  TrackedMutexLock g(meta_mu_);
   auto it = owners_.find(old_owner);
   if (it != owners_.end()) {
     auto& dst = owners_[new_owner];
@@ -256,7 +254,6 @@ void HeapFile::RetagOwner(std::uint32_t old_owner, std::uint32_t new_owner) {
     }
     owners_.erase(it);
   }
-  meta_mu_.unlock();
 }
 
 std::size_t HeapFile::num_pages() const {
@@ -264,10 +261,8 @@ std::size_t HeapFile::num_pages() const {
 }
 
 std::vector<PageId> HeapFile::AllPages() {
-  meta_mu_.lock();
-  std::vector<PageId> out = pages_;
-  meta_mu_.unlock();
-  return out;
+  TrackedMutexLock g(meta_mu_);
+  return pages_;
 }
 
 }  // namespace plp

@@ -27,6 +27,7 @@
 #include "src/storage/free_space_map.h"
 #include "src/storage/slotted_page.h"
 #include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -132,8 +133,9 @@ class HeapFile {
   FreeSpaceMap fsm_;  // shared mode placement
 
   TrackedMutex meta_mu_{CsCategory::kMetadata};
-  std::vector<PageId> pages_;
-  std::unordered_map<std::uint32_t, std::unique_ptr<OwnerPages>> owners_;
+  std::vector<PageId> pages_ PLP_GUARDED_BY(meta_mu_);
+  std::unordered_map<std::uint32_t, std::unique_ptr<OwnerPages>> owners_
+      PLP_GUARDED_BY(meta_mu_);
 };
 
 }  // namespace plp

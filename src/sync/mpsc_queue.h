@@ -8,11 +8,12 @@
 
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "src/sync/cs_profiler.h"
+#include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 
 namespace plp {
 
@@ -30,8 +31,7 @@ class MpscQueue {
 
   void Push(T item) {
     {
-      bool contended = !mu_.try_lock();
-      if (contended) mu_.lock();
+      const bool contended = mu_.LockNoteContended();
       if (record_cs_) {
         CsProfiler::Record(CsCategory::kMessagePassing, contended);
       }
@@ -45,8 +45,7 @@ class MpscQueue {
   /// so page-cleaning requests are served before normal actions.
   void PushHighPriority(T item) {
     {
-      bool contended = !mu_.try_lock();
-      if (contended) mu_.lock();
+      const bool contended = mu_.LockNoteContended();
       if (record_cs_) {
         CsProfiler::Record(CsCategory::kMessagePassing, contended);
       }
@@ -59,8 +58,8 @@ class MpscQueue {
   /// Blocks until an item is available or Close() is called.
   /// Returns nullopt only after close with an empty queue.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return !items_.empty() || closed_; });
+    MutexLock lk(mu_);
+    while (items_.empty() && !closed_) lk.Wait(cv_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -69,7 +68,7 @@ class MpscQueue {
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -78,7 +77,7 @@ class MpscQueue {
 
   void Close() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -87,26 +86,26 @@ class MpscQueue {
   /// Reopens a closed queue (consumer-pool restart). The caller must have
   /// joined every consumer that observed the close first.
   void Reopen() {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = false;
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return items_.size();
   }
 
  private:
   const bool record_cs_ = true;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ PLP_GUARDED_BY(mu_);
+  bool closed_ PLP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace plp

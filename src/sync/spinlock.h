@@ -4,16 +4,19 @@
 
 #include <atomic>
 
+#include "src/sync/thread_annotations.h"
+
 namespace plp {
 
-/// TTAS spinlock. Satisfies Lockable, so std::lock_guard works.
-class Spinlock {
+/// TTAS spinlock. Satisfies Lockable; engine code locks it through
+/// SpinlockGuard so the capability stays visible to the analysis.
+class PLP_CAPABILITY("spinlock") Spinlock {
  public:
   Spinlock() = default;
   Spinlock(const Spinlock&) = delete;
   Spinlock& operator=(const Spinlock&) = delete;
 
-  void lock() {
+  void lock() PLP_ACQUIRE() {
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
@@ -23,14 +26,30 @@ class Spinlock {
       }
     }
   }
-  bool try_lock() {
+  bool try_lock() PLP_TRY_ACQUIRE(true) {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() PLP_RELEASE() { flag_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// Scoped lock over Spinlock (std::lock_guard is invisible to the
+/// analysis).
+class PLP_SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& lock) PLP_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinlockGuard() PLP_RELEASE() { lock_.unlock(); }
+
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
 };
 
 }  // namespace plp

@@ -1,0 +1,103 @@
+// Clang Thread Safety Analysis attribute shim (the PLP_THREAD_ANNOTATION_*
+// layer). The engine's ownership and latching invariants — which mutex
+// guards which member, which functions must (or must not) hold it — are
+// written down with these macros so `clang++ -Wthread-safety -Werror`
+// proves them at compile time (the CI clang job). GCC and pre-capability
+// clangs see empty macros and compile identical code.
+//
+// Conventions (see docs/static_analysis.md for the full guide):
+//  * Capability types: Latch, TrackedMutex, Mutex, SharedMutex, Spinlock
+//    (src/sync/latch.h, src/sync/spinlock.h). Raw std::mutex and
+//    std::lock_guard/std::unique_lock are confined to src/sync — the
+//    analysis cannot see through them (enforced by tools/lint_invariants.py).
+//  * Data members annotate the mutex that guards them: PLP_GUARDED_BY for
+//    the member itself, PLP_PT_GUARDED_BY for what a pointer member points
+//    at.
+//  * Functions declare their locking contract: PLP_REQUIRES (caller holds),
+//    PLP_ACQUIRE/PLP_RELEASE (this function takes/drops), PLP_TRY_ACQUIRE
+//    (conditional), PLP_EXCLUDES (must NOT hold — deadlock guard).
+//  * A deliberate lock-free protocol opts out with
+//    PLP_NO_THREAD_SAFETY_ANALYSIS plus a comment naming the protocol
+//    (e.g. "pin/fence/revalidate"); the lint rejects bare opt-outs.
+#ifndef PLP_SYNC_THREAD_ANNOTATIONS_H_
+#define PLP_SYNC_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PLP_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef PLP_THREAD_ANNOTATION_ATTRIBUTE__
+#define PLP_THREAD_ANNOTATION_ATTRIBUTE__(x)  // compiles away on GCC
+#endif
+
+/// Type is a capability (lockable). The string names the capability kind in
+/// diagnostics ("mutex", "latch", ...).
+#define PLP_CAPABILITY(x) PLP_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// RAII type that acquires in its constructor and releases in its
+/// destructor (std::lock_guard shape).
+#define PLP_SCOPED_CAPABILITY \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while the given capability is held.
+#define PLP_GUARDED_BY(x) PLP_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability (the
+/// pointer itself may be read freely).
+#define PLP_PT_GUARDED_BY(x) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define PLP_ACQUIRED_BEFORE(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define PLP_ACQUIRED_AFTER(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared).
+#define PLP_REQUIRES(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define PLP_REQUIRES_SHARED(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define PLP_ACQUIRE(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define PLP_ACQUIRE_SHARED(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry).
+#define PLP_RELEASE(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define PLP_RELEASE_SHARED(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (Latch::Release(mode)).
+#define PLP_RELEASE_GENERIC(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+/// Conditional acquisition; first argument is the success return value.
+#define PLP_TRY_ACQUIRE(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define PLP_TRY_ACQUIRE_SHARED(...)                 \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(                \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant acquire paths).
+#define PLP_EXCLUDES(...) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (recovery entry points
+/// that are single-threaded by construction).
+#define PLP_ASSERT_CAPABILITY(x) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define PLP_RETURN_CAPABILITY(x) \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Opt-out for deliberate lock-free protocols. MUST carry a comment naming
+/// the protocol it opts out for (enforced by tools/lint_invariants.py).
+#define PLP_NO_THREAD_SAFETY_ANALYSIS \
+  PLP_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // PLP_SYNC_THREAD_ANNOTATIONS_H_

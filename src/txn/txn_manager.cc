@@ -35,9 +35,10 @@ Transaction* TxnManager::Begin() {
   raw->set_last_lsn(begin_lsn);
   raw->set_begin_lsn(begin_lsn);
 
-  table_mu_.lock();
-  active_.emplace(id, std::move(txn));
-  table_mu_.unlock();
+  {
+    TrackedMutexLock g(table_mu_);
+    active_.emplace(id, std::move(txn));
+  }
   begins_metric_->Increment();
   return raw;
 }
@@ -87,26 +88,22 @@ Status TxnManager::Abort(Transaction* txn) {
 }
 
 void TxnManager::Retire(Transaction* txn) {
-  table_mu_.lock();
+  TrackedMutexLock g(table_mu_);
   active_.erase(txn->id());
-  table_mu_.unlock();
 }
 
 std::size_t TxnManager::active_count() {
-  table_mu_.lock();
-  std::size_t n = active_.size();
-  table_mu_.unlock();
-  return n;
+  TrackedMutexLock g(table_mu_);
+  return active_.size();
 }
 
 std::vector<std::pair<TxnId, Lsn>> TxnManager::ActiveSnapshot() {
   std::vector<std::pair<TxnId, Lsn>> out;
-  table_mu_.lock();
+  TrackedMutexLock g(table_mu_);
   out.reserve(active_.size());
   for (const auto& [id, txn] : active_) {
     out.emplace_back(id, txn->begin_lsn());
   }
-  table_mu_.unlock();
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "src/lock/lock_manager.h"
 #include "src/log/log_manager.h"
 #include "src/sync/latch.h"
+#include "src/sync/thread_annotations.h"
 #include "src/txn/transaction.h"
 
 namespace plp {
@@ -75,7 +76,8 @@ class TxnManager {
 
   std::atomic<TxnId> next_txn_id_{1};
   TrackedMutex table_mu_{CsCategory::kXctMgr};
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_
+      PLP_GUARDED_BY(table_mu_);
 
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> aborted_{0};
