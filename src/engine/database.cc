@@ -369,6 +369,9 @@ Status Database::Checkpoint() {
   if (!durable()) {
     return Status::NotSupported("checkpoint requires a durable database");
   }
+  // One checkpoint at a time: interleaved append/publish/truncate from two
+  // callers could publish master records out of order (see checkpoint_mu_).
+  MutexLock checkpoint_guard(checkpoint_mu_);
   const std::uint64_t checkpoint_start = NowNanos();
   CheckpointImage image;
   // begin_checkpoint first: anything that happens while the tables below

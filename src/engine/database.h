@@ -210,6 +210,13 @@ class Database {
   LockManager locks_;
   TxnManager txns_;
 
+  /// Serializes whole checkpoints. Append -> flush -> master publish ->
+  /// WAL truncate must not interleave across callers: a slower checkpoint
+  /// could otherwise overwrite the master record with an older LSN after
+  /// a faster one has already truncated the segments that older
+  /// checkpoint's restart scan would need.
+  Mutex checkpoint_mu_;
+
   TrackedMutex catalog_mu_{CsCategory::kMetadata};
   std::vector<std::unique_ptr<Table>> tables_ PLP_GUARDED_BY(catalog_mu_);
   std::unordered_map<std::string, Table*> by_name_
