@@ -430,7 +430,12 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Close() {
-  if (!durable() || closed_) return Status::OK();
+  if (!durable()) return Status::OK();
+  // One closer runs the shutdown sequence; concurrent latecomers block
+  // here and then observe closed_ instead of re-running the flush and
+  // final checkpoint (unguarded, two racing closers both saw false).
+  MutexLock close_guard(close_mu_);
+  if (closed_) return Status::OK();
   log_.FlushAll();
   PLP_RETURN_IF_ERROR(pool_.FlushAllDirty(LatchPolicy::kNone));
   PLP_RETURN_IF_ERROR(disk_->Sync());

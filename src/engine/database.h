@@ -223,7 +223,13 @@ class Database {
       PLP_GUARDED_BY(catalog_mu_);
 
   RecoveryManager::Stats recovery_stats_;
-  bool closed_ = false;
+
+  /// Serializes Close(): exactly one caller runs the flush + final
+  /// checkpoint; latecomers wait and then observe closed_. Ordered before
+  /// checkpoint_mu_ (Close calls Checkpoint); nothing takes them in
+  /// reverse.
+  Mutex close_mu_;
+  bool closed_ PLP_GUARDED_BY(close_mu_) = false;
   bool restoring_ = false;  // catalog replay in progress (suppress logging)
 };
 

@@ -544,5 +544,52 @@ TEST_F(DurabilityTest, ConcurrentCheckpointsKeepMasterAndFloorConsistent) {
   engine->Stop();
 }
 
+// Regression (Database::Close read `closed_` unguarded): two racing
+// closers could both observe closed_ == false and each run the full
+// flush + final-checkpoint sequence. Close from four threads: all must
+// return OK, exactly one final checkpoint must run, and the reopened
+// database must be clean.
+TEST_F(DurabilityTest, ConcurrentCloseRunsShutdownOnce) {
+  constexpr std::uint32_t kInserted = 100;
+  {
+    auto created = CreateEngine(MakeConfig());
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    auto engine = std::move(created).value();
+    engine->Start();
+    ASSERT_TRUE(engine->CreateTable("t", {""}).ok());
+    for (std::uint32_t k = 0; k < kInserted; ++k) {
+      ASSERT_TRUE(InsertOne(engine.get(), k).ok()) << k;
+    }
+    engine->Stop();
+
+    std::atomic<std::uint32_t> failures{0};
+    std::vector<std::thread> closers;
+    for (int t = 0; t < 4; ++t) {
+      closers.emplace_back([&] {
+        if (!engine->db().Close().ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : closers) th.join();
+    EXPECT_EQ(failures.load(), 0u);
+    // Exactly one closer ran the shutdown sequence.
+    EXPECT_EQ(engine->GetStats().counter("checkpoint.count"), 1u);
+  }
+
+  auto created = CreateEngine(MakeConfig());
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+  engine->Start();
+  ASSERT_TRUE(engine->db().open_status().ok())
+      << engine->db().open_status().ToString();
+  // Clean close: restart replays nothing.
+  EXPECT_EQ(engine->db().recovery_stats().redo_ops, 0u);
+  for (std::uint32_t k = 0; k < kInserted; k += 7) {
+    EXPECT_EQ(ReadOne(engine.get(), k), Payload(k)) << k;
+  }
+  engine->Stop();
+}
+
 }  // namespace
 }  // namespace plp
