@@ -62,6 +62,19 @@ BufferPool::BufferPool(BufferPoolConfig config) : config_(std::move(config)) {
 
 BufferPool::~BufferPool() {
   if (metrics_ != nullptr) metrics_->UnregisterGaugeProvider(this);
+#ifndef NDEBUG
+  // Pin-discipline trap (debug builds only): by teardown every Pin()
+  // must have been paired by its PageRef/PinGuard. A surviving pin means
+  // a guard leaked somewhere — in a live pool that frame is silently
+  // unevictable forever, so fail loudly here where it is attributable.
+  for (auto& shard : shards_) {
+    TrackedMutexLock g(shard->mu);
+    for ([[maybe_unused]] auto& [id, page] : shard->pages) {
+      assert(page->pin_count() == 0 &&
+             "leaked pin at BufferPool teardown (unpaired Page::Pin)");
+    }
+  }
+#endif
   for (std::size_t i = 0; i < kDirRootSize; ++i) {
     delete dir_root_[i].load(std::memory_order_relaxed);
   }
@@ -421,16 +434,12 @@ bool BufferPool::TryUnswizzle(Page* child) {
     child->ClearSwizzleParentIf(parent_pid);
     return child->swizzle_parent() == kInvalidPageId;
   }
-  parent->Pin();
+  PinGuard parent_pin(parent);
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (DirLookup(parent_pid) != parent) {
-    parent->Unpin();
-    return false;
-  }
+  if (DirLookup(parent_pid) != parent) return false;
   if (parent->page_class() != PageClass::kIndex) {
     // The parent pid was freed and reused by a non-index page (slot
     // reuse); the swizzled entry died with the old page image.
-    parent->Unpin();
     NoteUnswizzled();
     child->ClearSwizzleParentIf(parent_pid);
     return child->swizzle_parent() == kInvalidPageId;
@@ -438,14 +447,10 @@ bool BufferPool::TryUnswizzle(Page* child) {
   // Exclusive parent latch: mutual exclusion with descents resolving the
   // swizzled entry under a shared latch. try-lock only — this runs under
   // the clock sweep's locks and must never wait.
-  if (!parent->latch().TryAcquireExclusive()) {
-    parent->Unpin();
-    return false;
-  }
+  if (!parent->latch().TryAcquireExclusive()) return false;
   const bool gone =
       config_.unswizzle_child(parent, child->frame_index(), child->id());
   parent->latch().ReleaseExclusive();
-  parent->Unpin();
   if (!gone) return false;
   NoteUnswizzled();
   child->ClearSwizzleParentIf(parent_pid);

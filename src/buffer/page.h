@@ -199,6 +199,31 @@ class Page {
   alignas(64) char data_[kPageSize];
 };
 
+/// RAII pin over a frame the caller already holds a Page* to: pins on
+/// construction, unpins on destruction. For paths that pin transiently
+/// around a revalidate/latch window (eviction's pin/fence/revalidate,
+/// unswizzle repair) rather than handing a reference out — those use
+/// PageRef. Debug builds trap unpaired pins at pool teardown
+/// (~BufferPool), so every manual Pin() should live inside one of the
+/// two guards.
+class PinGuard {
+ public:
+  explicit PinGuard(Page* page) : page_(page) { page_->Pin(); }
+  ~PinGuard() {
+    if (page_ != nullptr) page_->Unpin();
+  }
+
+  PinGuard(PinGuard&& other) noexcept : page_(other.page_) {
+    other.page_ = nullptr;
+  }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+  PinGuard& operator=(PinGuard&&) = delete;
+
+ private:
+  Page* page_;
+};
+
 }  // namespace plp
 
 #endif  // PLP_BUFFER_PAGE_H_

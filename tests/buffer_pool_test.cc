@@ -224,5 +224,37 @@ TEST(PageTest, OwnerTagDefaultsUnowned) {
   EXPECT_EQ(a->owner_tag(), 7u);
 }
 
+TEST(PinGuardTest, PairsPinAcrossScopesAndMoves) {
+  BufferPool pool;
+  Page* p = pool.NewPage(PageClass::kHeap);
+  {
+    PinGuard outer(p);
+    EXPECT_EQ(p->pin_count(), 1);
+    {
+      PinGuard moved(std::move(outer));
+      EXPECT_EQ(p->pin_count(), 1);  // move transfers, never double-pins
+    }
+    EXPECT_EQ(p->pin_count(), 0);  // moved-from guard releases nothing
+  }
+  EXPECT_EQ(p->pin_count(), 0);
+}
+
+// Debug builds trap an unpaired Page::Pin at pool teardown — a leaked
+// pin in a live pool silently makes the frame unevictable forever, so
+// ~BufferPool asserts every frame has pinned-to-zero.
+TEST(PinGuardDeathTest, LeakedPinTrapsAtTeardownInDebugBuilds) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "pin-discipline trap compiles out in NDEBUG builds";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        BufferPool victim;
+        victim.NewPage(PageClass::kHeap)->Pin();  // deliberately leaked
+      },
+      "leaked pin at BufferPool teardown");
+#endif
+}
+
 }  // namespace
 }  // namespace plp
