@@ -89,9 +89,10 @@ void Run() {
       auto engine = MakeDurableEngine(mode.durable ? base : "",
                                       mode.frame_budget);
       Load(engine.get());
-      // Drop load-phase noise so the snapshot attached to this row
-      // describes the measurement window alone.
-      engine->metrics()->Reset();
+      // Window isolation without Reset(): subtracting a baseline snapshot
+      // (StatsSnapshot::DeltaSince) drops load-phase noise exactly, where
+      // Reset() raced in-flight increments by design.
+      const StatsSnapshot baseline = engine->GetStats();
       const std::uint64_t syncs_before = engine->db().log()->sync_count();
       DriverOptions options;
       options.num_threads = run.threads;
@@ -100,7 +101,7 @@ void Run() {
       DriverResult r = RunWorkload(engine.get(), UpdateTxn, options);
       const std::uint64_t fsyncs =
           engine->db().log()->sync_count() - syncs_before;
-      const StatsSnapshot stats = engine->GetStats();
+      const StatsSnapshot stats = engine->GetStats().DeltaSince(baseline);
       const bool open_loop = run.depth > 0;
       std::printf("%-18s %8d %10s %10.1f %10.1f %10.1f %10llu\n", mode.name,
                   run.threads, open_loop ? "open" : "closed", r.ktps(),

@@ -38,7 +38,9 @@ void Run() {
       DriverOptions options;
       options.num_threads = threads;
       options.duration = bench::WindowMs();
-      engine->metrics()->Reset();  // per-row attribution window
+      // Per-row attribution window via snapshot subtraction (DeltaSince
+      // is exact where Reset() raced in-flight increments).
+      const StatsSnapshot row_base = engine->GetStats();
       DriverResult r = RunWorkload(
           engine.get(),
           [&](Rng& rng) {
@@ -48,7 +50,7 @@ void Run() {
       std::printf(" %10.1f", r.ktps());
       std::fflush(stdout);
       json.Add(SystemDesignName(design), threads, r, "closed-loop",
-               engine->GetStats().ToJson());
+               engine->GetStats().DeltaSince(row_base).ToJson());
       // Unscalable communication per transaction: lock manager, page
       // latching and buffer pool (Section 2.1's taxonomy) — this is what
       // determines the scaling curve on parallel hardware.
@@ -97,7 +99,7 @@ void Run() {
     options.num_threads = 4;
     options.pipeline_depth = 1024;
     options.duration = bench::WindowMs();
-    engine->metrics()->Reset();  // per-row attribution window
+    const StatsSnapshot row_base = engine->GetStats();  // attribution window
     DriverResult r = RunWorkload(
         engine.get(),
         [&](Rng& rng) {
@@ -117,7 +119,7 @@ void Run() {
                 r.p99_us());
     std::fflush(stdout);
     json.Add(std::string(SystemDesignName(design)) + "-pipelined", 4, r,
-             "open-loop", engine->GetStats().ToJson());
+             "open-loop", engine->GetStats().DeltaSince(row_base).ToJson());
     engine->Stop();
   }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/clock.h"
 #include "src/io/disk_manager.h"
+#include "src/metrics/flight_recorder.h"
 
 namespace plp {
 
@@ -67,12 +68,18 @@ BufferPool::~BufferPool() {
   // must have been paired by its PageRef/PinGuard. A surviving pin means
   // a guard leaked somewhere — in a live pool that frame is silently
   // unevictable forever, so fail loudly here where it is attributable.
+  // The flight-recorder black box ships with the abort: the last events
+  // per thread usually name the access path that leaked the guard.
+  bool leaked_pin = false;
   for (auto& shard : shards_) {
     TrackedMutexLock g(shard->mu);
     for ([[maybe_unused]] auto& [id, page] : shard->pages) {
-      assert(page->pin_count() == 0 &&
-             "leaked pin at BufferPool teardown (unpaired Page::Pin)");
+      if (page->pin_count() != 0) leaked_pin = true;
     }
+  }
+  if (leaked_pin) {
+    FlightRecorder::Global().DumpBlackBox(2);
+    assert(!"leaked pin at BufferPool teardown (unpaired Page::Pin)");
   }
 #endif
   for (std::size_t i = 0; i < kDirRootSize; ++i) {
@@ -339,6 +346,8 @@ Page* BufferPool::FixInternal(PageId id, bool tracked, bool pin) {
     if (p != nullptr) {
       misses_metric_->Increment();
       miss_stall_us_metric_->Record((NowNanos() - miss_start) / 1000);
+      FlightRecorder::Emit(TraceEventType::kBufMissStall, miss_start,
+                           NowNanos() - miss_start, id, 0);
     }
     if (p != nullptr && pin) {
       // Benign race: the freshly loaded frame could be evicted before this
@@ -463,6 +472,7 @@ void BufferPool::UnswizzleForWriteBack(Page* page) {
 }
 
 bool BufferPool::EvictOne() {
+  TraceSiteScope trace_site(TraceSite::kBufferPoolEvict);
   // Phase 1 — select a candidate under clock_mu_ only (no I/O, no shard
   // mutex nesting beyond a brief peek). The candidate is removed from the
   // clock so concurrent evictors pick different victims; it is re-added
@@ -611,6 +621,8 @@ bool BufferPool::EvictOne() {
       disk_writes_.fetch_add(1, std::memory_order_relaxed);
       eviction_writebacks_metric_->Increment();
       writeback_stall_us_metric_->Record((NowNanos() - steal_start) / 1000);
+      FlightRecorder::Emit(TraceEventType::kEvictWriteback, steal_start,
+                           NowNanos() - steal_start, pid, 0);
     }
 
     // Phase 3 — detach, re-validating under the shard mutex: a pin taken,
@@ -686,6 +698,7 @@ Status BufferPool::WriteBack(Page* page) {
 }
 
 Status BufferPool::FlushPage(PageId id, LatchPolicy policy) {
+  TraceSiteScope trace_site(TraceSite::kPageCleaner);
   if (config_.disk == nullptr) {
     // Memory-resident: cleaning is just clearing the dirty bit.
     Page* page = FixUnlocked(id);

@@ -7,6 +7,7 @@
 
 #include "src/common/clock.h"
 #include "src/index/btree_node.h"
+#include "src/metrics/flight_recorder.h"
 #include "src/io/codec.h"
 #include "src/storage/slotted_page.h"
 
@@ -137,6 +138,23 @@ Database::Database(DatabaseConfig config)
       log_(MakeLogConfig(config_, &metrics_)),
       locks_(&metrics_),
       txns_(&log_, &locks_, config_.txn, &metrics_) {
+  // Post-mortem observability: fatal signals dump the flight-recorder
+  // black box before the process dies, and every stats snapshot carries
+  // the recorder's drop counter plus the per-site contention ranking.
+  FlightRecorder::InstallCrashHandlers();
+  metrics_.RegisterGaugeProvider(this, [](const GaugeSink& sink) {
+    FlightRecorder& fr = FlightRecorder::Global();
+    sink("trace.dropped_events",
+         static_cast<std::int64_t>(fr.dropped_events()));
+    for (const ContentionEntry& e : fr.ContentionSnapshot()) {
+      const std::string base =
+          std::string("contention.") + TraceSiteName(e.site);
+      sink(base + ".waits", static_cast<std::int64_t>(e.count));
+      sink(base + ".wait_us_total",
+           static_cast<std::int64_t>(e.total_wait_ns / 1000));
+      sink(base + ".p99_us", static_cast<std::int64_t>(e.p99_us));
+    }
+  });
   if (!open_status_.ok()) return;
   if (!log_.open_status().ok()) {
     open_status_ = log_.open_status();
@@ -152,7 +170,7 @@ Database::Database(DatabaseConfig config)
   }
 }
 
-Database::~Database() = default;
+Database::~Database() { metrics_.UnregisterGaugeProvider(this); }
 
 Status Database::LoadDurableState() {
   // 0a. Checkpoint master record + image (needed before anything else:
@@ -279,6 +297,12 @@ Status Database::LoadDurableState() {
   metrics_.counter("recovery.losers")->Add(recovery_stats_.losers);
   metrics_.gauge("recovery.last_duration_us")
       ->Set(static_cast<std::int64_t>((NowNanos() - recovery_start) / 1000));
+  {
+    TraceSiteScope site(TraceSite::kRecoveryReplay);
+    FlightRecorder::Emit(TraceEventType::kRecovery, recovery_start,
+                         NowNanos() - recovery_start,
+                         recovery_stats_.redo_ops, recovery_stats_.undo_ops);
+  }
 
   // 4. Prime free-space maps for post-restart inserts. (Owned-heap
   // ownership re-tagging happens when the engine attaches the recovered
@@ -372,6 +396,7 @@ Status Database::Checkpoint() {
   // One checkpoint at a time: interleaved append/publish/truncate from two
   // callers could publish master records out of order (see checkpoint_mu_).
   MutexLock checkpoint_guard(checkpoint_mu_);
+  TraceSiteScope trace_site(TraceSite::kCheckpointer);
   const std::uint64_t checkpoint_start = NowNanos();
   CheckpointImage image;
   // begin_checkpoint first: anything that happens while the tables below
@@ -426,6 +451,8 @@ Status Database::Checkpoint() {
   metrics_.counter("checkpoint.payload_bytes")->Add(rec.redo.size());
   metrics_.histogram("checkpoint.duration_us")
       ->Record((NowNanos() - checkpoint_start) / 1000);
+  FlightRecorder::Emit(TraceEventType::kCheckpoint, checkpoint_start,
+                       NowNanos() - checkpoint_start, rec.redo.size(), 0);
   return Status::OK();
 }
 

@@ -43,6 +43,12 @@ Engine::~Engine() {
 }
 
 void Engine::StatsReporterLoop() {
+  // Monotonic reporter uptime: consumers (tools/plp_top.py) delta the
+  // cumulative counters between consecutive [stats] lines and need the
+  // exact window length, which wall-clock arrival times misstate under
+  // pipe buffering.
+  Gauge* uptime_ms = db_.metrics()->gauge("stats.uptime_ms");
+  const std::uint64_t loop_start_ns = NowNanos();
   MutexLock lk(stats_mu_);
   for (;;) {
     // Interval sleep, cut short by the stop flag; spurious wakeups simply
@@ -52,6 +58,8 @@ void Engine::StatsReporterLoop() {
     lk.Unlock();
     // A final snapshot is always emitted on the way out, so even programs
     // shorter than one interval produce a [stats] line.
+    uptime_ms->Set(
+        static_cast<std::int64_t>((NowNanos() - loop_start_ns) / 1000000));
     const std::string json = db_.metrics()->Snapshot().ToJson();
     std::printf("[stats] %s\n", json.c_str());
     std::fflush(stdout);

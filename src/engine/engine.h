@@ -20,6 +20,7 @@
 #include "src/engine/action.h"
 #include "src/engine/database.h"
 #include "src/engine/txn_handle.h"
+#include "src/metrics/flight_recorder.h"
 #include "src/metrics/registry.h"
 #include "src/sync/latch.h"
 #include "src/sync/thread_annotations.h"
@@ -148,6 +149,15 @@ class Engine {
   /// instruments (the workload driver's throughput probe) or Reset()
   /// between measurement windows.
   MetricsRegistry* metrics() { return db_.metrics(); }
+
+  /// Writes the flight recorder's Chrome-trace (Perfetto-loadable) JSON
+  /// to `path`: everything still in the per-thread rings — latch/lock
+  /// waits, WAL fsyncs, buffer-pool stalls, traced-txn stage spans,
+  /// partition phases, checkpoint/recovery spans. The workload driver and
+  /// quickstart wire this to the PLP_TRACE_PATH environment variable.
+  Status DumpTrace(const std::string& path) {
+    return FlightRecorder::Global().ExportChromeTrace(path);
+  }
 
   /// Admission-gate observability (open-loop drivers report these).
   std::size_t inflight() const { return gate_.inflight(); }

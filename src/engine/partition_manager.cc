@@ -4,6 +4,7 @@
 
 #include "src/buffer/page_cleaner.h"
 #include "src/common/clock.h"
+#include "src/metrics/flight_recorder.h"
 
 namespace plp {
 
@@ -276,6 +277,8 @@ void PartitionManager::DispatchPhase(const std::shared_ptr<TxnFlow>& flow) {
   const int n = static_cast<int>(phase.actions.size());
   phases_metric_->Increment();
   actions_metric_->Add(static_cast<std::uint64_t>(n));
+  FlightRecorder::Emit(TraceEventType::kPartitionPhase, NowNanos(), 0,
+                       flow->phase, static_cast<std::uint64_t>(n));
   flow->results.assign(static_cast<std::size_t>(n), ActionResult{});
   flow->assigned_worker.assign(static_cast<std::size_t>(n), 0);
   flow->remaining.store(n, std::memory_order_relaxed);

@@ -238,6 +238,7 @@ inline void ResolveTxn(const std::shared_ptr<TxnShared>& s, Status status) {
   if (s->trace != nullptr) {
     TxnTimeline::Stamp(s->trace->complete_ns, NowNanos());
     if (s->trace_sinks != nullptr) s->trace_sinks->Record(*s->trace);
+    EmitTimelineSpans(*s->trace);
   }
   if (s->callback && s->executor != nullptr) {
     if (s->executor->Post([s, status] {

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/metrics/flight_recorder.h"
+
 #include "src/index/persistent/index_log.h"
 
 namespace plp {
@@ -189,6 +191,7 @@ Status BTree::Insert(Slice key, Slice value, TxnId txn) {
 
 Status BTree::InsertOptimistic(Slice key, Slice value, TxnId txn,
                                bool* needs_smo) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
@@ -233,6 +236,7 @@ Status BTree::InsertOptimistic(Slice key, Slice value, TxnId txn,
 }
 
 Status BTree::InsertPessimistic(Slice key, Slice value, TxnId txn) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   // ARIES/KVL: one SMO at a time per (sub-)tree.
   const bool latched = policy_ == LatchPolicy::kLatched;
   if (latched) smo_mu_.lock();
@@ -334,6 +338,7 @@ Status BTree::InsertPessimistic(Slice key, Slice value, TxnId txn) {
 }
 
 Page* BTree::SplitNode(Page* page, std::string* sep, SmoScope* scope) {
+  TraceSiteScope trace_site(TraceSite::kBtreeSmo);
   BTreeNode node(page->data());
   const int mid = node.count() / 2;
   PageRef right = NewNodePage(node.level());
@@ -365,6 +370,7 @@ Page* BTree::SplitNode(Page* page, std::string* sep, SmoScope* scope) {
 }
 
 void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
+  TraceSiteScope trace_site(TraceSite::kBtreeSmo);
   BTreeNode node(root_page->data());
   // Clone the root's contents into a fresh left child, split the clone,
   // and turn the root into an internal node over the two halves. The
@@ -392,6 +398,7 @@ void BTree::SplitRoot(Page* root_page, SmoScope* scope) {
 }
 
 Status BTree::Probe(Slice key, std::string* value) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   PageRef cur = FixRoot();
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
@@ -419,6 +426,7 @@ Status BTree::Probe(Slice key, std::string* value) {
 }
 
 Status BTree::Update(Slice key, Slice value, TxnId txn) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
@@ -463,6 +471,7 @@ Status BTree::Update(Slice key, Slice value, TxnId txn) {
 }
 
 Status BTree::Delete(Slice key, TxnId txn) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   PageRef cur = FixRoot();
   BTreeNode node(cur->data());
   LatchMode mode =
@@ -503,6 +512,7 @@ Status BTree::Delete(Slice key, TxnId txn) {
 
 Status BTree::ScanFrom(Slice start,
                        const std::function<bool(Slice, Slice)>& fn) {
+  TraceSiteScope trace_site(TraceSite::kBtreeDescent);
   PageRef cur = FixRoot();
   if (policy_ == LatchPolicy::kLatched) cur->latch().AcquireShared();
   BTreeNode node(cur->data());
@@ -565,6 +575,7 @@ PageId BTree::RightmostLeaf() {
 
 Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
                        const PartitionPayloadFn& parts) {
+  TraceSiteScope trace_site(TraceSite::kBtreeSmo);
   // Recursively split the spine containing `split_key`; entries (and
   // sub-trees) at or above the key move to newly allocated right-side
   // nodes (Appendix A.3.2). Runs quiesced: no latches needed.
@@ -656,6 +667,7 @@ Status BTree::SliceOff(plp::Slice split_key, std::unique_ptr<BTree>* right_out,
 
 Status BTree::Meld(BTree* right, plp::Slice boundary_key,
                    const PartitionPayloadFn& parts) {
+  TraceSiteScope trace_site(TraceSite::kBtreeSmo);
   SmoScope scope;
   PageId to_free = kInvalidPageId;
 

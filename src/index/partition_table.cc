@@ -1,5 +1,7 @@
 #include "src/index/partition_table.h"
 
+#include "src/metrics/flight_recorder.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -74,6 +76,7 @@ std::size_t PartitionTable::NumPartitions() const {
 }
 
 Status PartitionTable::Persist() {
+  TraceSiteScope trace_site(TraceSite::kPartitionTable);
   ReaderMutexLock lk(mu_);
   PageId pid = routing_page_;
   std::size_t i = 0;
@@ -106,6 +109,7 @@ Status PartitionTable::Persist() {
 }
 
 Status PartitionTable::LoadFromPages() {
+  TraceSiteScope trace_site(TraceSite::kPartitionTable);
   std::vector<Entry> loaded;
   PageId pid = routing_page_;
   while (pid != kInvalidPageId) {

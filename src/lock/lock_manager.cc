@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "src/common/clock.h"
+#include "src/metrics/flight_recorder.h"
 #include "src/sync/cs_profiler.h"
 
 namespace plp {
@@ -38,6 +39,11 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
   std::uint64_t wait_ns = 0;
   const bool contended = bucket.mu.LockTimed(&wait_ns);
   CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
+  if (contended) {
+    TraceSiteScope site(TraceSite::kLockTable);
+    FlightRecorder::RecordCsWait(CsCategory::kLockMgr, NowNanos() - wait_ns,
+                                 wait_ns);
+  }
   MutexLock lk(bucket.mu, std::adopt_lock);
 
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +68,13 @@ Status LockManager::Acquire(TxnId txn, const std::string& name, LockMode mode,
       }
     }
     bucket.locks[name].waiters--;
-    wait_us_metric_->Record((NowNanos() - wait_start) / 1000);
+    const std::uint64_t waited_ns = NowNanos() - wait_start;
+    wait_us_metric_->Record(waited_ns / 1000);
+    {
+      TraceSiteScope site(TraceSite::kLockTable);
+      FlightRecorder::Emit(TraceEventType::kLockWait, wait_start, waited_ns,
+                           waited_ns, granted ? 1 : 0);
+    }
     if (!granted) {
       // Deadlock/starvation resolution by timeout: caller aborts.
       timeouts_metric_->Increment();
@@ -87,6 +99,11 @@ void LockManager::Release(TxnId txn, const std::string& name) {
   std::uint64_t wait_ns = 0;
   const bool contended = bucket.mu.LockTimed(&wait_ns);
   CsProfiler::Record(CsCategory::kLockMgr, contended, wait_ns);
+  if (contended) {
+    TraceSiteScope site(TraceSite::kLockTable);
+    FlightRecorder::RecordCsWait(CsCategory::kLockMgr, NowNanos() - wait_ns,
+                                 wait_ns);
+  }
   {
     MutexLock lk(bucket.mu, std::adopt_lock);
     auto it = bucket.locks.find(name);

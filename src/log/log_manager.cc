@@ -6,6 +6,7 @@
 
 #include "src/common/clock.h"
 #include "src/io/wal_storage.h"
+#include "src/metrics/flight_recorder.h"
 
 namespace plp {
 
@@ -114,7 +115,11 @@ void LogManager::SyncWal(Lsn lsn) {
   while (lsn > prev && !synced_floor_metric_.compare_exchange_weak(
                            prev, lsn, std::memory_order_relaxed)) {
   }
-  if (lsn > prev) sync_batch_bytes_metric_->Record(lsn - prev);
+  if (lsn > prev) {
+    sync_batch_bytes_metric_->Record(lsn - prev);
+    FlightRecorder::Emit(TraceEventType::kWalFsync, t0, NowNanos() - t0,
+                         lsn - prev, lsn);
+  }
 }
 
 void LogManager::FlushAll() {

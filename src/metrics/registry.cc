@@ -1,5 +1,6 @@
 #include "src/metrics/registry.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +29,34 @@ inline std::uint64_t BucketCeiling(std::size_t i) {
   if (i >= 64) return UINT64_MAX;
   return (std::uint64_t{1} << i) - 1;
 }
+
+// Recomputes p50/p95/p99 from a summary's buckets by rank, reporting
+// bucket ceilings clamped to the summary's max. Shared by the live
+// Collect() path and by window deltas (HistogramSummary::DeltaSince).
+void FinalizePercentiles(HistogramSummary* s) {
+  if (s->count == 0) {
+    s->p50 = s->p95 = s->p99 = 0;
+    return;
+  }
+  auto percentile = [&](double q) {
+    // Rank of the q-quantile among `count` samples; find the bucket whose
+    // cumulative count covers it and report that bucket's ceiling.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(s->count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      seen += s->buckets[i];
+      if (seen > rank) {
+        const std::uint64_t ceiling = BucketCeiling(i);
+        return ceiling < s->max ? ceiling : s->max;
+      }
+    }
+    return s->max;
+  };
+  s->p50 = percentile(0.50);
+  s->p95 = percentile(0.95);
+  s->p99 = percentile(0.99);
+}
 }  // namespace
 
 void Histogram::Record(std::uint64_t value) {
@@ -43,37 +72,42 @@ void Histogram::Record(std::uint64_t value) {
 }
 
 HistogramSummary Histogram::Collect() const {
-  std::uint64_t merged[kBuckets] = {};
   HistogramSummary out;
   for (const Stripe& s : stripes_) {
     for (std::size_t i = 0; i < kBuckets; ++i) {
-      merged[i] += s.buckets[i].load(std::memory_order_relaxed);
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
     }
     out.count += s.count.load(std::memory_order_relaxed);
     out.sum += s.sum.load(std::memory_order_relaxed);
     const std::uint64_t m = s.max.load(std::memory_order_relaxed);
     if (m > out.max) out.max = m;
   }
-  if (out.count == 0) return out;
-  auto percentile = [&](double q) {
-    // Rank of the q-quantile among `count` samples; find the bucket whose
-    // cumulative count covers it and report that bucket's ceiling.
-    const std::uint64_t rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(out.count - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += merged[i];
-      if (seen > rank) {
-        const std::uint64_t ceiling = BucketCeiling(i);
-        return ceiling < out.max ? ceiling : out.max;
-      }
-    }
-    return out.max;
-  };
-  out.p50 = percentile(0.50);
-  out.p95 = percentile(0.95);
-  out.p99 = percentile(0.99);
+  FinalizePercentiles(&out);
   return out;
+}
+
+HistogramSummary HistogramSummary::DeltaSince(
+    const HistogramSummary& base) const {
+  // A base that is "ahead" of this summary (snapshots taken out of order,
+  // or a Reset between them) clamps to the current cumulative values
+  // rather than underflowing.
+  if (base.count > count) return *this;
+  HistogramSummary d;
+  d.count = count - base.count;
+  d.sum = sum >= base.sum ? sum - base.sum : 0;
+  std::size_t highest = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    d.buckets[i] =
+        buckets[i] >= base.buckets[i] ? buckets[i] - base.buckets[i] : 0;
+    if (d.buckets[i] != 0) highest = i;
+  }
+  // The true window max is unrecoverable from cumulative state; the
+  // ceiling of the highest nonzero delta bucket (clamped to the
+  // cumulative max) bounds it to within 2x — same precision contract as
+  // the percentiles.
+  d.max = d.count == 0 ? 0 : std::min(BucketCeiling(highest), max);
+  FinalizePercentiles(&d);
+  return d;
 }
 
 void Histogram::Reset() {
@@ -85,6 +119,25 @@ void Histogram::Reset() {
     s.sum.store(0, std::memory_order_relaxed);
     s.max.store(0, std::memory_order_relaxed);
   }
+}
+
+StatsSnapshot StatsSnapshot::DeltaSince(const StatsSnapshot& base) const {
+  StatsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    auto it = base.counters.find(name);
+    const std::uint64_t b = it == base.counters.end() ? 0 : it->second;
+    // A Reset between the snapshots makes the base "ahead"; report the
+    // current cumulative value rather than underflowing.
+    d.counters[name] = v >= b ? v - b : v;
+  }
+  // Gauges are levels, not rates: the current reading is the window value.
+  d.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    auto it = base.histograms.find(name);
+    d.histograms[name] =
+        it == base.histograms.end() ? h : h.DeltaSince(it->second);
+  }
+  return d;
 }
 
 std::string StatsSnapshot::ToText() const {
@@ -107,6 +160,48 @@ std::string StatsSnapshot::ToText() const {
                   name.c_str(), h.count, h.mean(), h.p50, h.p95, h.p99,
                   h.max);
     out += line;
+  }
+  // Ranked contention section, reassembled from the contention.<site>.*
+  // gauges the flight recorder publishes via the Database gauge provider
+  // (the registry cannot call the recorder directly: the recorder's
+  // header is below latch.h, which this header sits on).
+  struct SiteRow {
+    std::string site;
+    std::int64_t waits = 0;
+    std::int64_t wait_us_total = 0;
+    std::int64_t p99_us = 0;
+  };
+  std::map<std::string, SiteRow> rows;
+  const std::string prefix = "contention.";
+  for (const auto& [name, v] : gauges) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot = name.find('.', prefix.size());
+    if (dot == std::string::npos) continue;
+    const std::string site = name.substr(prefix.size(), dot - prefix.size());
+    const std::string field = name.substr(dot + 1);
+    SiteRow& row = rows[site];
+    row.site = site;
+    if (field == "waits") row.waits = v;
+    if (field == "wait_us_total") row.wait_us_total = v;
+    if (field == "p99_us") row.p99_us = v;
+  }
+  if (!rows.empty()) {
+    std::vector<SiteRow> ranked;
+    ranked.reserve(rows.size());
+    for (auto& [site, row] : rows) ranked.push_back(std::move(row));
+    std::sort(ranked.begin(), ranked.end(),
+              [](const SiteRow& a, const SiteRow& b) {
+                return a.wait_us_total > b.wait_us_total;
+              });
+    out += "-- top contended latch sites (by total wait) --\n";
+    for (const SiteRow& row : ranked) {
+      std::snprintf(line, sizeof(line),
+                    "  %-20s waits=%-10" PRId64 " total_us=%-12" PRId64
+                    " p99_us=%" PRId64 "\n",
+                    row.site.c_str(), row.waits, row.wait_us_total,
+                    row.p99_us);
+      out += line;
+    }
   }
   return out;
 }

@@ -20,6 +20,7 @@
 #ifndef PLP_METRICS_REGISTRY_H_
 #define PLP_METRICS_REGISTRY_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -83,6 +84,10 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Log2 bucket count shared by Histogram and HistogramSummary: bucket i
+/// holds values of bit-width i, so 65 buckets cover the full uint64 range.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
 struct HistogramSummary {
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
@@ -93,11 +98,21 @@ struct HistogramSummary {
   std::uint64_t p50 = 0;
   std::uint64_t p95 = 0;
   std::uint64_t p99 = 0;
+  /// Merged bucket counts, carried so summaries can be subtracted
+  /// (StatsSnapshot::DeltaSince) with percentiles recomputed for the
+  /// window. Not serialized by ToText/ToJson.
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
 
   double mean() const {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Bucket-wise difference `*this - base` with percentiles recomputed
+  /// from the window's buckets. `max` is approximated as the smaller of
+  /// this->max and the highest nonzero delta bucket's ceiling (the true
+  /// window max is not recoverable from cumulative state).
+  HistogramSummary DeltaSince(const HistogramSummary& base) const;
 };
 
 /// Log2-bucketed histogram (64 buckets cover the full uint64 range),
@@ -107,7 +122,7 @@ struct HistogramSummary {
 class Histogram {
  public:
   static constexpr std::size_t kStripes = 8;
-  static constexpr std::size_t kBuckets = 65;  // bucket i = values of bit-width i
+  static constexpr std::size_t kBuckets = kHistogramBuckets;
 
   void Record(std::uint64_t value);
   HistogramSummary Collect() const;
@@ -144,7 +159,18 @@ struct StatsSnapshot {
     return it == histograms.end() ? nullptr : &it->second;
   }
 
-  /// Human-readable table, one metric per line.
+  /// Exact per-window deltas: counters and histogram buckets subtracted
+  /// (clamped at zero if `base` is newer or a Reset intervened — the
+  /// current cumulative value is reported then), gauges passed through
+  /// as levels, histogram percentiles recomputed from the window's
+  /// buckets. Replaces the Reset-between-windows pattern, which races
+  /// in-flight increments by design.
+  StatsSnapshot DeltaSince(const StatsSnapshot& base) const;
+
+  /// Human-readable table, one metric per line, with a ranked
+  /// "contended latch sites" section when contention.* gauges (published
+  /// by the flight recorder through the Database gauge provider) are
+  /// present.
   std::string ToText() const;
   /// Single JSON object: counters/gauges as numbers, histograms as
   /// {"count","sum","max","p50","p95","p99"} objects. Keys are sorted.

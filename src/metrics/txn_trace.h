@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/metrics/flight_recorder.h"
 #include "src/metrics/registry.h"
 
 namespace plp {
@@ -67,6 +68,32 @@ struct TxnTraceSinks {
     stage(total_us, t.submit_ns, t.complete_ns);
   }
 };
+
+/// Bridges a resolved timeline into flight-recorder span events: one
+/// kTxnStage event per reached stage, all tagged with a process-unique
+/// trace id so Perfetto can correlate a transaction's spans across the
+/// client, worker, and group-commit threads that stamped them. Stage ids
+/// (arg0) index the trace.*_us histogram family:
+/// 0=admission 1=queue 2=execute 3=fsync 4=callback 5=total.
+inline void EmitTimelineSpans(const TxnTimeline& t) {
+  static std::atomic<std::uint64_t> next_trace_id{1};
+  const std::uint64_t id =
+      next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  auto span = [id](std::uint64_t stage_id,
+                   const std::atomic<std::uint64_t>& from,
+                   const std::atomic<std::uint64_t>& to) {
+    const std::uint64_t a = from.load(std::memory_order_relaxed);
+    const std::uint64_t b = to.load(std::memory_order_relaxed);
+    if (a != 0 && b >= a) {
+      FlightRecorder::Emit(TraceEventType::kTxnStage, a, b - a, stage_id, id);
+    }
+  };
+  span(0, t.submit_ns, t.admitted_ns);
+  span(1, t.admitted_ns, t.execute_ns);
+  span(2, t.execute_ns, t.append_ns);
+  span(3, t.append_ns, t.durable_ns);
+  span(4, t.durable_ns, t.complete_ns);
+}
 
 }  // namespace plp
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/metrics/flight_recorder.h"
+
 namespace plp {
 
 HeapFile::HeapFile(BufferPool* pool, HeapMode mode, std::uint32_t file_id)
@@ -63,6 +65,7 @@ HeapFile::OwnerPages* HeapFile::GetOwnerPages(std::uint32_t owner) {
 }
 
 Status HeapFile::Insert(Slice record, Rid* rid, const MutationHook& logged) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   assert(mode_ == HeapMode::kShared);
   for (int attempt = 0; attempt < 8; ++attempt) {
     PageId pid = fsm_.FindPageWith(record.size() + SlottedPage::kSlotSize);
@@ -90,6 +93,7 @@ Status HeapFile::Insert(Slice record, Rid* rid, const MutationHook& logged) {
 
 Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid,
                              const MutationHook& logged) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   assert(mode_ != HeapMode::kShared);
   OwnerPages* op = GetOwnerPages(owner);
   // Try the most recently allocated page for this owner first.
@@ -119,6 +123,7 @@ Status HeapFile::InsertOwned(std::uint32_t owner, Slice record, Rid* rid,
 }
 
 Status HeapFile::Get(Rid rid, std::string* out) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   PageRef page = FixForOp(rid.page_id);
   if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kShared, latch_policy_);
@@ -129,6 +134,7 @@ Status HeapFile::Get(Rid rid, std::string* out) {
 }
 
 Status HeapFile::Update(Rid rid, Slice record, const MutationHook& logged) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   PageRef page = FixForOp(rid.page_id);
   if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
@@ -139,6 +145,7 @@ Status HeapFile::Update(Rid rid, Slice record, const MutationHook& logged) {
 }
 
 Status HeapFile::Delete(Rid rid, const MutationHook& logged) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   PageRef page = FixForOp(rid.page_id);
   if (!page) return Status::NotFound("no such page");
   LatchGuard g(&page->latch(), LatchMode::kExclusive, latch_policy_);
@@ -153,6 +160,7 @@ Status HeapFile::Delete(Rid rid, const MutationHook& logged) {
 }
 
 void HeapFile::Scan(const std::function<void(Rid, Slice)>& fn) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   for (PageId pid : AllPages()) {
     PageRef page = pool_->AcquirePage(pid, /*tracked=*/true);
     if (!page) continue;
@@ -165,6 +173,7 @@ void HeapFile::Scan(const std::function<void(Rid, Slice)>& fn) {
 
 void HeapFile::ScanOwned(std::uint32_t owner,
                          const std::function<void(Rid, Slice)>& fn) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   for (PageId pid : OwnedPages(owner)) {
     PageRef page = pool_->AcquirePage(pid, /*tracked=*/false);
     if (!page) continue;
@@ -176,6 +185,7 @@ void HeapFile::ScanOwned(std::uint32_t owner,
 
 Status HeapFile::RestoreAt(Rid rid, std::uint32_t owner, Slice record,
                            Rid* out_rid, const MutationHook& logged) {
+  TraceSiteScope trace_site(TraceSite::kHeapOp);
   {
     PageRef page = FixForOp(rid.page_id);
     if (page) {

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/metrics/flight_recorder.h"
 #include "src/sync/cs_profiler.h"
 #include "src/sync/thread_annotations.h"
 
@@ -59,7 +60,9 @@ class PLP_CAPABILITY("latch") Latch {
     }
     const std::uint64_t t0 = NowNanos();
     mu_.lock_shared();
-    CsProfiler::RecordLatch(page_class_, /*contended=*/true, NowNanos() - t0);
+    const std::uint64_t wait_ns = NowNanos() - t0;
+    CsProfiler::RecordLatch(page_class_, /*contended=*/true, wait_ns);
+    FlightRecorder::RecordLatchWait(page_class_, t0, wait_ns);
   }
   void ReleaseShared() PLP_RELEASE_SHARED() { mu_.unlock_shared(); }
 
@@ -70,7 +73,9 @@ class PLP_CAPABILITY("latch") Latch {
     }
     const std::uint64_t t0 = NowNanos();
     mu_.lock();
-    CsProfiler::RecordLatch(page_class_, /*contended=*/true, NowNanos() - t0);
+    const std::uint64_t wait_ns = NowNanos() - t0;
+    CsProfiler::RecordLatch(page_class_, /*contended=*/true, wait_ns);
+    FlightRecorder::RecordLatchWait(page_class_, t0, wait_ns);
   }
   void ReleaseExclusive() PLP_RELEASE() { mu_.unlock(); }
 
@@ -164,7 +169,9 @@ class PLP_CAPABILITY("mutex") TrackedMutex {
     }
     const std::uint64_t t0 = NowNanos();
     mu_.lock();
-    CsProfiler::Record(category_, /*contended=*/true, NowNanos() - t0);
+    const std::uint64_t wait_ns = NowNanos() - t0;
+    CsProfiler::Record(category_, /*contended=*/true, wait_ns);
+    FlightRecorder::RecordCsWait(category_, t0, wait_ns);
   }
   void unlock() PLP_RELEASE() { mu_.unlock(); }
   bool try_lock() PLP_TRY_ACQUIRE(true) {

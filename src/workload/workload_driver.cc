@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <thread>
 #include <utility>
@@ -22,6 +24,13 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   std::atomic<std::uint64_t> committed{0};
   std::atomic<std::uint64_t> aborted{0};
   std::atomic<std::uint64_t> thread_time{0};
+
+  // Flight-recorder wiring: sample every Nth txn per client as traced so
+  // kTxnStage spans show up in the exported timeline without paying the
+  // timeline allocation on every submission.
+  const char* trace_path = std::getenv("PLP_TRACE_PATH");
+  int trace_every = options.trace_every;
+  if (trace_every == 0 && trace_path != nullptr) trace_every = 64;
 
   const CsCounts before = CsProfiler::Global().Collect();
   engine->ResetPeakInflight();
@@ -59,20 +68,31 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
             aborted.fetch_add(1, std::memory_order_relaxed);
           }
         };
+        std::uint64_t submitted = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           TxnRequest req = next(rng);
+          TxnOptions txn_options;
+          txn_options.trace =
+              trace_every > 0 &&
+              submitted++ % static_cast<std::uint64_t>(trace_every) == 0;
           const std::uint64_t txn_start = NowNanos();
-          window.emplace_back(engine->Submit(std::move(req)), txn_start);
+          window.emplace_back(engine->Submit(std::move(req), txn_options),
+                              txn_start);
           if (static_cast<int>(window.size()) >= options.pipeline_depth) {
             reap_front();
           }
         }
         while (!window.empty()) reap_front();
       } else {
+        std::uint64_t submitted = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           TxnRequest req = next(rng);
+          TxnOptions txn_options;
+          txn_options.trace =
+              trace_every > 0 &&
+              submitted++ % static_cast<std::uint64_t>(trace_every) == 0;
           const std::uint64_t txn_start = NowNanos();
-          Status st = engine->Execute(req);
+          Status st = engine->Submit(std::move(req), txn_options).Wait();
           if (st.ok()) {
             local_latencies.push_back(NowNanos() - txn_start);
             committed.fetch_add(1, std::memory_order_relaxed);
@@ -129,6 +149,15 @@ DriverResult RunInternal(Engine* engine, const TxnFactory& next,
   PublishBreakdown(engine->metrics(), "breakdown",
                    MakeTimeBreakdown(result.cs_delta, result.committed,
                                      result.thread_time_ns));
+  if (trace_path != nullptr) {
+    const Status st = engine->DumpTrace(trace_path);
+    if (st.ok()) {
+      std::fprintf(stderr, "[trace] wrote %s\n", trace_path);
+    } else {
+      std::fprintf(stderr, "[trace] export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   return result;
 }
 }  // namespace

@@ -24,6 +24,12 @@ struct DriverOptions {
   /// blocking on Execute, reaping the oldest handle once the window is
   /// full. 0 keeps the classic closed loop.
   int pipeline_depth = 0;
+  /// Submit every Nth transaction per client with TxnOptions::trace so its
+  /// stage timeline lands in the flight recorder (kTxnStage spans). 0 means
+  /// auto: every 64th when PLP_TRACE_PATH is set, otherwise none. At the
+  /// end of the run the driver exports the recorder's Chrome trace to
+  /// PLP_TRACE_PATH when that variable is set.
+  int trace_every = 0;
 };
 
 struct DriverResult {

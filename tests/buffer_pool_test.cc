@@ -253,6 +253,15 @@ TEST(PinGuardDeathTest, LeakedPinTrapsAtTeardownInDebugBuilds) {
         victim.NewPage(PageClass::kHeap)->Pin();  // deliberately leaked
       },
       "leaked pin at BufferPool teardown");
+  // The trap also dumps the flight-recorder black box to stderr before
+  // aborting, so the post-mortem carries the recent event history.
+  // (Separate EXPECT_DEATH: the gtest matcher's `.` never spans lines.)
+  EXPECT_DEATH(
+      {
+        BufferPool victim;
+        victim.NewPage(PageClass::kHeap)->Pin();
+      },
+      "PLP FLIGHT RECORDER BLACK BOX");
 #endif
 }
 

@@ -319,5 +319,71 @@ TEST(TxnTimelineTest, SinksRecordOnlyReachedStages) {
   EXPECT_EQ(snap.histogram("trace.execute_us")->count, 0u);
 }
 
+TEST(StatsSnapshotTest, DeltaSinceSubtractsCounters) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("txn.commits");
+  c->Add(100);
+  const StatsSnapshot base = registry.Snapshot();
+  c->Add(42);
+  registry.gauge("admission.inflight")->Set(7);
+  const StatsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counter("txn.commits"), 42u);
+  // Gauges are point-in-time: the delta carries the current value.
+  EXPECT_EQ(delta.gauge("admission.inflight"), 7);
+}
+
+TEST(StatsSnapshotTest, DeltaSinceClampsAfterReset) {
+  // A Reset() between the baseline and the later snapshot would make the
+  // subtraction go negative; DeltaSince clamps to the current value
+  // instead of wrapping to a huge unsigned number.
+  MetricsRegistry registry;
+  Counter* c = registry.counter("txn.commits");
+  c->Add(100);
+  const StatsSnapshot base = registry.Snapshot();
+  registry.Reset();
+  c->Add(5);
+  const StatsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counter("txn.commits"), 5u);
+}
+
+TEST(StatsSnapshotTest, DeltaSinceWindowsHistograms) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("log.fsync_us");
+  // Load phase: a thousand fast syncs that a window report must exclude.
+  for (int i = 0; i < 1000; ++i) h->Record(2);
+  const StatsSnapshot base = registry.Snapshot();
+  // Measurement window: a hundred slow ones.
+  for (int i = 0; i < 100; ++i) h->Record(5000);
+  const StatsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  const HistogramSummary* s = delta.histogram("log.fsync_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_EQ(s->sum, 100u * 5000u);
+  // Percentiles recompute over the window's buckets alone: every sample
+  // in the window was 5000us, so p50 must land in its bucket, far above
+  // the load phase's 2us floor.
+  EXPECT_GE(s->p50, 4096u);
+  EXPECT_GE(s->max, 5000u);
+  // The cumulative snapshot still sees everything.
+  const HistogramSummary* cumulative =
+      registry.Snapshot().histogram("log.fsync_us");
+  EXPECT_EQ(cumulative->count, 1100u);
+}
+
+TEST(StatsSnapshotTest, DeltaSinceEmptyWindowIsZero) {
+  MetricsRegistry registry;
+  registry.histogram("log.fsync_us")->Record(300);
+  registry.counter("txn.commits")->Add(9);
+  const StatsSnapshot base = registry.Snapshot();
+  const StatsSnapshot delta = registry.Snapshot().DeltaSince(base);
+  EXPECT_EQ(delta.counter("txn.commits"), 0u);
+  const HistogramSummary* s = delta.histogram("log.fsync_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 0u);
+  EXPECT_EQ(s->sum, 0u);
+  EXPECT_EQ(s->max, 0u);
+  EXPECT_EQ(s->p99, 0u);
+}
+
 }  // namespace
 }  // namespace plp

@@ -93,6 +93,10 @@ RELAXED_ALLOW = {
     "src/txn/txn_manager.h",
     "src/txn/txn_manager.cc",
     # Metrics/profiling: the whole point is uncoordinated counting.
+    # flight_recorder is the seqlock SPSC ring: relaxed payload stores
+    # fenced by the seq generation protocol (validated-later reads).
+    "src/metrics/flight_recorder.h",
+    "src/metrics/flight_recorder.cc",
     "src/metrics/registry.h",
     "src/metrics/registry.cc",
     "src/metrics/throughput_probe.h",

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""plp_top: live terminal view over the engine's [stats] JSON lines.
+
+Tails the `[stats] {...}` lines the background reporter prints (set
+PLP_STATS_INTERVAL_MS) and renders a refreshing dashboard: throughput,
+in-flight transactions, buffer-pool hit rate, fsync latency, and the
+flight recorder's top contended latch sites.
+
+Rates are exact per-window deltas: consecutive cumulative snapshots are
+subtracted and divided by the reporter's own stats.uptime_ms clock (not
+line arrival time, which pipe buffering distorts).
+
+Usage:
+  PLP_STATS_INTERVAL_MS=500 ./example_quickstart | tools/plp_top.py
+  tools/plp_top.py --file stats.log          # follow a file (tail -f)
+  tools/plp_top.py --file stats.log --once   # one-shot, no ANSI refresh
+"""
+
+import argparse
+import json
+import re
+import sys
+import time
+
+STATS_RE = re.compile(r"^\[stats\] (\{.*\})\s*$")
+
+
+def follow(path):
+    """Yields new lines appended to `path`, like tail -f."""
+    with open(path, encoding="utf-8") as f:
+        while True:
+            line = f.readline()
+            if line:
+                yield line
+            else:
+                time.sleep(0.2)
+
+
+def fmt_count(v):
+    if v >= 1_000_000:
+        return f"{v / 1_000_000:.1f}M"
+    if v >= 10_000:
+        return f"{v / 1000:.1f}k"
+    return f"{v:.0f}" if isinstance(v, float) else str(v)
+
+
+def contention_rows(snap):
+    """Reassembles contention.<site>.<field> gauges into ranked rows."""
+    sites = {}
+    for key, value in snap.items():
+        if not key.startswith("contention."):
+            continue
+        try:
+            _, site, field = key.split(".", 2)
+        except ValueError:
+            continue
+        sites.setdefault(site, {})[field] = value
+    ranked = sorted(
+        sites.items(),
+        key=lambda kv: kv[1].get("wait_us_total", 0),
+        reverse=True,
+    )
+    return ranked[:5]
+
+
+def render(prev, cur, lines_seen):
+    out = []
+    window_ms = cur.get("stats.uptime_ms", 0) - (
+        prev.get("stats.uptime_ms", 0) if prev else 0
+    )
+    dt = window_ms / 1000.0 if window_ms > 0 else None
+
+    def delta(key):
+        base = prev.get(key, 0) if prev else 0
+        d = cur.get(key, 0) - base
+        return d if d >= 0 else cur.get(key, 0)  # Reset() between lines
+
+    def rate(key):
+        d = delta(key)
+        return f"{d / dt:,.0f}/s" if dt else f"{fmt_count(d)} (no window)"
+
+    commits = delta("txn.commits")
+    hits, misses = delta("buffer_pool.hits"), delta("buffer_pool.misses")
+    hit_pct = 100.0 * hits / (hits + misses) if hits + misses else 100.0
+    fsync = cur.get("log.fsync_us", {})
+
+    out.append(f"plp_top — window {window_ms}ms — snapshot #{lines_seen}")
+    out.append(f"  tps        {rate('txn.commits'):>14}   "
+               f"(commits {fmt_count(commits)}, aborts {fmt_count(delta('txn.aborts'))})")
+    out.append(f"  inflight   {cur.get('admission.inflight', 0):>14}   "
+               f"(peak {cur.get('admission.peak_inflight', 0)}, "
+               f"limit {cur.get('admission.limit', 0)})")
+    out.append(f"  bp hit     {hit_pct:>13.2f}%   "
+               f"(hits {fmt_count(hits)}, misses {fmt_count(misses)}, "
+               f"evict-wb {fmt_count(delta('buffer_pool.eviction_writebacks'))})")
+    out.append(f"  fsync      {rate('log.fsyncs'):>14}   "
+               f"(cumulative p99 {fsync.get('p99', 0)}us, "
+               f"max {fsync.get('max', 0)}us)")
+    out.append(f"  trace drops{fmt_count(cur.get('trace.dropped_events', 0)):>14}")
+    rows = contention_rows(cur)
+    if rows:
+        out.append("  top contended latch sites (cumulative):")
+        for site, fields in rows:
+            out.append(
+                f"    {site:<20} waits={fmt_count(fields.get('waits', 0)):<8} "
+                f"total={fmt_count(fields.get('wait_us_total', 0)):>8}us "
+                f"p99={fields.get('p99_us', 0)}us"
+            )
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--file", help="read/follow this file instead of stdin")
+    parser.add_argument("--once", action="store_true",
+                        help="process what's there, print once, exit")
+    args = parser.parse_args()
+
+    if args.file:
+        source = open(args.file, encoding="utf-8") if args.once \
+            else follow(args.file)
+    else:
+        source = sys.stdin
+
+    prev = None
+    cur = None
+    lines_seen = 0
+    last_height = 0
+    try:
+        for line in source:
+            m = STATS_RE.match(line)
+            if not m:
+                continue
+            try:
+                snap = json.loads(m.group(1))
+            except json.JSONDecodeError:
+                continue
+            prev, cur = cur, snap
+            lines_seen += 1
+            if args.once:
+                continue
+            block = render(prev, cur, lines_seen)
+            # Refresh in place: move the cursor up over the previous block.
+            if last_height and sys.stdout.isatty():
+                sys.stdout.write(f"\x1b[{last_height}F\x1b[J")
+            print("\n".join(block), flush=True)
+            last_height = len(block)
+    except KeyboardInterrupt:
+        return 0
+    if args.once and cur is not None:
+        print("\n".join(render(prev, cur, lines_seen)))
+    elif cur is None:
+        print("no [stats] lines seen — run with PLP_STATS_INTERVAL_MS set",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
